@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*.py`` module regenerates one table or figure of the paper
+(see DESIGN.md's experiment index) at a scale that fits this machine, plus the
+ablation benches called out in DESIGN.md.  Paper-scale numbers are produced by
+the projected mode of :mod:`repro.experiments` (not benchmarked here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.config import EngineConfig
+from repro.graph.generators import erdos_renyi_adjacency
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> EngineConfig:
+    """Engine configuration used by all solver benchmarks."""
+    return EngineConfig(backend="serial", num_executors=4, cores_per_executor=2)
+
+
+@pytest.fixture(scope="session")
+def bench_graph() -> np.ndarray:
+    """The benchmark workload: an Erdős–Rényi graph with the paper's edge probability."""
+    return erdos_renyi_adjacency(128, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def large_bench_graph() -> np.ndarray:
+    """A larger instance for the weak-scaling benchmark."""
+    return erdos_renyi_adjacency(192, seed=4321)

@@ -1,0 +1,25 @@
+"""Ablation bench: engine execution backend (serial vs thread pool).
+
+The thread-pool backend exploits the fact that NumPy block kernels release the
+GIL; this bench measures how much of that parallelism the Blocked
+Collect/Broadcast solver actually captures on this machine.
+"""
+
+import pytest
+
+from repro.common.config import EngineConfig
+from repro.core.base import SolverOptions
+from repro.core.blocked_collect_broadcast import BlockedCollectBroadcastSolver
+
+
+@pytest.mark.parametrize("backend", ("serial", "threads"))
+def test_bench_backend(benchmark, bench_graph, backend):
+    config = EngineConfig(backend=backend, num_executors=2, cores_per_executor=2)
+    options = SolverOptions(block_size=32, partitioner="MD")
+
+    def run():
+        return BlockedCollectBroadcastSolver(config=config, options=options).solve(bench_graph)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["tasks"] = result.metrics["tasks_launched"]

@@ -1,0 +1,40 @@
+"""Figure 2 bench: sequential kernel time (MatProd+MatMin, FloydWarshall) vs block size.
+
+The paper sweeps b from ~500 to 10,000 on a Skylake node with MKL; here the
+same kernels are swept over block sizes that fit this machine's time budget.
+The quantity of interest is the O(b^3) growth curve and the relative cost of
+the two kernels (min-plus products are several times more expensive than the
+in-place Floyd-Warshall at equal b, as in the paper's figure).
+"""
+
+import numpy as np
+import pytest
+
+from repro.linalg.kernels import floyd_warshall_inplace
+from repro.linalg.semiring import elementwise_min, minplus_product
+
+BLOCK_SIZES = (64, 128, 256)
+
+
+def _random_block(b: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    block = rng.uniform(1.0, 10.0, size=(b, b))
+    np.fill_diagonal(block, 0.0)
+    return block
+
+
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_bench_minplus_matmin(benchmark, block_size):
+    """MatProd followed by MatMin — the Repeated Squaring / blocked phase-3 kernel."""
+    a = _random_block(block_size, seed=1)
+    b = _random_block(block_size, seed=2)
+    benchmark.extra_info["block_size"] = block_size
+    benchmark(lambda: elementwise_min(a, minplus_product(a, b)))
+
+
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_bench_floyd_warshall_block(benchmark, block_size):
+    """The FloydWarshall diagonal-block kernel (phase 1 of the blocked solvers)."""
+    a = _random_block(block_size, seed=3)
+    benchmark.extra_info["block_size"] = block_size
+    benchmark(lambda: floyd_warshall_inplace(a.copy()))

@@ -1,0 +1,33 @@
+"""Table 2 bench: effect of block size on each solver's execution time.
+
+Runs every solver end-to-end on the mini-Spark engine for a sweep of block
+sizes (the engine-scale analogue of Table 2's per-block-size rows).  The
+per-iteration time and the iteration count recorded in ``extra_info`` are the
+quantities Table 2 reports; paper-scale projections come from
+``apspark table2 --mode projected``.
+"""
+
+import pytest
+
+from repro.core.api import get_solver_class
+from repro.core.base import SolverOptions
+
+SOLVERS = ("repeated-squaring", "fw-2d", "blocked-im", "blocked-cb")
+BLOCK_SIZES = (16, 32, 64)
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_bench_solver_block_size(benchmark, bench_config, bench_graph, solver, block_size):
+    solver_cls = get_solver_class(solver)
+    options = SolverOptions(block_size=block_size, partitioner="MD")
+
+    def run():
+        return solver_cls(config=bench_config, options=options).solve(bench_graph)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["iterations"] = result.iterations
+    benchmark.extra_info["single_iteration_seconds"] = (
+        result.elapsed_seconds / max(1, result.iterations))
+    benchmark.extra_info["shuffle_bytes"] = result.metrics["shuffle_bytes"]
+    benchmark.extra_info["sharedfs_bytes"] = result.metrics["sharedfs_bytes_written"]

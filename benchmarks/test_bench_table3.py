@@ -1,0 +1,68 @@
+"""Table 3 / Figure 5 bench: weak scaling of the blocked solvers vs the baselines.
+
+The paper holds n/p = 256 and scales p; here the simulated core count of the
+engine scales with the problem size (n/p = 16 at laptop scale) and the same
+four competitors are measured: Blocked-IM, Blocked-CB, the message-passing
+2D Floyd-Warshall, and the divide-and-conquer solver, plus the sequential
+reference that anchors the Gop/s-per-core normalization.
+"""
+
+import pytest
+
+from repro.common.config import EngineConfig
+from repro.core.api import get_solver_class
+from repro.core.base import SolverOptions
+from repro.graph.generators import erdos_renyi_adjacency
+from repro.mpi.divide_conquer import dc_apsp
+from repro.mpi.fw2d import fw2d_mpi_apsp
+from repro.sequential.floyd_warshall import floyd_warshall_reference
+
+#: (simulated cores p, problem size n = 16 * p)
+WEAK_SCALING_POINTS = ((4, 64), (8, 128), (16, 256))
+
+
+def _graph(n):
+    return erdos_renyi_adjacency(n, seed=1000 + n)
+
+
+@pytest.mark.parametrize("p,n", WEAK_SCALING_POINTS)
+@pytest.mark.parametrize("solver", ("blocked-im", "blocked-cb"))
+def test_bench_weak_scaling_spark(benchmark, solver, p, n):
+    config = EngineConfig(backend="serial", num_executors=max(1, p // 4),
+                          cores_per_executor=min(4, p))
+    options = SolverOptions(block_size=max(8, n // 8), partitioner="MD")
+    solver_cls = get_solver_class(solver)
+    adjacency = _graph(n)
+
+    def run():
+        return solver_cls(config=config, options=options).solve(adjacency)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["p"] = p
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["gops"] = result.gops
+
+
+@pytest.mark.parametrize("p,n", WEAK_SCALING_POINTS)
+def test_bench_weak_scaling_fw2d_mpi(benchmark, p, n):
+    adjacency = _graph(n)
+    benchmark.extra_info["p"] = p
+    benchmark.pedantic(lambda: fw2d_mpi_apsp(adjacency, num_ranks=4),
+                       rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("p,n", WEAK_SCALING_POINTS)
+def test_bench_weak_scaling_dc(benchmark, p, n):
+    adjacency = _graph(n)
+    benchmark.extra_info["p"] = p
+    benchmark.pedantic(lambda: dc_apsp(adjacency, base_case=max(16, n // 8)),
+                       rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("p,n", WEAK_SCALING_POINTS)
+def test_bench_weak_scaling_sequential_reference(benchmark, p, n):
+    """The T1 reference of Section 5.4 (sequential SciPy Floyd-Warshall)."""
+    adjacency = _graph(n)
+    benchmark.extra_info["n"] = n
+    benchmark.pedantic(lambda: floyd_warshall_reference(adjacency),
+                       rounds=1, iterations=1, warmup_rounds=0)

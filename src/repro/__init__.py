@@ -1,0 +1,30 @@
+"""APSPark reproduction: All-Pairs Shortest-Paths solvers in a Spark-like model.
+
+This package reproduces the system described in
+
+    Frank Schoeneman and Jaroslaw Zola,
+    "Solving All-Pairs Shortest-Paths Problem in Large Graphs Using Apache Spark",
+    ICPP 2019.
+
+The public API is intentionally small:
+
+* :func:`repro.solve_apsp` — front-end that runs any of the four paper solvers
+  (``repeated-squaring``, ``fw-2d``, ``blocked-im``, ``blocked-cb``) or the
+  sequential / MPI-style baselines on an adjacency matrix or a graph.
+* :mod:`repro.graph` — synthetic graph generators used in the evaluation.
+* :mod:`repro.spark` — the mini-Spark engine substrate (RDDs, partitioners,
+  shuffle accounting, shared-filesystem broadcast).
+* :mod:`repro.cluster` — the cluster model and analytic cost models used to
+  project paper-scale runtimes (Tables 2 and 3, Figures 3 and 5).
+* :mod:`repro.experiments` — one entry point per paper table/figure.
+"""
+
+from repro._version import __version__
+from repro.core.api import solve_apsp, available_solvers, APSPResult
+
+__all__ = [
+    "__version__",
+    "solve_apsp",
+    "available_solvers",
+    "APSPResult",
+]

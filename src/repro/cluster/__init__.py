@@ -1,0 +1,45 @@
+"""Cluster model and analytic cost models for paper-scale projections.
+
+The paper's largest experiments (n = 262,144 on 1,024 cores) cannot be run in
+this environment; the evaluation itself, however, already relies on
+projection — Table 2 multiplies measured single-iteration times by iteration
+counts.  This package provides the same construction: a machine model of the
+paper's cluster (:mod:`repro.cluster.model`), kernel-rate calibration either
+measured on the host or fixed to the paper's reported sequential throughput
+(:mod:`repro.cluster.calibration`), and per-solver analytic cost models that
+combine compute, network, storage and Spark-overhead terms
+(:mod:`repro.cluster.costmodel`).
+"""
+
+from repro.cluster.model import (
+    NodeSpec,
+    NetworkSpec,
+    SharedStorageSpec,
+    SparkOverheadSpec,
+    ClusterSpec,
+    paper_cluster,
+    small_test_cluster,
+)
+from repro.cluster.calibration import KernelCalibration, measure_kernel_times
+from repro.cluster.costmodel import (
+    CostModel,
+    IterationEstimate,
+    ProjectionResult,
+    SOLVER_NAMES,
+)
+
+__all__ = [
+    "NodeSpec",
+    "NetworkSpec",
+    "SharedStorageSpec",
+    "SparkOverheadSpec",
+    "ClusterSpec",
+    "paper_cluster",
+    "small_test_cluster",
+    "KernelCalibration",
+    "measure_kernel_times",
+    "CostModel",
+    "IterationEstimate",
+    "ProjectionResult",
+    "SOLVER_NAMES",
+]

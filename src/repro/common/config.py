@@ -1,0 +1,104 @@
+"""Engine-wide configuration.
+
+The :class:`EngineConfig` dataclass collects the knobs shared by the
+mini-Spark engine and the solvers: execution backend, number of worker
+threads ("cores"), number of simulated executors ("nodes"), shuffle spill
+accounting, and the shared-filesystem directory used by the impure solvers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+
+#: Execution backends supported by the scheduler.
+BACKENDS = ("serial", "threads")
+
+
+@dataclass
+class EngineConfig:
+    """Configuration of the mini-Spark engine.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` runs tasks one by one on the driver thread (fully
+        deterministic, easiest to debug); ``"threads"`` runs tasks of a stage
+        concurrently on a thread pool (NumPy/BLAS kernels release the GIL, so
+        this gives real parallelism for the compute-heavy block kernels).
+    num_executors:
+        Number of simulated executor processes (paper: one per node, 32).
+    cores_per_executor:
+        Worker threads per executor (paper: 32).  The product
+        ``num_executors * cores_per_executor`` plays the role of ``p``.
+    local_storage_bytes:
+        Per-executor local storage capacity available for shuffle spills
+        (paper: 1 TB SSD per node).  ``None`` disables the capacity check.
+    track_spills:
+        When true, every shuffle write is charged against the executor that
+        produced it, and exceeding ``local_storage_bytes`` raises
+        :class:`~repro.common.errors.StorageExhaustedError`.
+    shared_fs_dir:
+        Directory backing the shared-filesystem broadcast channel (paper:
+        GPFS).  ``None`` means "create a temporary directory on first use".
+    default_parallelism:
+        Default number of partitions for RDDs created without an explicit
+        partition count.
+    fail_on_impure_fault:
+        When true, a task failure inside an impure solver raises
+        :class:`~repro.common.errors.LineageError` instead of being retried,
+        modelling the paper's fault-tolerance caveat.
+    """
+
+    backend: str = "serial"
+    num_executors: int = 4
+    cores_per_executor: int = 2
+    local_storage_bytes: int | None = None
+    track_spills: bool = True
+    shared_fs_dir: str | None = None
+    default_parallelism: int | None = None
+    fail_on_impure_fault: bool = True
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}")
+        if self.num_executors < 1:
+            raise ConfigurationError("num_executors must be >= 1")
+        if self.cores_per_executor < 1:
+            raise ConfigurationError("cores_per_executor must be >= 1")
+        if self.local_storage_bytes is not None and self.local_storage_bytes < 0:
+            raise ConfigurationError("local_storage_bytes must be >= 0 or None")
+
+    @property
+    def total_cores(self) -> int:
+        """Total simulated cores ``p`` available to the engine."""
+        return self.num_executors * self.cores_per_executor
+
+    @property
+    def parallelism(self) -> int:
+        """Default number of partitions used when none is requested."""
+        if self.default_parallelism is not None:
+            return self.default_parallelism
+        return max(2, self.total_cores)
+
+    def resolve_shared_fs_dir(self) -> str:
+        """Return the shared-filesystem directory, creating a temp dir if needed."""
+        if self.shared_fs_dir is None:
+            self.shared_fs_dir = tempfile.mkdtemp(prefix="apspark-sharedfs-")
+        os.makedirs(self.shared_fs_dir, exist_ok=True)
+        return self.shared_fs_dir
+
+    def replace(self, **kwargs) -> "EngineConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+
+def default_config() -> EngineConfig:
+    """Return a small, deterministic configuration suitable for tests."""
+    return EngineConfig(backend="serial", num_executors=4, cores_per_executor=2)

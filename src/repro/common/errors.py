@@ -1,0 +1,63 @@
+"""Exception hierarchy for the APSPark reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch one type at the API boundary.  Specific subclasses are raised where
+the distinction is actionable — most importantly
+:class:`StorageExhaustedError`, which models the paper's observation that the
+Blocked In-Memory solver fails when shuffle spills exceed the cluster's local
+storage capacity (Section 5.2).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An engine, cluster, or solver configuration value is invalid."""
+
+
+class ValidationError(ReproError):
+    """An input (matrix, graph, block size, ...) fails validation."""
+
+
+class SolverError(ReproError):
+    """A solver could not complete (other than by storage exhaustion)."""
+
+
+class StorageExhaustedError(SolverError):
+    """Local (per-node) storage capacity was exceeded by shuffle spills.
+
+    The paper reports this failure mode for the Blocked In-Memory solver at
+    small block sizes / large core counts (Section 5.2 and Table 3, the ``–``
+    entry for p = 1024).  The shuffle manager raises this when accumulated
+    spill volume on any simulated node exceeds
+    :attr:`repro.cluster.model.NodeSpec.local_storage_bytes`.
+    """
+
+    def __init__(self, message: str, *, node: int | None = None,
+                 required_bytes: int | None = None,
+                 capacity_bytes: int | None = None) -> None:
+        super().__init__(message)
+        self.node = node
+        self.required_bytes = required_bytes
+        self.capacity_bytes = capacity_bytes
+
+
+class FaultInjectedError(ReproError):
+    """Raised by the fault-injection hooks to simulate a task/executor failure."""
+
+    def __init__(self, message: str = "injected fault", *, task_id: int | None = None) -> None:
+        super().__init__(message)
+        self.task_id = task_id
+
+
+class LineageError(ReproError):
+    """A lost partition could not be recomputed from lineage.
+
+    This is the behaviour the paper calls *impure*: solvers that stash data in
+    a shared file system outside of RDD lineage are not guaranteed to recover
+    from task failures.
+    """

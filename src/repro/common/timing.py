@@ -1,0 +1,101 @@
+"""Lightweight timing helpers used throughout the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating timer: supports repeated start/stop cycles.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    count: int = 0
+    _started: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        if self._started is not None:
+            raise RuntimeError("timer already running")
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("timer not running")
+        delta = time.perf_counter() - self._started
+        self.elapsed += delta
+        self.count += 1
+        self._started = None
+        return delta
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def mean(self) -> float:
+        """Mean duration per start/stop cycle."""
+        return self.elapsed / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.count = 0
+        self._started = None
+
+
+class Stopwatch:
+    """Named-section stopwatch used to break a run into labelled phases."""
+
+    def __init__(self) -> None:
+        self._timers: dict[str, Timer] = {}
+
+    @contextmanager
+    def section(self, name: str):
+        timer = self._timers.setdefault(name, Timer())
+        timer.start()
+        try:
+            yield timer
+        finally:
+            timer.stop()
+
+    def elapsed(self, name: str) -> float:
+        return self._timers[name].elapsed if name in self._timers else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: t.elapsed for name, t in self._timers.items()}
+
+    def total(self) -> float:
+        return sum(t.elapsed for t in self._timers.values())
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration the way the paper's tables do (``8h9m``, ``1m55s``, ``45s``).
+
+    Durations of a day or more are formatted as ``NdHHh`` (e.g. ``9d16h``),
+    matching the "Projected" column of Table 2.
+    """
+    if seconds < 0:
+        raise ValueError("seconds must be non-negative")
+    if seconds < 60:
+        return f"{seconds:.0f}s" if seconds >= 10 else f"{seconds:.2g}s"
+    minutes, sec = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{sec}s"
+    hours, minutes = divmod(minutes, 60)
+    if hours < 24:
+        return f"{hours}h{minutes}m"
+    days, hours = divmod(hours, 24)
+    return f"{days}d{hours}h"

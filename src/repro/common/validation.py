@@ -1,0 +1,63 @@
+"""Input-validation helpers shared by solvers and generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_square_matrix(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate that ``matrix`` is a 2-D square float array and return it as float64."""
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-dimensional, got ndim={arr.ndim}")
+    if arr.shape[0] != arr.shape[1]:
+        raise ValidationError(f"{name} must be square, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    return np.asarray(arr, dtype=np.float64)
+
+
+def check_nonnegative_weights(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate that all finite entries of ``matrix`` are non-negative.
+
+    The paper restricts attention to graphs with no negative cycles; we adopt
+    the stronger, simpler restriction to non-negative weights, which all the
+    evaluation inputs (Erdős–Rényi with unit/uniform weights) satisfy.
+    """
+    arr = check_square_matrix(matrix, name)
+    finite = arr[np.isfinite(arr)]
+    if finite.size and float(finite.min()) < 0.0:
+        raise ValidationError(f"{name} contains negative weights; only non-negative "
+                              "edge weights are supported")
+    return arr
+
+
+def check_block_size(block_size: int, n: int) -> int:
+    """Validate a block-decomposition parameter ``b`` against problem size ``n``."""
+    b = check_positive_int(block_size, "block_size")
+    check_positive_int(n, "n")
+    if b > n:
+        raise ValidationError(f"block_size ({b}) must not exceed n ({n})")
+    return b
+
+
+def check_symmetric(matrix: np.ndarray, name: str = "matrix", *, atol: float = 0.0) -> np.ndarray:
+    """Validate that ``matrix`` equals its transpose (treating inf==inf as equal)."""
+    arr = check_square_matrix(matrix, name)
+    a, at = arr, arr.T
+    both_inf = np.isinf(a) & np.isinf(at) & (np.sign(a) == np.sign(at))
+    close = np.isclose(a, at, atol=atol, rtol=0.0, equal_nan=True) | both_inf
+    if not bool(close.all()):
+        raise ValidationError(f"{name} must be symmetric (undirected graph)")
+    return arr

@@ -1,0 +1,221 @@
+"""Common machinery shared by the four Spark APSP solvers."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.common.config import EngineConfig, default_config
+from repro.common.errors import ConfigurationError, SolverError
+from repro.common.timing import Stopwatch
+from repro.graph.adjacency import validate_adjacency
+from repro.linalg.blocks import matrix_to_blocks, blocks_to_matrix, num_blocks
+from repro.spark.context import SparkContext
+from repro.spark.partitioner import Partitioner, partitioner_by_name
+from repro.spark.rdd import RDD
+
+
+@dataclass
+class SolverOptions:
+    """User-facing solver knobs (Section 5.2/5.3 tuning parameters).
+
+    Parameters
+    ----------
+    block_size:
+        The decomposition parameter ``b``; ``None`` selects it automatically
+        with :func:`auto_block_size`.
+    partitioner:
+        ``"MD"`` (the paper's multi-diagonal partitioner), ``"PH"``
+        (pySpark's default portable hash) or ``"GRID"``.
+    partitions_per_core:
+        The over-decomposition factor ``B``; the paper recommends 2-4 and uses
+        2 in most experiments.
+    num_partitions:
+        Explicit partition count override (takes precedence over ``B``).
+    validate:
+        When true the result is sanity-checked (zero diagonal, symmetry,
+        triangle inequality on a sample).
+    """
+
+    block_size: int | None = None
+    partitioner: str = "MD"
+    partitions_per_core: int = 2
+    num_partitions: int | None = None
+    validate: bool = False
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class APSPResult:
+    """Result of an APSP solve: the distance matrix plus execution metadata."""
+
+    distances: np.ndarray
+    solver: str
+    n: int
+    block_size: int
+    q: int
+    iterations: int
+    num_partitions: int
+    partitioner: str
+    pure: bool
+    elapsed_seconds: float
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.distances = np.asarray(self.distances, dtype=np.float64)
+
+    @property
+    def gops(self) -> float:
+        """Throughput proxy used in the paper's weak-scaling study: ``n^3 / T`` in Gop/s."""
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return (float(self.n) ** 3) / self.elapsed_seconds / 1e9
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (f"{self.solver}: n={self.n} b={self.block_size} q={self.q} "
+                f"iters={self.iterations} partitions={self.num_partitions} "
+                f"({self.partitioner}) time={self.elapsed_seconds:.3f}s "
+                f"{'pure' if self.pure else 'impure'}")
+
+
+def auto_block_size(n: int, total_cores: int, partitions_per_core: int = 2) -> int:
+    """Pick a block size so that the upper-triangular block count ≈ 2x the partition count.
+
+    The paper tunes ``b`` by hand (Table 2/3); this heuristic reproduces its
+    guidance that there should be at least a couple of blocks per partition
+    while keeping blocks as large as possible.
+    """
+    if n <= 0:
+        raise ConfigurationError("n must be positive")
+    target_partitions = max(1, total_cores * max(1, partitions_per_core))
+    # Upper-triangular blocks: q(q+1)/2 ≈ 2 * target_partitions  =>  q ≈ sqrt(4 * target)
+    q = max(1, int(math.ceil(math.sqrt(4.0 * target_partitions))))
+    q = min(q, n)
+    return max(1, int(math.ceil(n / q)))
+
+
+class SparkAPSPSolver:
+    """Base class: block decomposition, RDD construction, result assembly.
+
+    Subclasses implement :meth:`_run`, which receives the context, the block
+    RDD, and the problem geometry, and must return the final block records
+    (or an RDD of them) together with the number of outer iterations executed.
+    """
+
+    #: Short machine-readable solver name (overridden by subclasses).
+    name = "abstract"
+    #: Whether the implementation relies only on fault-tolerant Spark API.
+    pure = True
+
+    def __init__(self, config: EngineConfig | None = None,
+                 options: SolverOptions | None = None) -> None:
+        self.config = config or default_config()
+        self.options = options or SolverOptions()
+
+    # ------------------------------------------------------------------
+    def _run(self, sc: SparkContext, rdd: RDD, n: int, block_size: int, q: int,
+             partitioner: Partitioner, stopwatch: Stopwatch):
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _resolve_geometry(self, n: int) -> tuple[int, int, int]:
+        block_size = self.options.block_size or auto_block_size(
+            n, self.config.total_cores, self.options.partitions_per_core)
+        if block_size > n:
+            block_size = n
+        q = num_blocks(n, block_size)
+        num_partitions = self.options.num_partitions or max(
+            1, self.config.total_cores * max(1, self.options.partitions_per_core))
+        return block_size, q, num_partitions
+
+    def _build_partitioner(self, q: int, num_partitions: int) -> Partitioner:
+        return partitioner_by_name(self.options.partitioner, num_partitions, q)
+
+    # ------------------------------------------------------------------
+    def solve(self, adjacency: np.ndarray, *, context: SparkContext | None = None) -> APSPResult:
+        """Solve APSP for the given (undirected) adjacency matrix."""
+        adj = validate_adjacency(adjacency, require_symmetric=True)
+        n = adj.shape[0]
+        block_size, q, num_partitions = self._resolve_geometry(n)
+        partitioner = self._build_partitioner(q, num_partitions)
+        stopwatch = Stopwatch()
+
+        owns_context = context is None
+        sc = context or SparkContext(self.config)
+        start = time.perf_counter()
+        try:
+            with stopwatch.section("setup"):
+                records = list(matrix_to_blocks(adj, block_size, upper_only=True))
+                rdd = sc.parallelize(records, partitioner=partitioner).cache()
+            result_blocks, iterations = self._run(
+                sc, rdd, n, block_size, q, partitioner, stopwatch)
+            with stopwatch.section("gather"):
+                if isinstance(result_blocks, RDD):
+                    result_blocks = result_blocks.collect()
+                distances = blocks_to_matrix(result_blocks, n, block_size, symmetric=True)
+            elapsed = time.perf_counter() - start
+            metrics = sc.metrics.as_dict()
+        finally:
+            if owns_context:
+                sc.stop()
+
+        result = APSPResult(
+            distances=distances,
+            solver=self.name,
+            n=n,
+            block_size=block_size,
+            q=q,
+            iterations=iterations,
+            num_partitions=num_partitions,
+            partitioner=self.options.partitioner.upper(),
+            pure=self.pure,
+            elapsed_seconds=elapsed,
+            phase_seconds=stopwatch.as_dict(),
+            metrics=metrics,
+        )
+        if self.options.validate:
+            self.validate_result(result)
+        return result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def validate_result(result: APSPResult, *, sample: int = 64, seed: int = 0) -> None:
+        """Cheap structural checks on a distance matrix.
+
+        Checks the diagonal is zero, the matrix is symmetric, no entry exceeds
+        the direct edge weight, and the triangle inequality holds on a random
+        sample of triples.  Raises :class:`~repro.common.errors.SolverError`
+        on violation.
+        """
+        d = result.distances
+        n = d.shape[0]
+        if not np.allclose(np.diag(d), 0.0):
+            raise SolverError("distance matrix diagonal is not zero")
+        finite_mask = np.isfinite(d) & np.isfinite(d.T)
+        if not np.allclose(d[finite_mask], d.T[finite_mask]):
+            raise SolverError("distance matrix is not symmetric")
+        if n <= 128:
+            # Small matrices: check the triangle inequality exhaustively.
+            for k in range(n):
+                candidate = d[:, k, None] + d[None, k, :]
+                bad = d > candidate + 1e-9
+                if bad.any():
+                    i, j = map(int, np.argwhere(bad)[0])
+                    raise SolverError(
+                        f"triangle inequality violated at ({i}, {j}, {k}): "
+                        f"{d[i, j]} > {d[i, k]} + {d[k, j]}")
+            return
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, n, size=(min(sample, n * n), 3))
+        for i, j, k in idx:
+            dij, dik, dkj = d[i, j], d[i, k], d[k, j]
+            if np.isfinite(dik) and np.isfinite(dkj) and dij > dik + dkj + 1e-9:
+                raise SolverError(
+                    f"triangle inequality violated at ({i}, {j}, {k}): "
+                    f"{dij} > {dik} + {dkj}")

@@ -1,0 +1,325 @@
+"""The functional building blocks of Table 1.
+
+Each function here corresponds to an entry of Table 1 in the paper.  They are
+written as *factories* returning closures suitable for passing to RDD
+transformations, so a solver body reads almost exactly like the paper's
+pseudo-code (e.g. ``A.filter(in_column(j))`` or
+``A.map(floyd_warshall_block)``).
+
+Two presentational differences from Table 1, both noted per function:
+
+* With symmetric (upper-triangular) block storage, "column-block x" means
+  every stored block with *either* index equal to ``x``; the symmetric
+  predicates are provided alongside the literal ones.
+* Block copies produced by ``CopyDiag``/``CopyCol`` carry an orientation tag
+  (``'D'``, ``'L'``, ``'R'``, ``'A'``) so that ``ListUnpack`` can pick the
+  correct operand order for the non-commutative min-plus product.  The paper
+  leaves this bookkeeping implicit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.linalg.blocks import BlockId
+from repro.linalg.kernels import fw_rank1_update, floyd_warshall_inplace
+from repro.linalg.semiring import elementwise_min, minplus_product
+
+#: Record type used by all solvers: ``((I, J), block)``.
+BlockRecord = tuple[BlockId, np.ndarray]
+
+# Orientation tags used by the blocked solvers' pairing step.
+TAG_BASE = "A"      # the block being updated
+TAG_DIAG = "D"      # processed diagonal (pivot) block
+TAG_LEFT = "L"      # left operand  A_It  of the phase-3 product
+TAG_RIGHT = "R"     # right operand A_tJ  of the phase-3 product
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+def in_column(x: int) -> Callable[[BlockRecord], bool]:
+    """``InColumn``: true when the record's block-column index ``J`` equals ``x``."""
+    def predicate(record: BlockRecord) -> bool:
+        (_, j), _ = record
+        return j == x
+    return predicate
+
+
+def in_block_row_or_column(x: int) -> Callable[[BlockRecord], bool]:
+    """Symmetric-storage variant of ``InColumn``.
+
+    With only upper-triangular blocks stored, block-column ``x`` of the full
+    matrix is covered by stored blocks whose row *or* column index equals
+    ``x`` (the latter provide the transposed part).
+    """
+    def predicate(record: BlockRecord) -> bool:
+        (i, j), _ = record
+        return i == x or j == x
+    return predicate
+
+
+def not_in_block_row_or_column(x: int) -> Callable[[BlockRecord], bool]:
+    """Negation of :func:`in_block_row_or_column` (the Phase-3 block set)."""
+    inner = in_block_row_or_column(x)
+    return lambda record: not inner(record)
+
+
+def on_diagonal(x: int) -> Callable[[BlockRecord], bool]:
+    """``OnDiagonal``: true for the block ``(x, x)``."""
+    def predicate(record: BlockRecord) -> bool:
+        (i, j), _ = record
+        return i == x and j == x
+    return predicate
+
+
+def off_diagonal_in_row_or_column(x: int) -> Callable[[BlockRecord], bool]:
+    """Stored blocks of block-row/column ``x`` excluding the diagonal block itself."""
+    def predicate(record: BlockRecord) -> bool:
+        (i, j), _ = record
+        return (i == x) ^ (j == x)
+    return predicate
+
+
+# ---------------------------------------------------------------------------
+# Column extraction (2D Floyd-Warshall)
+# ---------------------------------------------------------------------------
+def extract_col(pivot_block: int, k_local: int) -> Callable[[BlockRecord], list]:
+    """``ExtractCol``: emit ``(I, column-slice)`` pieces of global column ``k``.
+
+    ``k = pivot_block * b + k_local``.  For a stored block ``(I, K)`` the piece
+    is column ``k_local`` of the block; for a stored block ``(K, J)`` (which
+    represents ``A_JK`` by transposition) the piece is row ``k_local``.
+    """
+    def run(record: BlockRecord) -> list:
+        (i, j), block = record
+        pieces = []
+        if j == pivot_block:
+            pieces.append((i, np.array(block[:, k_local], dtype=np.float64, copy=True)))
+        if i == pivot_block and j != pivot_block:
+            pieces.append((j, np.array(block[k_local, :], dtype=np.float64, copy=True)))
+        return pieces
+    return run
+
+
+def assemble_column(pieces: list[tuple[int, np.ndarray]], n: int, block_size: int) -> np.ndarray:
+    """Assemble ``(block-row index, slice)`` pieces into the full length-``n`` column."""
+    column = np.full(n, np.inf, dtype=np.float64)
+    for block_row, piece in pieces:
+        start = block_row * block_size
+        column[start:start + piece.shape[0]] = piece
+    return column
+
+
+def fw_update_with_column(column: np.ndarray, block_size: int) -> Callable[[BlockRecord], BlockRecord]:
+    """``FloydWarshallUpdate``: rank-1 update of a block with the broadcast pivot column.
+
+    Exploits symmetry: the pivot row equals the pivot column, so both operand
+    slices come from the same vector.
+    """
+    def run(record: BlockRecord) -> BlockRecord:
+        (i, j), block = record
+        rows = column[i * block_size: i * block_size + block.shape[0]]
+        cols = column[j * block_size: j * block_size + block.shape[1]]
+        return (i, j), fw_rank1_update(block, rows, cols)
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Block kernels
+# ---------------------------------------------------------------------------
+def floyd_warshall_block(record: BlockRecord) -> BlockRecord:
+    """``FloydWarshall``: solve APSP within a diagonal block."""
+    key, block = record
+    return key, floyd_warshall_inplace(np.array(block, dtype=np.float64, copy=True))
+
+
+def mat_min(record: BlockRecord, other: np.ndarray) -> BlockRecord:
+    """``MatMin``: element-wise minimum of the record's block with ``other``."""
+    key, block = record
+    return key, elementwise_min(block, other)
+
+
+def mat_prod(record: BlockRecord, other: np.ndarray) -> BlockRecord:
+    """``MatProd``: min-plus product of the record's block with ``other``."""
+    key, block = record
+    return key, minplus_product(block, other)
+
+
+def min_plus(record: BlockRecord, other: np.ndarray, *, other_on_left: bool = False) -> BlockRecord:
+    """``MinPlus``: ``MatProd`` followed by ``MatMin`` against the original block.
+
+    ``other_on_left`` selects ``other ⊗ A_IJ`` instead of ``A_IJ ⊗ other``;
+    the orientation matters because min-plus products do not commute.
+    """
+    key, block = record
+    if other_on_left:
+        prod = minplus_product(other, block)
+    else:
+        prod = minplus_product(block, other)
+    return key, elementwise_min(block, prod)
+
+
+# ---------------------------------------------------------------------------
+# Copy / pairing helpers for the blocked solvers
+# ---------------------------------------------------------------------------
+def tag_base(record: BlockRecord) -> tuple[BlockId, tuple[str, np.ndarray]]:
+    """Wrap a stored block as the ``'A'`` (base) member of a pairing list."""
+    key, block = record
+    return key, (TAG_BASE, block)
+
+
+def copy_diag(q: int, pivot: int) -> Callable[[BlockRecord], list]:
+    """``CopyDiag``: create ``q - 1`` copies of the processed diagonal block.
+
+    Each copy is keyed by a stored block of block-row/column ``pivot``
+    (``(X, pivot)`` for ``X < pivot``, ``(pivot, X)`` for ``X > pivot``) so the
+    subsequent ``combineByKey`` pairs it with the block it must update.
+    """
+    def run(record: BlockRecord) -> list:
+        (_, _), block = record
+        out = []
+        for x in range(q):
+            if x == pivot:
+                continue
+            key = (x, pivot) if x < pivot else (pivot, x)
+            out.append((key, (TAG_DIAG, block)))
+        return out
+    return run
+
+
+def copy_col(q: int, pivot: int) -> Callable[[BlockRecord], list]:
+    """``CopyCol``: replicate updated row/column blocks to the Phase-3 targets.
+
+    A stored block ``(I, pivot)`` (``I < pivot``) holds ``A_{I,pivot}``; it is
+    the **left** operand for every target in block-row ``I`` and, transposed,
+    the **right** operand for every target in block-column ``I``.  A stored
+    block ``(pivot, J)`` (``J > pivot``) holds ``A_{pivot,J}``; it is the
+    **right** operand for block-column ``J`` and, transposed, the **left**
+    operand for block-row ``J``.  Targets are restricted to stored
+    (upper-triangular) keys outside block-row/column ``pivot``.
+    """
+    def run(record: BlockRecord) -> list:
+        (i, j), block = record
+        out = []
+        if j == pivot and i != pivot:
+            owner = i            # block A_{owner, pivot}
+            left, right = block, block.T
+        elif i == pivot and j != pivot:
+            owner = j            # block A_{pivot, owner} -> transpose is A_{owner, pivot}
+            left, right = block.T, block
+        else:  # diagonal pivot block never reaches CopyCol
+            return out
+        for x in range(q):
+            if x == pivot:
+                continue
+            key = (min(owner, x), max(owner, x))
+            if x >= owner:
+                # target (owner, x): left operand A_{owner, pivot}
+                out.append((key, (TAG_LEFT, left)))
+            if x <= owner:
+                # target (x, owner): right operand A_{pivot, owner}
+                out.append((key, (TAG_RIGHT, right)))
+        return out
+    return run
+
+
+def list_append(acc: list, item) -> list:
+    """``ListAppend``: combiner that accumulates paired entries into a list."""
+    acc.append(item)
+    return acc
+
+
+def create_list(item) -> list:
+    """``ListAppend`` companion: create the initial single-element list."""
+    return [item]
+
+
+def merge_lists(a: list, b: list) -> list:
+    """``ListAppend`` companion: merge two partial lists (combiner merge)."""
+    return a + b
+
+
+def unpack_phase2(pivot: int) -> Callable[[tuple[BlockId, list]], BlockRecord]:
+    """``ListUnpack`` for Phase 2: pair a row/column block with the pivot diagonal.
+
+    For a block in block-column ``pivot`` (key ``(I, pivot)``) the update is
+    ``min(A, A ⊗ D)``; for a block in block-row ``pivot`` (key ``(pivot, J)``)
+    it is ``min(A, D ⊗ A)``.
+    """
+    def run(item: tuple[BlockId, list]) -> BlockRecord:
+        key, entries = item
+        base = _find(entries, TAG_BASE)
+        diag = _find(entries, TAG_DIAG)
+        if base is None:
+            raise ValueError(f"phase-2 pairing for block {key} is missing the base block")
+        if diag is None:
+            # A diagonal copy can be missing only if the block set is
+            # inconsistent; keep the block unchanged to stay safe.
+            return key, base
+        i, j = key
+        if j == pivot:
+            updated = elementwise_min(base, minplus_product(base, diag))
+        else:
+            updated = elementwise_min(base, minplus_product(diag, base))
+        return key, updated
+    return run
+
+
+def unpack_phase3(pivot: int) -> Callable[[tuple[BlockId, list]], BlockRecord]:
+    """``ListUnpack`` + ``MatMin`` for Phase 3: ``min(A_IJ, A_It ⊗ A_tJ)``."""
+    def run(item: tuple[BlockId, list]) -> BlockRecord:
+        key, entries = item
+        base = _find(entries, TAG_BASE)
+        left = _find(entries, TAG_LEFT)
+        right = _find(entries, TAG_RIGHT)
+        if base is None:
+            raise ValueError(f"phase-3 pairing for block {key} is missing the base block")
+        if left is None or right is None:
+            return key, base
+        return key, elementwise_min(base, minplus_product(left, right))
+    return run
+
+
+def _find(entries: list, tag: str):
+    for entry_tag, value in entries:
+        if entry_tag == tag:
+            return value
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Repeated-squaring emission
+# ---------------------------------------------------------------------------
+def matprod_column_contributions(target_column: int,
+                                 column_blocks: dict[int, np.ndarray] | Callable[[int], np.ndarray],
+                                 ) -> Callable[[BlockRecord], list]:
+    """Emit the min-plus contributions of a stored block to output column ``J``.
+
+    A stored block ``(R, C)`` plays two roles, ``A_RC`` and ``A_CR`` (by
+    transposition).  For output key ``(row, J)`` (upper triangle only) the
+    contribution of role ``A_{row, inner}`` is ``A_{row, inner} ⊗ A_{inner, J}``
+    where ``A_{inner, J}`` is block ``inner`` of the staged column ``J``.
+    ``column_blocks`` is either the dict of staged blocks or a callable
+    fetching them lazily (e.g. from the shared file system).
+    """
+    def fetch(inner: int) -> np.ndarray:
+        if callable(column_blocks):
+            return column_blocks(inner)
+        return column_blocks[inner]
+
+    def run(record: BlockRecord) -> list:
+        (r, c), block = record
+        roles = [(r, c, block)]
+        if r != c:
+            roles.append((c, r, block.T))
+        out = []
+        for row, inner, oriented in roles:
+            if row > target_column:
+                continue  # covered by the symmetric output block
+            other = fetch(inner)
+            out.append(((row, target_column), minplus_product(oriented, other)))
+        return out
+    return run

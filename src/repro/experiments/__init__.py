@@ -1,0 +1,24 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Every experiment can run in two modes:
+
+* **measured** — execute the real solvers on the mini-Spark engine at a scale
+  that fits this machine (minutes, not cluster-days), reporting observed
+  times and engine metrics;
+* **projected** — evaluate the analytic cost model at the paper's scale
+  (n up to 262,144 on 1,024 cores) and regenerate the paper's rows/series.
+
+EXPERIMENTS.md records the paper-reported numbers next to both modes.
+"""
+
+from repro.experiments import figure2, figure3, table2, table3_figure5
+from repro.experiments.report import format_table, rows_to_csv
+
+__all__ = [
+    "figure2",
+    "figure3",
+    "table2",
+    "table3_figure5",
+    "format_table",
+    "rows_to_csv",
+]

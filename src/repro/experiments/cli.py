@@ -1,0 +1,125 @@
+"""Command-line interface: ``apspark <experiment> [options]``.
+
+Examples
+--------
+Run the paper-scale projections for Table 2 and the weak-scaling study::
+
+    apspark table2 --mode projected
+    apspark table3 --mode projected
+
+Run a small measured sweep on this machine::
+
+    apspark figure3 --mode measured
+    apspark solve --n 256 --solver blocked-cb --block-size 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.common.config import EngineConfig
+from repro.common.timing import format_seconds
+from repro.core.api import available_solvers, solve_apsp
+from repro.experiments import figure2, figure3, table2, table3_figure5
+from repro.experiments.report import format_table, rows_to_csv
+from repro.graph.generators import erdos_renyi_adjacency
+from repro.sequential.floyd_warshall import floyd_warshall_reference
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--mode", choices=("projected", "measured"), default="projected",
+                        help="projected: cost model at paper scale; measured: run the engine here")
+    parser.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="apspark",
+                                     description="APSP-on-Spark reproduction harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig2 = sub.add_parser("figure2", help="sequential kernel time vs block size")
+    _add_common(p_fig2)
+
+    p_fig3 = sub.add_parser("figure3", help="block size x partitioner for the blocked solvers")
+    _add_common(p_fig3)
+    p_fig3.add_argument("--distribution", action="store_true",
+                        help="show the partition-size distribution panel instead of timings")
+
+    p_tab2 = sub.add_parser("table2", help="effect of block size on execution time")
+    _add_common(p_tab2)
+
+    p_tab3 = sub.add_parser("table3", help="weak scaling of blocked methods vs MPI baselines")
+    _add_common(p_tab3)
+
+    p_solve = sub.add_parser("solve", help="solve a synthetic instance and verify it")
+    p_solve.add_argument("--n", type=int, default=128)
+    p_solve.add_argument("--solver", choices=available_solvers(), default="blocked-cb")
+    p_solve.add_argument("--block-size", type=int, default=None)
+    p_solve.add_argument("--partitioner", default="MD")
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument("--executors", type=int, default=4)
+    p_solve.add_argument("--cores", type=int, default=2)
+    p_solve.add_argument("--backend", choices=("serial", "threads"), default="serial")
+    return parser
+
+
+def _emit(rows, args, columns=None) -> None:
+    if args.csv:
+        sys.stdout.write(rows_to_csv(rows, columns))
+    else:
+        sys.stdout.write(format_table(rows, columns))
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "figure2":
+        rows = figure2.run_projected() if args.mode == "projected" else figure2.run_measured()
+        _emit(rows, args)
+        return 0
+
+    if args.command == "figure3":
+        if args.distribution:
+            rows = figure3.run_partition_distribution()
+        elif args.mode == "projected":
+            rows = figure3.run_projected()
+        else:
+            rows = figure3.run_measured()
+        _emit(rows, args)
+        return 0
+
+    if args.command == "table2":
+        rows = table2.run_projected() if args.mode == "projected" else table2.run_measured()
+        _emit(rows, args)
+        return 0
+
+    if args.command == "table3":
+        rows = (table3_figure5.run_projected() if args.mode == "projected"
+                else table3_figure5.run_measured())
+        _emit(rows, args)
+        return 0
+
+    if args.command == "solve":
+        adjacency = erdos_renyi_adjacency(args.n, seed=args.seed)
+        config = EngineConfig(backend=args.backend, num_executors=args.executors,
+                              cores_per_executor=args.cores)
+        result = solve_apsp(adjacency, solver=args.solver, block_size=args.block_size,
+                            partitioner=args.partitioner, config=config)
+        reference = floyd_warshall_reference(adjacency)
+        correct = bool(np.allclose(result.distances, reference))
+        print(result.summary())
+        print(f"verified against sequential Floyd-Warshall: {'OK' if correct else 'MISMATCH'}")
+        print(f"elapsed: {format_seconds(result.elapsed_seconds)}; "
+              f"shuffled {result.metrics['shuffle_bytes'] / 1e6:.1f} MB; "
+              f"collected {result.metrics['collect_bytes'] / 1e6:.1f} MB; "
+              f"shared-fs {result.metrics['sharedfs_bytes_written'] / 1e6:.1f} MB written")
+        return 0 if correct else 1
+
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

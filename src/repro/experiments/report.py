@@ -1,0 +1,48 @@
+"""Plain-text reporting helpers shared by the experiment modules."""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None,
+                 *, title: str | None = None, floatfmt: str = ".3g") -> str:
+    """Render a list of dict rows as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    table = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in table)) for i, col in enumerate(columns)]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    out.write(header + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for r in table:
+        out.write("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) + "\n")
+    return out.getvalue()
+
+
+def rows_to_csv(rows: Sequence[Mapping], columns: Sequence[str] | None = None) -> str:
+    """Render rows as CSV text (used by the CLI's ``--csv`` option)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(str(row.get(col, "")) for col in columns))
+    return "\n".join(lines) + "\n"

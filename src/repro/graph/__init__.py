@@ -1,0 +1,50 @@
+"""Graph substrate: synthetic generators, adjacency matrices, and I/O.
+
+The paper's evaluation uses Erdős–Rényi graphs with edge probability
+``p_e = (1 + eps) * ln(n) / n`` (Section 5.1).  Beyond that, this package
+provides the workloads the paper's introduction motivates — neighborhood
+graphs over high-dimensional point clouds (Isomap / manifold learning) and
+weighted network graphs — so the example applications exercise realistic
+inputs.
+"""
+
+from repro.graph.generators import (
+    erdos_renyi_adjacency,
+    paper_edge_probability,
+    erdos_renyi_graph,
+    random_geometric_adjacency,
+    grid_adjacency,
+    path_adjacency,
+    complete_adjacency,
+    star_adjacency,
+)
+from repro.graph.adjacency import (
+    adjacency_from_edges,
+    adjacency_from_networkx,
+    to_networkx,
+    knn_adjacency,
+    validate_adjacency,
+    num_reachable_pairs,
+)
+from repro.graph.io import save_edge_list, load_edge_list, save_matrix, load_matrix
+
+__all__ = [
+    "erdos_renyi_adjacency",
+    "paper_edge_probability",
+    "erdos_renyi_graph",
+    "random_geometric_adjacency",
+    "grid_adjacency",
+    "path_adjacency",
+    "complete_adjacency",
+    "star_adjacency",
+    "adjacency_from_edges",
+    "adjacency_from_networkx",
+    "to_networkx",
+    "knn_adjacency",
+    "validate_adjacency",
+    "num_reachable_pairs",
+    "save_edge_list",
+    "load_edge_list",
+    "save_matrix",
+    "load_matrix",
+]

@@ -1,0 +1,130 @@
+"""Adjacency-matrix construction and conversion utilities."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.validation import check_positive_int, check_square_matrix
+
+try:
+    import networkx as nx
+    _HAVE_NX = True
+except Exception:  # pragma: no cover
+    _HAVE_NX = False
+
+
+def adjacency_from_edges(n: int, edges: Iterable[tuple[int, int] | tuple[int, int, float]],
+                         *, directed: bool = False, default_weight: float = 1.0) -> np.ndarray:
+    """Build a dense adjacency matrix from an edge list.
+
+    Each edge is ``(u, v)`` or ``(u, v, weight)``.  Parallel edges keep the
+    minimum weight, matching shortest-path semantics.
+    """
+    check_positive_int(n, "n")
+    adj = np.full((n, n), np.inf, dtype=np.float64)
+    np.fill_diagonal(adj, 0.0)
+    for edge in edges:
+        if len(edge) == 2:
+            u, v = edge  # type: ignore[misc]
+            w = default_weight
+        elif len(edge) == 3:
+            u, v, w = edge  # type: ignore[misc]
+        else:
+            raise ValidationError(f"edge must have 2 or 3 elements, got {edge!r}")
+        if not (0 <= u < n and 0 <= v < n):
+            raise ValidationError(f"edge ({u}, {v}) out of range for n={n}")
+        if w < 0:
+            raise ValidationError("negative edge weights are not supported")
+        adj[u, v] = min(adj[u, v], float(w))
+        if not directed:
+            adj[v, u] = min(adj[v, u], float(w))
+    return adj
+
+
+def adjacency_from_networkx(graph, *, weight: str = "weight",
+                            default_weight: float = 1.0) -> np.ndarray:
+    """Convert a networkx graph to the dense inf-padded adjacency representation.
+
+    Vertices are relabelled to 0..n-1 in sorted order of the original labels.
+    """
+    if not _HAVE_NX:  # pragma: no cover
+        raise ImportError("networkx is required")
+    nodes = sorted(graph.nodes())
+    index = {v: i for i, v in enumerate(nodes)}
+    n = len(nodes)
+    edges = []
+    for u, v, data in graph.edges(data=True):
+        w = float(data.get(weight, default_weight))
+        edges.append((index[u], index[v], w))
+    return adjacency_from_edges(max(n, 1), edges, directed=graph.is_directed())
+
+
+def to_networkx(adjacency: np.ndarray, *, directed: bool = False):
+    """Convert a dense adjacency matrix back to a networkx graph."""
+    if not _HAVE_NX:  # pragma: no cover
+        raise ImportError("networkx is required")
+    arr = check_square_matrix(adjacency)
+    n = arr.shape[0]
+    graph = nx.DiGraph() if directed else nx.Graph()
+    graph.add_nodes_from(range(n))
+    rows, cols = np.nonzero(np.isfinite(arr) & (arr > 0))
+    for u, v in zip(rows.tolist(), cols.tolist()):
+        if not directed and u > v:
+            continue
+        graph.add_edge(u, v, weight=float(arr[u, v]))
+    return graph
+
+
+def knn_adjacency(points: np.ndarray, k: int, *, symmetrize: bool = True) -> np.ndarray:
+    """k-nearest-neighbour graph over a point cloud, weighted by Euclidean distance.
+
+    This is the Isomap-style neighborhood graph from the paper's motivation
+    (Section 1): APSP over this graph approximates geodesic distances on the
+    underlying manifold.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValidationError("points must be a 2-D array (n_points, n_dims)")
+    n = pts.shape[0]
+    check_positive_int(k, "k")
+    if k >= n:
+        raise ValidationError(f"k ({k}) must be smaller than the number of points ({n})")
+    diff = pts[:, None, :] - pts[None, :, :]
+    dists = np.sqrt((diff ** 2).sum(axis=2))
+    np.fill_diagonal(dists, np.inf)
+    adj = np.full((n, n), np.inf, dtype=np.float64)
+    neighbor_idx = np.argsort(dists, axis=1)[:, :k]
+    rows = np.repeat(np.arange(n), k)
+    cols = neighbor_idx.reshape(-1)
+    adj[rows, cols] = dists[rows, cols]
+    if symmetrize:
+        adj = np.minimum(adj, adj.T)
+    np.fill_diagonal(adj, 0.0)
+    return adj
+
+
+def validate_adjacency(adjacency: np.ndarray, *, require_symmetric: bool = False) -> np.ndarray:
+    """Validate and normalize an adjacency matrix (float64, zero diagonal)."""
+    arr = check_square_matrix(adjacency, "adjacency")
+    finite = arr[np.isfinite(arr)]
+    if finite.size and float(finite.min()) < 0:
+        raise ValidationError("adjacency contains negative weights")
+    if require_symmetric:
+        a, at = arr, arr.T
+        both_inf = np.isinf(a) & np.isinf(at)
+        if not bool((np.isclose(a, at) | both_inf).all()):
+            raise ValidationError("adjacency must be symmetric for undirected solvers")
+    out = arr.copy()
+    np.fill_diagonal(out, 0.0)
+    return out
+
+
+def num_reachable_pairs(distances: np.ndarray) -> int:
+    """Count ordered pairs (i, j), i != j, with a finite shortest-path distance."""
+    arr = check_square_matrix(distances, "distances")
+    finite = np.isfinite(arr)
+    np.fill_diagonal(finite, False)
+    return int(finite.sum())

@@ -1,0 +1,74 @@
+"""Simple persistence for graphs and distance matrices.
+
+The paper's artifact ships benchmark data as edge lists; these helpers provide
+an equivalent plain-text format plus ``.npy`` round-tripping for matrices.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.validation import check_square_matrix
+from repro.graph.adjacency import adjacency_from_edges
+
+
+def save_edge_list(adjacency: np.ndarray, path: str | os.PathLike, *,
+                   directed: bool = False) -> int:
+    """Write the finite, non-diagonal entries of ``adjacency`` as ``u v w`` lines.
+
+    Returns the number of edges written.  For undirected graphs only the upper
+    triangle is written.
+    """
+    arr = check_square_matrix(adjacency)
+    n = arr.shape[0]
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# n={n} directed={int(directed)}\n")
+        rows, cols = np.nonzero(np.isfinite(arr))
+        for u, v in zip(rows.tolist(), cols.tolist()):
+            if u == v:
+                continue
+            if not directed and u > v:
+                continue
+            fh.write(f"{u} {v} {float(arr[u, v])!r}\n")
+            count += 1
+    return count
+
+
+def load_edge_list(path: str | os.PathLike) -> np.ndarray:
+    """Load an edge list written by :func:`save_edge_list` back into a matrix."""
+    n = None
+    directed = False
+    edges: list[tuple[int, int, float]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for token in line[1:].split():
+                    if token.startswith("n="):
+                        n = int(token[2:])
+                    elif token.startswith("directed="):
+                        directed = bool(int(token[len("directed="):]))
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise ValidationError(f"malformed edge line: {line!r}")
+            edges.append((int(parts[0]), int(parts[1]), float(parts[2])))
+    if n is None:
+        n = 1 + max((max(u, v) for u, v, _ in edges), default=0)
+    return adjacency_from_edges(n, edges, directed=directed)
+
+
+def save_matrix(matrix: np.ndarray, path: str | os.PathLike) -> None:
+    """Save a dense matrix to ``.npy``."""
+    np.save(path, np.asarray(matrix, dtype=np.float64))
+
+
+def load_matrix(path: str | os.PathLike) -> np.ndarray:
+    """Load a dense matrix saved by :func:`save_matrix`."""
+    return np.asarray(np.load(path), dtype=np.float64)

@@ -1,0 +1,50 @@
+"""Dense linear algebra over the (min, +) semiring and blocked matrices.
+
+These are the "bare metal" kernels of the paper (Section 4.1): min-plus
+matrix product, element-wise minimum, the Floyd-Warshall block kernel and
+the rank-1 Floyd-Warshall update.  In the paper they are dispatched to
+NumPy/SciPy/Numba; here they are vectorized NumPy (BLAS-free but cache-aware,
+processed in column chunks).
+"""
+
+from repro.linalg.semiring import (
+    minplus_product,
+    minplus_power,
+    elementwise_min,
+    minplus_closure_iterations,
+)
+from repro.linalg.kernels import (
+    floyd_warshall_inplace,
+    floyd_warshall,
+    floyd_warshall_scipy,
+    fw_rank1_update,
+    blocked_floyd_warshall_inplace,
+)
+from repro.linalg.blocks import (
+    BlockId,
+    num_blocks,
+    block_range,
+    block_of_index,
+    matrix_to_blocks,
+    blocks_to_matrix,
+    BlockedMatrix,
+)
+
+__all__ = [
+    "minplus_product",
+    "minplus_power",
+    "elementwise_min",
+    "minplus_closure_iterations",
+    "floyd_warshall_inplace",
+    "floyd_warshall",
+    "floyd_warshall_scipy",
+    "fw_rank1_update",
+    "blocked_floyd_warshall_inplace",
+    "BlockId",
+    "num_blocks",
+    "block_range",
+    "block_of_index",
+    "matrix_to_blocks",
+    "blocks_to_matrix",
+    "BlockedMatrix",
+]

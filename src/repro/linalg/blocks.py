@@ -1,0 +1,186 @@
+"""2D block decomposition of adjacency/distance matrices.
+
+The paper decomposes the adjacency matrix ``A`` into ``q x q`` dense blocks
+with ``q = ceil(n / b)`` and stores them as ``((I, J), A_IJ)`` key-value
+tuples in an RDD, keeping only the upper-triangular blocks and generating the
+lower-triangular ones by transposition on demand (Section 4).  This module
+implements that decomposition independent of the execution engine, so the
+same code serves the sequential solvers, the Spark solvers, and the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.validation import check_block_size, check_square_matrix
+
+#: A block key: (block-row index I, block-column index J).
+BlockId = tuple[int, int]
+
+
+def num_blocks(n: int, block_size: int) -> int:
+    """Return ``q = ceil(n / b)``, the number of block rows/columns."""
+    b = check_block_size(block_size, n)
+    return (n + b - 1) // b
+
+
+def block_range(index: int, block_size: int, n: int) -> slice:
+    """Return the slice of global indices covered by block row/column ``index``."""
+    if index < 0:
+        raise ValidationError("block index must be non-negative")
+    start = index * block_size
+    if start >= n:
+        raise ValidationError(f"block index {index} out of range for n={n}, b={block_size}")
+    return slice(start, min(start + block_size, n))
+
+
+def block_of_index(i: int, block_size: int) -> int:
+    """Return the block index containing global row/column ``i``."""
+    if i < 0:
+        raise ValidationError("index must be non-negative")
+    return i // block_size
+
+
+def block_shape(block_id: BlockId, block_size: int, n: int) -> tuple[int, int]:
+    """Return the shape of block ``(I, J)`` (edge blocks may be smaller than b)."""
+    ri = block_range(block_id[0], block_size, n)
+    rj = block_range(block_id[1], block_size, n)
+    return (ri.stop - ri.start, rj.stop - rj.start)
+
+
+def upper_triangular_block_ids(q: int) -> Iterator[BlockId]:
+    """Yield all block keys (I, J) with I <= J in row-major order."""
+    for i in range(q):
+        for j in range(i, q):
+            yield (i, j)
+
+
+def all_block_ids(q: int) -> Iterator[BlockId]:
+    """Yield all q*q block keys in row-major order."""
+    for i in range(q):
+        for j in range(q):
+            yield (i, j)
+
+
+def matrix_to_blocks(matrix: np.ndarray, block_size: int, *,
+                     upper_only: bool = True) -> Iterator[tuple[BlockId, np.ndarray]]:
+    """Decompose a square matrix into ``((I, J), block)`` tuples.
+
+    With ``upper_only=True`` (the paper's symmetric storage) only blocks with
+    ``I <= J`` are produced; the caller is expected to reconstruct ``A_JI`` as
+    ``A_IJ.T`` when needed.
+    """
+    arr = check_square_matrix(matrix)
+    n = arr.shape[0]
+    b = check_block_size(block_size, n)
+    q = num_blocks(n, b)
+    ids = upper_triangular_block_ids(q) if upper_only else all_block_ids(q)
+    for (i, j) in ids:
+        yield (i, j), np.array(arr[block_range(i, b, n), block_range(j, b, n)],
+                               dtype=np.float64, copy=True)
+
+
+def blocks_to_matrix(blocks: Iterable[tuple[BlockId, np.ndarray]], n: int,
+                     block_size: int, *, symmetric: bool = True) -> np.ndarray:
+    """Assemble ``((I, J), block)`` tuples back into a dense ``n x n`` matrix.
+
+    With ``symmetric=True`` missing lower-triangular blocks are filled from the
+    transpose of their upper-triangular counterpart.
+    """
+    b = check_block_size(block_size, n)
+    out = np.full((n, n), np.inf, dtype=np.float64)
+    seen: set[BlockId] = set()
+    for (i, j), block in blocks:
+        ri, rj = block_range(i, b, n), block_range(j, b, n)
+        expected = (ri.stop - ri.start, rj.stop - rj.start)
+        block = np.asarray(block, dtype=np.float64)
+        if block.shape != expected:
+            raise ValidationError(
+                f"block {(i, j)} has shape {block.shape}, expected {expected}")
+        out[ri, rj] = block
+        seen.add((i, j))
+    if symmetric:
+        q = num_blocks(n, b)
+        for i in range(q):
+            for j in range(q):
+                if (i, j) not in seen and (j, i) in seen:
+                    ri, rj = block_range(i, b, n), block_range(j, b, n)
+                    out[ri, rj] = out[rj, ri].T
+    return out
+
+
+@dataclass
+class BlockedMatrix:
+    """A dictionary-backed blocked matrix with optional symmetric storage.
+
+    This is the in-memory (non-RDD) counterpart of the paper's blocked
+    representation; the Spark solvers use plain ``((I, J), block)`` records in
+    RDDs but share the decomposition helpers above.
+    """
+
+    n: int
+    block_size: int
+    blocks: dict[BlockId, np.ndarray]
+    symmetric: bool = True
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray, block_size: int, *,
+                    symmetric: bool = True) -> "BlockedMatrix":
+        arr = check_square_matrix(matrix)
+        return cls(
+            n=arr.shape[0],
+            block_size=check_block_size(block_size, arr.shape[0]),
+            blocks=dict(matrix_to_blocks(arr, block_size, upper_only=symmetric)),
+            symmetric=symmetric,
+        )
+
+    @property
+    def q(self) -> int:
+        """Number of block rows/columns."""
+        return num_blocks(self.n, self.block_size)
+
+    def get_block(self, i: int, j: int) -> np.ndarray:
+        """Return block ``(i, j)``, transposing the stored ``(j, i)`` block if needed."""
+        if (i, j) in self.blocks:
+            return self.blocks[(i, j)]
+        if self.symmetric and (j, i) in self.blocks:
+            return self.blocks[(j, i)].T
+        raise KeyError((i, j))
+
+    def set_block(self, i: int, j: int, value: np.ndarray) -> None:
+        """Store block ``(i, j)`` (normalized to the upper triangle when symmetric)."""
+        value = np.asarray(value, dtype=np.float64)
+        expected = block_shape((i, j), self.block_size, self.n)
+        if value.shape != expected:
+            raise ValidationError(
+                f"block {(i, j)} has shape {value.shape}, expected {expected}")
+        if self.symmetric and i > j:
+            self.blocks[(j, i)] = value.T.copy()
+        else:
+            self.blocks[(i, j)] = value.copy()
+
+    def to_matrix(self) -> np.ndarray:
+        """Assemble the dense matrix."""
+        return blocks_to_matrix(self.blocks.items(), self.n, self.block_size,
+                                symmetric=self.symmetric)
+
+    def block_ids(self) -> list[BlockId]:
+        """Return the stored block keys, sorted row-major."""
+        return sorted(self.blocks.keys())
+
+    def nbytes(self) -> int:
+        """Total bytes held by the stored blocks."""
+        return int(sum(b.nbytes for b in self.blocks.values()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BlockedMatrix):
+            return NotImplemented
+        if (self.n, self.block_size, self.symmetric) != (other.n, other.block_size, other.symmetric):
+            return False
+        if set(self.blocks) != set(other.blocks):
+            return False
+        return all(np.array_equal(self.blocks[k], other.blocks[k]) for k in self.blocks)

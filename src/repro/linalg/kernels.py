@@ -1,0 +1,140 @@
+"""Floyd-Warshall kernels: full, rank-1 update, and cache-blocked variants.
+
+These functions correspond to the ``FloydWarshall`` and ``FloydWarshallUpdate``
+building blocks in Table 1 of the paper.  They operate on dense distance
+matrices where ``inf`` encodes "no path" and the diagonal is expected to be 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.validation import check_square_matrix, check_block_size
+from repro.linalg.semiring import minplus_product, elementwise_min
+
+try:  # SciPy is a hard dependency of the package, but keep the import local.
+    from scipy.sparse.csgraph import floyd_warshall as _scipy_floyd_warshall
+    _HAVE_SCIPY = True
+except Exception:  # pragma: no cover - exercised only without SciPy
+    _HAVE_SCIPY = False
+
+
+def floyd_warshall_inplace(dist: np.ndarray) -> np.ndarray:
+    """Run the classic Floyd-Warshall algorithm in place and return ``dist``.
+
+    The k-loop is sequential; the inner two loops are vectorized as a rank-1
+    (outer-sum) update, which is how the paper's 2D decomposition also
+    parallelizes the algorithm.
+    """
+    dist = np.asarray(dist, dtype=np.float64)
+    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+        raise ValidationError(f"distance matrix must be square, got shape {dist.shape}")
+    n = dist.shape[0]
+    for k in range(n):
+        # dist[i, j] = min(dist[i, j], dist[i, k] + dist[k, j])
+        np.minimum(dist, dist[:, k, None] + dist[None, k, :], out=dist)
+    return dist
+
+
+def floyd_warshall(matrix: np.ndarray) -> np.ndarray:
+    """Return the APSP distance matrix of ``matrix`` without modifying the input."""
+    arr = check_square_matrix(matrix)
+    return floyd_warshall_inplace(arr.copy())
+
+
+def floyd_warshall_scipy(matrix: np.ndarray) -> np.ndarray:
+    """Floyd-Warshall via :func:`scipy.sparse.csgraph.floyd_warshall`.
+
+    This is the paper's "bare metal" sequential solver (SciPy + MKL); it is the
+    reference ``T1`` measurement of Section 5.4.  Falls back to the NumPy
+    kernel when SciPy is unavailable.
+    """
+    arr = check_square_matrix(matrix)
+    if not _HAVE_SCIPY:  # pragma: no cover
+        return floyd_warshall(arr)
+    work = arr.copy()
+    np.fill_diagonal(work, 0.0)
+    return np.asarray(_scipy_floyd_warshall(work, directed=True), dtype=np.float64)
+
+
+def fw_rank1_update(block: np.ndarray, col_i: np.ndarray, row_j: np.ndarray) -> np.ndarray:
+    """The ``FloydWarshallUpdate`` building block (Table 1).
+
+    Given block ``A_IJ`` and the slices of the pivot column restricted to the
+    block's rows (``col_i = B_Ik``, length = block rows) and columns
+    (``row_j = B_Jk``, length = block cols), compute
+
+        ``C = col_i · 1^T + 1 · row_j^T``  and return  ``min(A_IJ, C)``.
+
+    For an undirected graph the pivot row equals the pivot column, which is
+    why both arguments can be extracted from the same broadcast column.
+    """
+    block = np.asarray(block, dtype=np.float64)
+    col_i = np.asarray(col_i, dtype=np.float64).reshape(-1)
+    row_j = np.asarray(row_j, dtype=np.float64).reshape(-1)
+    if block.ndim != 2:
+        raise ValidationError("block must be 2-D")
+    if col_i.shape[0] != block.shape[0] or row_j.shape[0] != block.shape[1]:
+        raise ValidationError(
+            f"pivot slices have lengths {col_i.shape[0]}/{row_j.shape[0]} but block is {block.shape}")
+    candidate = col_i[:, None] + row_j[None, :]
+    return np.minimum(block, candidate)
+
+
+def min_plus_then_min(block: np.ndarray, other: np.ndarray) -> np.ndarray:
+    """The ``MinPlus`` building block: ``min(A_IJ ⊗ B, B-fallback)``.
+
+    Computes the min-plus product of ``block`` with ``other`` and then the
+    element-wise minimum with ``block`` itself (keeping already-known shorter
+    paths).  Used by the Blocked Collect/Broadcast solver's phase 2/3 updates.
+    """
+    prod = minplus_product(block, other)
+    return elementwise_min(block, prod)
+
+
+def blocked_floyd_warshall_inplace(dist: np.ndarray, block_size: int) -> np.ndarray:
+    """Cache-blocked Floyd-Warshall (Venkataraman et al. [23]) on a single array.
+
+    This is the sequential analogue of the paper's Blocked In-Memory /
+    Collect-Broadcast solvers: for each diagonal block ``(t, t)`` run
+    Floyd-Warshall on the block (phase 1), update row/column blocks of the
+    pivot block-row/column (phase 2), and finally all remaining blocks
+    (phase 3).  Used for ground-truth testing and the cache-behaviour
+    benchmarks of Figure 2.
+    """
+    dist = np.asarray(dist, dtype=np.float64)
+    n = dist.shape[0]
+    b = check_block_size(block_size, n)
+    q = (n + b - 1) // b
+
+    def _rng(t: int) -> slice:
+        return slice(t * b, min((t + 1) * b, n))
+
+    for t in range(q):
+        pivot = _rng(t)
+        # Phase 1: pivot diagonal block.
+        floyd_warshall_inplace(dist[pivot, pivot])
+        pivot_block = dist[pivot, pivot]
+        # Phase 2: pivot block-row and block-column.
+        for j in range(q):
+            if j == t:
+                continue
+            cols = _rng(j)
+            dist[pivot, cols] = elementwise_min(
+                dist[pivot, cols], minplus_product(pivot_block, dist[pivot, cols]))
+            dist[cols, pivot] = elementwise_min(
+                dist[cols, pivot], minplus_product(dist[cols, pivot], pivot_block))
+        # Phase 3: remaining blocks.
+        for i in range(q):
+            if i == t:
+                continue
+            rows = _rng(i)
+            left = dist[rows, pivot]
+            for j in range(q):
+                if j == t:
+                    continue
+                cols = _rng(j)
+                dist[rows, cols] = elementwise_min(
+                    dist[rows, cols], minplus_product(left, dist[pivot, cols]))
+    return dist

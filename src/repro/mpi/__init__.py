@@ -1,0 +1,28 @@
+"""Message-passing substrate and the MPI-style baseline solvers of Section 5.5.
+
+The paper contrasts its Spark solvers with two MPI codes run on the same
+cluster: a straightforward 2D-decomposed Floyd-Warshall (``FW-2D-GbE``) and
+Solomonik's communication-avoiding divide-and-conquer solver (``DC-GbE``).
+Neither MPI nor the cluster is available here, so this package provides
+
+* :class:`~repro.mpi.comm.SimulatedComm` — an in-process, thread-per-rank
+  communicator with point-to-point and collective operations and full
+  message/byte accounting, and
+* the two baselines implemented on top of it
+  (:func:`~repro.mpi.fw2d.fw2d_mpi_apsp`) or as an exact sequential algorithm
+  (:func:`~repro.mpi.divide_conquer.dc_apsp`), with their cluster-scale
+  runtimes projected by :mod:`repro.cluster.costmodel`.
+"""
+
+from repro.mpi.comm import SimulatedComm, CommStats, run_spmd
+from repro.mpi.fw2d import fw2d_mpi_apsp
+from repro.mpi.divide_conquer import dc_apsp, dc_apsp_with_stats
+
+__all__ = [
+    "SimulatedComm",
+    "CommStats",
+    "run_spmd",
+    "fw2d_mpi_apsp",
+    "dc_apsp",
+    "dc_apsp_with_stats",
+]

@@ -1,0 +1,187 @@
+"""A simulated MPI communicator: thread-per-rank SPMD execution with accounting.
+
+Only the operations the baselines need are implemented — ``send``/``recv``,
+``bcast``, ``allgather``, ``gather``, ``barrier`` and sub-communicators by
+colour (``split``) — following mpi4py's lower-case, pickle-based object API.
+Every transfer is counted (messages and bytes) so the cost model can translate
+the communication structure into projected cluster times.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.spark.util import estimate_size
+
+
+@dataclass
+class CommStats:
+    """Aggregate communication counters for one SPMD run."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    broadcasts: int = 0
+    broadcast_bytes: int = 0
+    allgathers: int = 0
+    allgather_bytes: int = 0
+    barriers: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_message(self, nbytes: int) -> None:
+        with self._lock:
+            self.messages += 1
+            self.bytes_sent += nbytes
+
+    def record_broadcast(self, nbytes: int, fanout: int) -> None:
+        with self._lock:
+            self.broadcasts += 1
+            self.broadcast_bytes += nbytes * max(0, fanout)
+
+    def record_allgather(self, nbytes: int, participants: int) -> None:
+        with self._lock:
+            self.allgathers += 1
+            self.allgather_bytes += nbytes * max(0, participants - 1)
+
+    def record_barrier(self) -> None:
+        with self._lock:
+            self.barriers += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "messages": self.messages,
+            "bytes_sent": self.bytes_sent,
+            "broadcasts": self.broadcasts,
+            "broadcast_bytes": self.broadcast_bytes,
+            "allgathers": self.allgathers,
+            "allgather_bytes": self.allgather_bytes,
+            "barriers": self.barriers,
+        }
+
+
+class _SharedState:
+    """State shared by all ranks of one communicator."""
+
+    def __init__(self, size: int, stats: CommStats) -> None:
+        self.size = size
+        self.stats = stats
+        self.mailboxes = {
+            (src, dst): queue.Queue() for src in range(size) for dst in range(size)
+        }
+        self.barrier = threading.Barrier(size)
+        self.collect_slots: list = [None] * size
+        self.collect_lock = threading.Lock()
+
+
+class SimulatedComm:
+    """Per-rank handle to a simulated communicator (mpi4py-like lower-case API)."""
+
+    def __init__(self, rank: int, shared: _SharedState) -> None:
+        self._rank = rank
+        self._shared = shared
+
+    # -- topology ---------------------------------------------------------------
+    def get_rank(self) -> int:
+        return self._rank
+
+    def get_size(self) -> int:
+        return self._shared.size
+
+    # mpi4py-style aliases
+    Get_rank = get_rank
+    Get_size = get_size
+
+    # -- point to point ------------------------------------------------------------
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        if not (0 <= dest < self._shared.size):
+            raise ConfigurationError(f"invalid destination rank {dest}")
+        self._shared.stats.record_message(estimate_size(obj))
+        self._shared.mailboxes[(self._rank, dest)].put((tag, obj))
+
+    def recv(self, source: int, tag: int = 0, timeout: float = 60.0):
+        box = self._shared.mailboxes[(source, self._rank)]
+        stash = []
+        try:
+            while True:
+                got_tag, obj = box.get(timeout=timeout)
+                if got_tag == tag:
+                    for item in stash:
+                        box.put(item)
+                    return obj
+                stash.append((got_tag, obj))
+        except queue.Empty as exc:  # pragma: no cover - deadlock guard
+            raise ConfigurationError(
+                f"rank {self._rank} timed out waiting for rank {source} tag {tag}") from exc
+
+    # -- collectives -----------------------------------------------------------------
+    def barrier(self) -> None:
+        self._shared.stats.record_barrier()
+        self._shared.barrier.wait()
+
+    def bcast(self, obj, root: int = 0):
+        """Broadcast ``obj`` from ``root`` to all ranks and return it everywhere."""
+        if self._rank == root:
+            self._shared.stats.record_broadcast(estimate_size(obj), self._shared.size - 1)
+            with self._shared.collect_lock:
+                self._shared.collect_slots[root] = obj
+        self._shared.barrier.wait()
+        value = self._shared.collect_slots[root]
+        self._shared.barrier.wait()
+        return value
+
+    def gather(self, obj, root: int = 0):
+        """Gather one object per rank at ``root`` (returns the list at root, None elsewhere)."""
+        with self._shared.collect_lock:
+            self._shared.collect_slots[self._rank] = obj
+        if self._rank != root:
+            self._shared.stats.record_message(estimate_size(obj))
+        self._shared.barrier.wait()
+        result = list(self._shared.collect_slots) if self._rank == root else None
+        self._shared.barrier.wait()
+        return result
+
+    def allgather(self, obj):
+        """Gather one object per rank and return the full list on every rank."""
+        self._shared.stats.record_allgather(estimate_size(obj), self._shared.size)
+        with self._shared.collect_lock:
+            self._shared.collect_slots[self._rank] = obj
+        self._shared.barrier.wait()
+        result = list(self._shared.collect_slots)
+        self._shared.barrier.wait()
+        return result
+
+
+def run_spmd(size: int, func: Callable[[SimulatedComm], object], *,
+             timeout: float = 300.0) -> tuple[list, CommStats]:
+    """Run ``func(comm)`` on ``size`` ranks (threads) and return per-rank results + stats."""
+    if size < 1:
+        raise ConfigurationError("size must be >= 1")
+    stats = CommStats()
+    shared = _SharedState(size, stats)
+    results: list = [None] * size
+    errors: list = [None] * size
+
+    def worker(rank: int) -> None:
+        comm = SimulatedComm(rank, shared)
+        try:
+            results[rank] = func(comm)
+        except BaseException as exc:  # propagate to the caller
+            errors[rank] = exc
+            try:
+                shared.barrier.abort()
+            except Exception:
+                pass
+
+    threads = [threading.Thread(target=worker, args=(r,), name=f"mpi-rank-{r}")
+               for r in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+    for rank, exc in enumerate(errors):
+        if exc is not None:
+            raise exc
+    return results, stats

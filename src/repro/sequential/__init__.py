@@ -1,0 +1,28 @@
+"""Sequential reference APSP solvers.
+
+These provide ground truth for the distributed solvers and the ``T1``
+sequential baseline used in the weak-scaling analysis (Section 5.4).  Both
+classic algorithm families mentioned in the paper (Section 3) are included:
+Floyd-Warshall derivatives and Johnson's algorithm (Bellman-Ford reweighting
+plus per-source Dijkstra).
+"""
+
+from repro.sequential.floyd_warshall import (
+    floyd_warshall_reference,
+    floyd_warshall_numpy,
+    floyd_warshall_blocked,
+)
+from repro.sequential.dijkstra import dijkstra_single_source, apsp_dijkstra
+from repro.sequential.johnson import johnson_apsp, bellman_ford
+from repro.sequential.repeated_squaring import repeated_squaring_apsp
+
+__all__ = [
+    "floyd_warshall_reference",
+    "floyd_warshall_numpy",
+    "floyd_warshall_blocked",
+    "dijkstra_single_source",
+    "apsp_dijkstra",
+    "johnson_apsp",
+    "bellman_ford",
+    "repeated_squaring_apsp",
+]

@@ -1,0 +1,39 @@
+"""Sequential Floyd-Warshall variants."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.adjacency import validate_adjacency
+from repro.linalg.kernels import (
+    floyd_warshall_inplace,
+    floyd_warshall_scipy,
+    blocked_floyd_warshall_inplace,
+)
+
+
+def floyd_warshall_reference(adjacency: np.ndarray) -> np.ndarray:
+    """SciPy-backed Floyd-Warshall — the paper's ``T1`` sequential baseline.
+
+    This is the solver the paper calls "efficient sequential Floyd-Warshall as
+    implemented in SciPy" (Section 5.4).
+    """
+    adj = validate_adjacency(adjacency)
+    return floyd_warshall_scipy(adj)
+
+
+def floyd_warshall_numpy(adjacency: np.ndarray) -> np.ndarray:
+    """Pure NumPy Floyd-Warshall (vectorized rank-1 updates per pivot)."""
+    adj = validate_adjacency(adjacency)
+    return floyd_warshall_inplace(adj.copy())
+
+
+def floyd_warshall_blocked(adjacency: np.ndarray, block_size: int) -> np.ndarray:
+    """Cache-blocked Floyd-Warshall of Venkataraman et al. on a single machine.
+
+    This is the sequential analogue of the Blocked In-Memory / Blocked
+    Collect-Broadcast distributed solvers, useful both as ground truth and for
+    the single-block benchmarks of Figure 2.
+    """
+    adj = validate_adjacency(adjacency)
+    return blocked_floyd_warshall_inplace(adj.copy(), block_size)

@@ -1,0 +1,80 @@
+"""Johnson's APSP algorithm (Bellman-Ford reweighting + per-source Dijkstra).
+
+The paper mentions Johnson's algorithm as the other classic sequential APSP
+approach (Section 3), with complexity ``O(|V||E| + |V|^2 log |V|)``.  Although
+the library restricts inputs to non-negative weights (where reweighting is a
+no-op numerically), the full algorithm — including the virtual source and the
+Bellman-Ford potentials — is implemented so directed graphs with negative
+edges (but no negative cycles) are also handled correctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import SolverError, ValidationError
+from repro.common.validation import check_square_matrix
+from repro.sequential.dijkstra import dijkstra_single_source, _adjacency_lists
+
+
+def bellman_ford(adjacency: np.ndarray, source: int) -> np.ndarray:
+    """Single-source shortest paths with Bellman-Ford (handles negative edges).
+
+    Raises :class:`~repro.common.errors.SolverError` if a negative cycle is
+    reachable from ``source``.
+    """
+    arr = check_square_matrix(adjacency)
+    n = arr.shape[0]
+    if not (0 <= source < n):
+        raise ValidationError(f"source {source} out of range for n={n}")
+    dist = np.full(n, np.inf, dtype=np.float64)
+    dist[source] = 0.0
+    rows, cols = np.nonzero(np.isfinite(arr))
+    edges = [(int(u), int(v), float(arr[u, v])) for u, v in zip(rows, cols) if u != v]
+    for _ in range(n - 1):
+        changed = False
+        for u, v, w in edges:
+            if np.isfinite(dist[u]) and dist[u] + w < dist[v]:
+                dist[v] = dist[u] + w
+                changed = True
+        if not changed:
+            break
+    for u, v, w in edges:
+        if np.isfinite(dist[u]) and dist[u] + w < dist[v] - 1e-12:
+            raise SolverError("negative cycle detected")
+    return dist
+
+
+def johnson_apsp(adjacency: np.ndarray) -> np.ndarray:
+    """All-pairs shortest paths via Johnson's algorithm.
+
+    A virtual source connected to every vertex with weight 0 is used to compute
+    Bellman-Ford potentials ``h``; edges are reweighted as
+    ``w'(u, v) = w(u, v) + h(u) - h(v)`` (non-negative), Dijkstra runs from
+    every source on the reweighted graph, and distances are shifted back.
+    """
+    arr = check_square_matrix(adjacency)
+    n = arr.shape[0]
+    # Augmented graph with virtual source n connected to all vertices at cost 0.
+    aug = np.full((n + 1, n + 1), np.inf, dtype=np.float64)
+    aug[:n, :n] = arr
+    aug[n, :n] = 0.0
+    np.fill_diagonal(aug, 0.0)
+    h = bellman_ford(aug, n)[:n]
+    if not np.all(np.isfinite(h)):
+        # Vertices unreachable from the virtual source cannot happen (it links
+        # to everyone), so this indicates numerical trouble.
+        raise SolverError("Johnson potentials are not finite")
+    # Reweight: w'(u, v) = w(u, v) + h[u] - h[v]  >= 0.
+    reweighted = arr + h[:, None] - h[None, :]
+    reweighted[~np.isfinite(arr)] = np.inf
+    np.fill_diagonal(reweighted, 0.0)
+    # Clip tiny negatives introduced by floating-point cancellation.
+    reweighted[np.isfinite(reweighted) & (reweighted < 0)] = 0.0
+    lists = _adjacency_lists(reweighted)
+    out = np.empty((n, n), dtype=np.float64)
+    for s in range(n):
+        d = dijkstra_single_source(reweighted, s, adjacency_lists=lists)
+        out[s, :] = d - h[s] + h
+    np.fill_diagonal(out, np.minimum(np.diag(out), 0.0) * 0.0)
+    return out

@@ -1,0 +1,47 @@
+"""Broadcast variables.
+
+The 2D Floyd-Warshall solver (Algorithm 2) broadcasts the pivot column to all
+executors each iteration through Spark's ``broadcast``; the blocked solvers
+avoid ``broadcast`` in favour of the shared file system because pySpark tasks
+each hold their own deserialized copy of broadcast variables (Section 4.5).
+Our in-process engine shares one object, but it still *accounts* the traffic a
+real cluster would incur: ``num_executors * size`` bytes per broadcast.
+"""
+
+from __future__ import annotations
+
+from repro.spark.util import estimate_size
+
+
+class Broadcast:
+    """A read-only value shared with all tasks."""
+
+    _next_id = 0
+
+    def __init__(self, value, metrics=None, num_executors: int = 1) -> None:
+        self._value = value
+        self._destroyed = False
+        self.nbytes = estimate_size(value)
+        self.id = Broadcast._next_id
+        Broadcast._next_id += 1
+        if metrics is not None:
+            metrics.broadcast_performed(self.nbytes * max(1, num_executors))
+
+    @property
+    def value(self):
+        """The broadcast value; raises after :meth:`destroy`."""
+        if self._destroyed:
+            raise RuntimeError("broadcast variable was destroyed")
+        return self._value
+
+    def unpersist(self) -> None:
+        """No-op in-process; kept for API parity with pySpark."""
+
+    def destroy(self) -> None:
+        """Release the value; subsequent access raises."""
+        self._destroyed = True
+        self._value = None
+
+    def __repr__(self) -> str:
+        state = "destroyed" if self._destroyed else f"{self.nbytes} bytes"
+        return f"Broadcast(id={self.id}, {state})"

@@ -1,0 +1,122 @@
+"""The driver-side entry point of the mini-Spark engine."""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Sequence
+
+from repro.common.config import EngineConfig, default_config
+from repro.spark.broadcast import Broadcast
+from repro.spark.faults import FaultInjector, FaultPlan
+from repro.spark.metrics import EngineMetrics
+from repro.spark.partitioner import Partitioner
+from repro.spark.rdd import RDD, ParallelCollectionRDD, UnionRDD
+from repro.spark.scheduler import TaskScheduler
+from repro.spark.sharedfs import SharedFileSystem
+from repro.spark.shuffle import ShuffleManager
+
+
+class SparkContext:
+    """Driver: creates RDDs, runs jobs, owns the shuffle manager and shared storage.
+
+    Example
+    -------
+    >>> from repro.common.config import EngineConfig
+    >>> with SparkContext(EngineConfig(backend="serial")) as sc:
+    ...     rdd = sc.parallelize([("a", 1), ("b", 2), ("a", 3)])
+    ...     dict(rdd.reduceByKey(lambda x, y: x + y).collect())
+    {'a': 4, 'b': 2}
+    """
+
+    def __init__(self, config: EngineConfig | None = None,
+                 fault_plan: FaultPlan | None = None) -> None:
+        self.config = config or default_config()
+        self.metrics = EngineMetrics()
+        self.fault_injector = FaultInjector(fault_plan)
+        self.scheduler = TaskScheduler(self.config, self.metrics, self.fault_injector)
+        self.shuffle_manager = ShuffleManager(self.config, self.metrics)
+        self._shared_fs: SharedFileSystem | None = None
+        self._rdd_counter = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------ lifecycle
+    def __enter__(self) -> "SparkContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        """Shut down the scheduler and release shared storage."""
+        if self._stopped:
+            return
+        self.scheduler.shutdown()
+        if self._shared_fs is not None:
+            self._shared_fs.close(remove_root=self._owns_shared_fs)
+        self._stopped = True
+
+    # ------------------------------------------------------------------ plumbing
+    def _register_rdd(self, rdd: RDD) -> int:
+        self._rdd_counter += 1
+        return self._rdd_counter
+
+    @property
+    def default_parallelism(self) -> int:
+        return self.config.parallelism
+
+    @property
+    def total_cores(self) -> int:
+        return self.config.total_cores
+
+    # ------------------------------------------------------------------ RDD creation
+    def parallelize(self, data: Iterable, num_partitions: int | None = None,
+                    partitioner: Partitioner | None = None) -> RDD:
+        """Create an RDD from an in-memory collection.
+
+        When ``partitioner`` is given, records must be (key, value) pairs and
+        are placed according to the partitioner (like ``parallelize`` followed
+        by ``partitionBy`` but without a shuffle).
+        """
+        if partitioner is not None:
+            slices = partitioner.num_partitions
+        else:
+            slices = num_partitions or self.default_parallelism
+        return ParallelCollectionRDD(self, data, slices, partitioner)
+
+    def union(self, rdds: Sequence[RDD]) -> RDD:
+        """Union of several RDDs (partition lists concatenate)."""
+        return UnionRDD(self, rdds)
+
+    def broadcast(self, value) -> Broadcast:
+        """Create a broadcast variable, accounting driver-to-executor traffic."""
+        return Broadcast(value, metrics=self.metrics, num_executors=self.config.num_executors)
+
+    # ------------------------------------------------------------------ shared storage
+    @property
+    def shared_fs(self) -> SharedFileSystem:
+        """The shared persistent storage used by the impure solvers (lazily created)."""
+        if self._shared_fs is None:
+            self._owns_shared_fs = self.config.shared_fs_dir is None
+            root = self.config.resolve_shared_fs_dir()
+            self._shared_fs = SharedFileSystem(os.path.join(root, "sharedfs"), self.metrics)
+        return self._shared_fs
+
+    # ------------------------------------------------------------------ job execution
+    def run_job(self, rdd: RDD, func: Callable[[list], object] | None = None) -> list:
+        """Run one task per partition of ``rdd`` and return the per-partition results.
+
+        ``func`` maps a partition's record list to the task result (defaults
+        to the identity, i.e. return the records).
+        """
+        if self._stopped:
+            raise RuntimeError("SparkContext has been stopped")
+        rdd.prepare()
+        func = func or (lambda records: records)
+
+        def make_task(index: int):
+            def task():
+                return func(rdd.iterator(index))
+            return task
+
+        tasks = [make_task(i) for i in range(rdd.num_partitions)]
+        return self.scheduler.run_stage("result", tasks)

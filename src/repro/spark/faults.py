@@ -1,0 +1,77 @@
+"""Deterministic fault injection for the engine.
+
+Spark's headline feature is lineage-based fault tolerance; the paper
+distinguishes *pure* solvers (recoverable) from *impure* ones (side effects
+through the shared file system break recoverability).  The fault injector
+lets tests kill the N-th task (or a random task) and verify that pure lineage
+recomputes correctly while impure channels surface
+:class:`~repro.common.errors.LineageError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.common.errors import FaultInjectedError
+from repro.common.rng import make_rng
+
+
+@dataclass
+class FaultPlan:
+    """Describes which task executions should fail.
+
+    Parameters
+    ----------
+    fail_task_indices:
+        Global task-launch indices (0-based, counted across the whole context
+        lifetime) that should raise on their *first* attempt.
+    failure_rate:
+        Probability of failing any task attempt (checked after the explicit
+        indices).  Retries are never re-failed so runs terminate.
+    max_failures:
+        Upper bound on the total number of injected failures.
+    """
+
+    fail_task_indices: frozenset[int] = frozenset()
+    failure_rate: float = 0.0
+    max_failures: int = 1 << 30
+    seed: int = 0
+
+
+class FaultInjector:
+    """Runtime hook consulted by the scheduler before executing each task attempt."""
+
+    def __init__(self, plan: FaultPlan | None = None) -> None:
+        self.plan = plan or FaultPlan()
+        self._rng = make_rng(self.plan.seed)
+        self._lock = threading.Lock()
+        self._task_counter = 0
+        self._injected = 0
+        self._failed_once: set[int] = set()
+
+    @property
+    def injected_failures(self) -> int:
+        return self._injected
+
+    def next_task_id(self) -> int:
+        with self._lock:
+            tid = self._task_counter
+            self._task_counter += 1
+            return tid
+
+    def maybe_fail(self, task_id: int, attempt: int) -> None:
+        """Raise :class:`FaultInjectedError` if this attempt should fail."""
+        if attempt > 0:
+            return  # only first attempts fail, so retried work always completes
+        with self._lock:
+            if self._injected >= self.plan.max_failures:
+                return
+            should_fail = task_id in self.plan.fail_task_indices
+            if not should_fail and self.plan.failure_rate > 0.0 and task_id not in self._failed_once:
+                should_fail = bool(self._rng.random() < self.plan.failure_rate)
+            if should_fail:
+                self._injected += 1
+                self._failed_once.add(task_id)
+        if should_fail:
+            raise FaultInjectedError(f"injected failure in task {task_id}", task_id=task_id)

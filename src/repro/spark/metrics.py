@@ -1,0 +1,158 @@
+"""Engine metrics: the observable quantities the paper's analysis hinges on.
+
+The qualitative claims of Sections 4 and 5 — Repeated Squaring's all-to-all
+``cartesian`` shuffle, the Blocked In-Memory solver's shuffle spills exceeding
+local SSD capacity, the Collect/Broadcast solver trading shuffles for driver
+collects and shared-filesystem traffic — are all statements about measurable
+data movement.  :class:`EngineMetrics` records those quantities per run so
+tests can assert them and the cost model can consume them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageRecord:
+    """One executed stage: its kind, task count, and wall-clock duration."""
+
+    stage_id: int
+    kind: str
+    num_tasks: int
+    duration: float
+
+
+class EngineMetrics:
+    """Thread-safe accumulator of engine counters.
+
+    Attributes are grouped by subsystem:
+
+    * tasks/stages — ``tasks_launched``, ``tasks_failed``, ``tasks_retried``, ``stages``
+    * shuffle — ``shuffle_count``, ``shuffle_records``, ``shuffle_bytes``,
+      ``spilled_bytes_per_executor`` (cumulative local-storage usage per node)
+    * driver traffic — ``collect_count``, ``collect_bytes``, ``broadcast_count``,
+      ``broadcast_bytes``
+    * shared filesystem — ``sharedfs_files_written``, ``sharedfs_bytes_written``,
+      ``sharedfs_bytes_read``
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        with getattr(self, "_lock", threading.Lock()):
+            self.tasks_launched = 0
+            self.tasks_failed = 0
+            self.tasks_retried = 0
+            self.stages: list[StageRecord] = []
+            self.shuffle_count = 0
+            self.shuffle_records = 0
+            self.shuffle_bytes = 0
+            self.spilled_bytes_per_executor: dict[int, int] = defaultdict(int)
+            self.collect_count = 0
+            self.collect_bytes = 0
+            self.broadcast_count = 0
+            self.broadcast_bytes = 0
+            self.sharedfs_files_written = 0
+            self.sharedfs_bytes_written = 0
+            self.sharedfs_bytes_read = 0
+            self.cached_partitions = 0
+            self.cached_bytes = 0
+
+    # -- task / stage accounting -------------------------------------------------
+    def task_launched(self, count: int = 1) -> None:
+        with self._lock:
+            self.tasks_launched += count
+
+    def task_failed(self) -> None:
+        with self._lock:
+            self.tasks_failed += 1
+
+    def task_retried(self) -> None:
+        with self._lock:
+            self.tasks_retried += 1
+
+    def stage_finished(self, stage_id: int, kind: str, num_tasks: int, duration: float) -> None:
+        with self._lock:
+            self.stages.append(StageRecord(stage_id, kind, num_tasks, duration))
+
+    # -- shuffle accounting --------------------------------------------------------
+    def shuffle_started(self) -> None:
+        with self._lock:
+            self.shuffle_count += 1
+
+    def shuffle_write(self, executor: int, records: int, nbytes: int) -> None:
+        with self._lock:
+            self.shuffle_records += records
+            self.shuffle_bytes += nbytes
+            self.spilled_bytes_per_executor[executor] += nbytes
+
+    @property
+    def total_spilled_bytes(self) -> int:
+        with self._lock:
+            return sum(self.spilled_bytes_per_executor.values())
+
+    def max_spilled_bytes(self) -> int:
+        """Largest cumulative spill on any single executor (the capacity that matters)."""
+        with self._lock:
+            return max(self.spilled_bytes_per_executor.values(), default=0)
+
+    # -- driver traffic ------------------------------------------------------------
+    def collect_performed(self, nbytes: int) -> None:
+        with self._lock:
+            self.collect_count += 1
+            self.collect_bytes += nbytes
+
+    def broadcast_performed(self, nbytes: int) -> None:
+        with self._lock:
+            self.broadcast_count += 1
+            self.broadcast_bytes += nbytes
+
+    # -- shared filesystem ---------------------------------------------------------
+    def sharedfs_written(self, nbytes: int) -> None:
+        with self._lock:
+            self.sharedfs_files_written += 1
+            self.sharedfs_bytes_written += nbytes
+
+    def sharedfs_read(self, nbytes: int) -> None:
+        with self._lock:
+            self.sharedfs_bytes_read += nbytes
+
+    # -- caching ---------------------------------------------------------------------
+    def partition_cached(self, nbytes: int) -> None:
+        with self._lock:
+            self.cached_partitions += 1
+            self.cached_bytes += nbytes
+
+    def as_dict(self) -> dict:
+        """Snapshot of all counters as a plain dictionary (for reports and tests)."""
+        with self._lock:
+            return {
+                "tasks_launched": self.tasks_launched,
+                "tasks_failed": self.tasks_failed,
+                "tasks_retried": self.tasks_retried,
+                "num_stages": len(self.stages),
+                "shuffle_count": self.shuffle_count,
+                "shuffle_records": self.shuffle_records,
+                "shuffle_bytes": self.shuffle_bytes,
+                "spilled_bytes_per_executor": dict(self.spilled_bytes_per_executor),
+                "collect_count": self.collect_count,
+                "collect_bytes": self.collect_bytes,
+                "broadcast_count": self.broadcast_count,
+                "broadcast_bytes": self.broadcast_bytes,
+                "sharedfs_files_written": self.sharedfs_files_written,
+                "sharedfs_bytes_written": self.sharedfs_bytes_written,
+                "sharedfs_bytes_read": self.sharedfs_bytes_read,
+                "cached_partitions": self.cached_partitions,
+                "cached_bytes": self.cached_bytes,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        d = self.as_dict()
+        body = ", ".join(f"{k}={v}" for k, v in d.items() if not isinstance(v, dict))
+        return f"EngineMetrics({body})"

@@ -1,0 +1,468 @@
+"""Resilient Distributed Dataset: lazy, lineage-tracked, partitioned collections.
+
+The subset of the RDD API implemented here is exactly what the paper's four
+APSP solvers use (Algorithms 1-4).  Narrow transformations (``map``,
+``filter``, ``flatMap``, ``mapValues``, ``mapPartitions``) are evaluated
+lazily per partition and recomputed from lineage when needed; wide
+transformations (``partitionBy``, ``reduceByKey``, ``combineByKey``,
+``groupByKey``) materialize a shuffle through the
+:class:`~repro.spark.shuffle.ShuffleManager`, which charges spill volume to
+executors; ``cartesian`` enumerates partition pairs like Spark's all-to-all
+product; ``union`` concatenates parent partitions (and therefore loses the
+partitioner), which is the partition-explosion behaviour Section 5.2 warns
+about.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Callable, Iterable, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.spark.partitioner import Partitioner, PortableHashPartitioner
+from repro.spark.util import estimate_size, record_key
+
+
+class RDD:
+    """Base class of all RDDs.  Use :class:`~repro.spark.context.SparkContext` to create them."""
+
+    def __init__(self, context, num_partitions: int, partitioner: Partitioner | None = None,
+                 parents: Sequence["RDD"] = ()) -> None:
+        self.context = context
+        self.id = context._register_rdd(self)
+        self._num_partitions = int(num_partitions)
+        self.partitioner = partitioner
+        self._parents = list(parents)
+        self._persisted = False
+        self._cache: dict[int, list] = {}
+        self._cache_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ structure
+    @property
+    def num_partitions(self) -> int:
+        return self._num_partitions
+
+    def getNumPartitions(self) -> int:
+        """pySpark-compatible alias of :attr:`num_partitions`."""
+        return self._num_partitions
+
+    def parents(self) -> list["RDD"]:
+        return list(self._parents)
+
+    def compute_partition(self, index: int) -> list:
+        """Compute the records of partition ``index`` from the parent lineage."""
+        raise NotImplementedError
+
+    def prepare(self, _visited: set[int] | None = None) -> None:
+        """Materialize any shuffle dependencies in the lineage (post-order).
+
+        The lineage is a DAG in which an RDD may be reachable along many paths
+        (e.g. the blocked solvers reuse the previous iteration's RDD several
+        times per iteration), so traversal is memoized by RDD identity.
+        """
+        if _visited is None:
+            _visited = set()
+        if id(self) in _visited:
+            return
+        _visited.add(id(self))
+        for parent in self._parents:
+            parent.prepare(_visited)
+
+    def iterator(self, index: int) -> list:
+        """Return the records of partition ``index``, honouring persistence."""
+        if self._persisted:
+            with self._cache_lock:
+                if index in self._cache:
+                    return self._cache[index]
+            data = self.compute_partition(index)
+            with self._cache_lock:
+                if index not in self._cache:
+                    self._cache[index] = data
+                    self.context.metrics.partition_cached(
+                        sum(estimate_size(r) for r in data))
+            return data
+        return self.compute_partition(index)
+
+    # ------------------------------------------------------------------ persistence
+    def persist(self) -> "RDD":
+        """Keep computed partitions in memory (Spark's ``MEMORY_ONLY``)."""
+        self._persisted = True
+        return self
+
+    cache = persist
+
+    def unpersist(self) -> "RDD":
+        self._persisted = False
+        with self._cache_lock:
+            self._cache.clear()
+        return self
+
+    def is_cached(self) -> bool:
+        return self._persisted
+
+    # ------------------------------------------------------------------ narrow transformations
+    def map(self, func: Callable) -> "RDD":
+        """Apply ``func`` to every record.  Keys may change, so the partitioner is dropped."""
+        return MapPartitionsRDD(self, lambda index, it: [func(x) for x in it],
+                                preserves_partitioning=False)
+
+    def map_preserving(self, func: Callable) -> "RDD":
+        """Like :meth:`map` but asserts keys are unchanged, keeping the partitioner.
+
+        The paper's per-block update functions (``FloydWarshallUpdate``,
+        ``MinPlus``, ``MatMin``) never change the block key, so solvers use
+        this variant to avoid spurious reshuffles — the same effect as using
+        ``mapValues``/``preservesPartitioning=True`` in pySpark.
+        """
+        return MapPartitionsRDD(self, lambda index, it: [func(x) for x in it],
+                                preserves_partitioning=True)
+
+    def flatMap(self, func: Callable) -> "RDD":
+        """Apply ``func`` returning an iterable per record and flatten the results."""
+        def _run(index, it):
+            out = []
+            for x in it:
+                out.extend(func(x))
+            return out
+        return MapPartitionsRDD(self, _run, preserves_partitioning=False)
+
+    def filter(self, predicate: Callable) -> "RDD":
+        """Keep records for which ``predicate`` is true.  Partitioning is preserved."""
+        return MapPartitionsRDD(self, lambda index, it: [x for x in it if predicate(x)],
+                                preserves_partitioning=True)
+
+    def mapValues(self, func: Callable) -> "RDD":
+        """Apply ``func`` to the value of every (key, value) record, keeping keys and partitioning."""
+        def _run(index, it):
+            return [(record_key(x), func(x[1])) for x in it]
+        return MapPartitionsRDD(self, _run, preserves_partitioning=True)
+
+    def mapPartitions(self, func: Callable, *, preserves_partitioning: bool = False) -> "RDD":
+        """Apply ``func`` to each whole partition (an iterable) returning an iterable."""
+        return MapPartitionsRDD(self, lambda index, it: list(func(it)),
+                                preserves_partitioning=preserves_partitioning)
+
+    def mapPartitionsWithIndex(self, func: Callable, *, preserves_partitioning: bool = False) -> "RDD":
+        """Like :meth:`mapPartitions` but ``func`` also receives the partition index."""
+        return MapPartitionsRDD(self, lambda index, it: list(func(index, it)),
+                                preserves_partitioning=preserves_partitioning)
+
+    def keys(self) -> "RDD":
+        return MapPartitionsRDD(self, lambda index, it: [record_key(x) for x in it],
+                                preserves_partitioning=False)
+
+    def values(self) -> "RDD":
+        return MapPartitionsRDD(self, lambda index, it: [x[1] for x in it],
+                                preserves_partitioning=False)
+
+    def union(self, other: "RDD") -> "RDD":
+        """Concatenate two RDDs; partitions are concatenated and the partitioner is lost."""
+        return UnionRDD(self.context, [self, other])
+
+    def cartesian(self, other: "RDD") -> "RDD":
+        """All pairs of records — the all-to-all product the paper found impractical."""
+        return CartesianRDD(self, other)
+
+    # ------------------------------------------------------------------ wide transformations
+    def partitionBy(self, partitioner: Partitioner | int,
+                    num_partitions: int | None = None) -> "RDD":
+        """Redistribute (key, value) records according to ``partitioner``.
+
+        Accepts either a :class:`~repro.spark.partitioner.Partitioner` or an
+        integer partition count (pySpark style, implying the portable hash).
+        A no-op when the RDD is already partitioned by an equal partitioner.
+        """
+        partitioner = _as_partitioner(partitioner, num_partitions)
+        if self.partitioner is not None and self.partitioner == partitioner:
+            return self
+        return ShuffledRDD(self, partitioner)
+
+    def groupByKey(self, partitioner: Partitioner | int | None = None) -> "RDD":
+        """Group values by key into lists."""
+        partitioner = _as_partitioner(partitioner, None, default=self._default_partitioner())
+        return ShuffledRDD(self, partitioner,
+                           create_combiner=lambda v: [v],
+                           merge_value=lambda acc, v: acc + [v],
+                           merge_combiners=lambda a, b: a + b,
+                           map_side_combine=False)
+
+    def reduceByKey(self, func: Callable, partitioner: Partitioner | int | None = None) -> "RDD":
+        """Merge values per key with ``func`` (map-side combined, like Spark)."""
+        partitioner = _as_partitioner(partitioner, None, default=self._default_partitioner())
+        return ShuffledRDD(self, partitioner,
+                           create_combiner=lambda v: v,
+                           merge_value=func,
+                           merge_combiners=func,
+                           map_side_combine=True)
+
+    def combineByKey(self, create_combiner: Callable, merge_value: Callable,
+                     merge_combiners: Callable,
+                     partitioner: Partitioner | int | None = None, *,
+                     map_side_combine: bool = True) -> "RDD":
+        """General per-key aggregation (the paper uses it to pair blocks via ``ListAppend``)."""
+        partitioner = _as_partitioner(partitioner, None, default=self._default_partitioner())
+        return ShuffledRDD(self, partitioner,
+                           create_combiner=create_combiner,
+                           merge_value=merge_value,
+                           merge_combiners=merge_combiners,
+                           map_side_combine=map_side_combine)
+
+    def _default_partitioner(self) -> Partitioner:
+        if self.partitioner is not None:
+            return self.partitioner
+        return PortableHashPartitioner(max(1, self.num_partitions))
+
+    # ------------------------------------------------------------------ actions
+    def collect(self) -> list:
+        """Return all records to the driver (accounted as driver traffic)."""
+        parts = self.context.run_job(self)
+        result = [record for part in parts for record in part]
+        self.context.metrics.collect_performed(sum(estimate_size(r) for r in result))
+        return result
+
+    def collectAsMap(self) -> dict:
+        """Collect a pair RDD as a dictionary (last write wins for duplicate keys)."""
+        return {record_key(r): r[1] for r in self.collect()}
+
+    def count(self) -> int:
+        parts = self.context.run_job(self, lambda records: len(records))
+        return int(sum(parts))
+
+    def countByKey(self) -> dict:
+        counts: dict = defaultdict(int)
+        for record in self.collect():
+            counts[record_key(record)] += 1
+        return dict(counts)
+
+    def take(self, n: int) -> list:
+        if n <= 0:
+            return []
+        out: list = []
+        self.prepare()
+        for index in range(self.num_partitions):
+            out.extend(self.iterator(index))
+            if len(out) >= n:
+                break
+        return out[:n]
+
+    def first(self):
+        result = self.take(1)
+        if not result:
+            raise ValueError("RDD is empty")
+        return result[0]
+
+    def reduce(self, func: Callable):
+        records = self.collect()
+        if not records:
+            raise ValueError("cannot reduce an empty RDD")
+        acc = records[0]
+        for record in records[1:]:
+            acc = func(acc, record)
+        return acc
+
+    def foreach(self, func: Callable) -> None:
+        for record in self.collect():
+            func(record)
+
+    def glom(self) -> list[list]:
+        """Return the partition contents as a list of lists (testing/debugging aid)."""
+        return self.context.run_job(self)
+
+    # ------------------------------------------------------------------ misc
+    def __repr__(self) -> str:
+        name = type(self).__name__
+        return (f"{name}(id={self.id}, partitions={self.num_partitions}, "
+                f"partitioner={self.partitioner!r})")
+
+
+def _as_partitioner(partitioner, num_partitions, default: Partitioner | None = None) -> Partitioner:
+    """Normalize the many ways callers can specify a partitioner."""
+    if partitioner is None:
+        if default is None:
+            raise ConfigurationError("a partitioner or partition count is required")
+        return default
+    if isinstance(partitioner, Partitioner):
+        return partitioner
+    if isinstance(partitioner, int):
+        return PortableHashPartitioner(partitioner)
+    raise ConfigurationError(f"cannot interpret partitioner {partitioner!r}")
+
+
+class ParallelCollectionRDD(RDD):
+    """An RDD created from an in-memory collection via ``SparkContext.parallelize``."""
+
+    def __init__(self, context, data: Iterable, num_partitions: int,
+                 partitioner: Partitioner | None = None) -> None:
+        records = list(data)
+        num_partitions = max(1, int(num_partitions))
+        super().__init__(context, num_partitions, partitioner)
+        if partitioner is not None:
+            slices: list[list] = [[] for _ in range(num_partitions)]
+            for record in records:
+                slices[partitioner(record_key(record))].append(record)
+        else:
+            # Range-split like Spark's default for parallelize.
+            slices = [[] for _ in range(num_partitions)]
+            for i, record in enumerate(records):
+                slices[i * num_partitions // max(1, len(records))].append(record)
+        self._slices = slices
+
+    def compute_partition(self, index: int) -> list:
+        return list(self._slices[index])
+
+
+class MapPartitionsRDD(RDD):
+    """Narrow transformation: apply a function to every parent partition."""
+
+    def __init__(self, parent: RDD, func: Callable[[int, list], list], *,
+                 preserves_partitioning: bool) -> None:
+        partitioner = parent.partitioner if preserves_partitioning else None
+        super().__init__(parent.context, parent.num_partitions, partitioner, parents=[parent])
+        self._func = func
+
+    def compute_partition(self, index: int) -> list:
+        parent = self._parents[0]
+        return self._func(index, parent.iterator(index))
+
+
+class UnionRDD(RDD):
+    """Concatenation of several RDDs: partitions are concatenated, partitioner dropped.
+
+    This mirrors Spark's behaviour ("each component RDD preserves its
+    partitioning when in union"), which is why the paper's solvers must
+    repartition after every union to avoid partition-count explosion.
+    """
+
+    def __init__(self, context, rdds: Sequence[RDD]) -> None:
+        rdds = list(rdds)
+        if not rdds:
+            raise ConfigurationError("union requires at least one RDD")
+        total = sum(r.num_partitions for r in rdds)
+        super().__init__(context, total, None, parents=rdds)
+        self._offsets: list[tuple[RDD, int]] = []
+        for rdd in rdds:
+            for p in range(rdd.num_partitions):
+                self._offsets.append((rdd, p))
+
+    def compute_partition(self, index: int) -> list:
+        rdd, parent_index = self._offsets[index]
+        return list(rdd.iterator(parent_index))
+
+
+class CartesianRDD(RDD):
+    """All pairs of records of two RDDs; ``n_a * n_b`` output partitions.
+
+    Every output partition reads one full partition from each parent, so each
+    parent partition is read ``num_partitions(other)`` times — the all-to-all
+    traffic is charged to the shuffle counters to reflect the data movement a
+    real cluster would perform.
+    """
+
+    def __init__(self, left: RDD, right: RDD) -> None:
+        super().__init__(left.context, left.num_partitions * right.num_partitions,
+                         None, parents=[left, right])
+        self._left = left
+        self._right = right
+
+    def compute_partition(self, index: int) -> list:
+        left_index = index // self._right.num_partitions
+        right_index = index % self._right.num_partitions
+        left_records = self._left.iterator(left_index)
+        right_records = self._right.iterator(right_index)
+        nbytes = sum(estimate_size(r) for r in left_records) + \
+            sum(estimate_size(r) for r in right_records)
+        executor = self.context.shuffle_manager.executor_for_partition(index)
+        self.context.metrics.shuffle_write(executor, len(left_records) + len(right_records), nbytes)
+        return [(a, b) for a in left_records for b in right_records]
+
+
+class ShuffledRDD(RDD):
+    """Wide transformation: repartition (and optionally aggregate) by key.
+
+    The shuffle is materialized lazily, at most once, by :meth:`prepare`:
+    a map stage partitions (and map-side combines) every parent partition,
+    writes the buckets through the shuffle manager (charging local-storage
+    spills), and the reduce side then serves partitions from those buckets.
+    """
+
+    def __init__(self, parent: RDD, partitioner: Partitioner,
+                 create_combiner: Callable | None = None,
+                 merge_value: Callable | None = None,
+                 merge_combiners: Callable | None = None, *,
+                 map_side_combine: bool = True) -> None:
+        super().__init__(parent.context, partitioner.num_partitions, partitioner,
+                         parents=[parent])
+        self._create_combiner = create_combiner
+        self._merge_value = merge_value
+        self._merge_combiners = merge_combiners
+        self._map_side_combine = map_side_combine and create_combiner is not None
+        self._shuffle_id: int | None = None
+        self._materialize_lock = threading.Lock()
+
+    @property
+    def aggregates(self) -> bool:
+        return self._create_combiner is not None
+
+    def prepare(self, _visited: set[int] | None = None) -> None:
+        if _visited is None:
+            _visited = set()
+        if id(self) in _visited:
+            return
+        super().prepare(_visited)
+        self._materialize()
+
+    def _materialize(self) -> None:
+        with self._materialize_lock:
+            if self._shuffle_id is not None:
+                return
+            parent = self._parents[0]
+            manager = self.context.shuffle_manager
+            shuffle_id = manager.new_shuffle()
+            partitioner = self.partitioner
+
+            def make_map_task(map_index: int):
+                def task():
+                    records = parent.iterator(map_index)
+                    buckets: dict[int, list] = defaultdict(list)
+                    if self._map_side_combine:
+                        combined: dict[int, dict] = defaultdict(dict)
+                        for record in records:
+                            key = record_key(record)
+                            target = partitioner(key)
+                            bucket = combined[target]
+                            if key in bucket:
+                                bucket[key] = self._merge_value(bucket[key], record[1])
+                            else:
+                                bucket[key] = self._create_combiner(record[1])
+                        for target, kv in combined.items():
+                            buckets[target] = list(kv.items())
+                    else:
+                        for record in records:
+                            key = record_key(record)
+                            buckets[partitioner(key)].append(record)
+                    return map_index, dict(buckets)
+                return task
+
+            tasks = [make_map_task(i) for i in range(parent.num_partitions)]
+            results = self.context.scheduler.run_stage("shuffle-map", tasks)
+            for map_index, buckets in results:
+                manager.write_map_output(shuffle_id, map_index, buckets)
+            self._shuffle_id = shuffle_id
+
+    def compute_partition(self, index: int) -> list:
+        if self._shuffle_id is None:
+            self._materialize()
+        raw = self.context.shuffle_manager.read_reduce_input(self._shuffle_id, index)
+        if not self.aggregates:
+            return list(raw)
+        merged: dict = {}
+        for key, value in raw:
+            if key in merged:
+                if self._map_side_combine:
+                    merged[key] = self._merge_combiners(merged[key], value)
+                else:
+                    merged[key] = self._merge_value(merged[key], value)
+            else:
+                merged[key] = value if self._map_side_combine else self._create_combiner(value)
+        return list(merged.items())

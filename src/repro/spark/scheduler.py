@@ -1,0 +1,76 @@
+"""Stage/task scheduler with pluggable execution backends and task retry.
+
+Stages are lists of independent tasks (one per partition).  The scheduler runs
+them serially or on a thread pool, consults the fault injector before every
+attempt, retries failed attempts (lineage-based recomputation happens simply by
+re-running the task closure), and records stage timings in the metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from repro.common.config import EngineConfig
+from repro.common.errors import FaultInjectedError, SolverError
+from repro.spark.faults import FaultInjector
+from repro.spark.metrics import EngineMetrics
+
+#: Maximum attempts per task (Spark's default ``spark.task.maxFailures`` is 4).
+MAX_TASK_ATTEMPTS = 4
+
+
+class TaskScheduler:
+    """Runs stages of independent tasks on the configured backend."""
+
+    def __init__(self, config: EngineConfig, metrics: EngineMetrics,
+                 fault_injector: FaultInjector | None = None) -> None:
+        self.config = config
+        self.metrics = metrics
+        self.faults = fault_injector or FaultInjector()
+        self._stage_counter = 0
+        self._pool: ThreadPoolExecutor | None = None
+        if config.backend == "threads":
+            self._pool = ThreadPoolExecutor(max_workers=max(1, config.total_cores),
+                                            thread_name_prefix="apspark-exec")
+
+    # ------------------------------------------------------------------
+    def _run_task(self, task: Callable[[], object]) -> object:
+        """Run a single task with fault injection and retry."""
+        task_id = self.faults.next_task_id()
+        last_error: Exception | None = None
+        for attempt in range(MAX_TASK_ATTEMPTS):
+            try:
+                self.metrics.task_launched()
+                if attempt > 0:
+                    self.metrics.task_retried()
+                self.faults.maybe_fail(task_id, attempt)
+                return task()
+            except FaultInjectedError as exc:
+                self.metrics.task_failed()
+                last_error = exc
+                continue
+        raise SolverError(
+            f"task {task_id} failed {MAX_TASK_ATTEMPTS} times") from last_error
+
+    def run_stage(self, kind: str, tasks: Sequence[Callable[[], object]]) -> list:
+        """Run all ``tasks`` and return their results in order."""
+        self._stage_counter += 1
+        stage_id = self._stage_counter
+        start = time.perf_counter()
+        if not tasks:
+            results: list = []
+        elif self._pool is not None and len(tasks) > 1:
+            futures = [self._pool.submit(self._run_task, task) for task in tasks]
+            results = [f.result() for f in futures]
+        else:
+            results = [self._run_task(task) for task in tasks]
+        duration = time.perf_counter() - start
+        self.metrics.stage_finished(stage_id, kind, len(tasks), duration)
+        return results
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -1,0 +1,107 @@
+"""Shared persistent storage used as an out-of-band broadcast channel.
+
+The Repeated Squaring and Blocked Collect/Broadcast solvers are *impure*: they
+move data between the driver and the executors by writing NumPy blocks to a
+shared file system (GPFS in the paper's cluster) instead of shuffling them
+through Spark (Sections 4.2 and 4.5).  :class:`SharedFileSystem` backs that
+channel with a local directory, tracks bytes written/read, and can simulate
+the fault-tolerance hazard the paper describes (files missing when a task is
+rescheduled) via :meth:`drop`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import threading
+import uuid
+
+import numpy as np
+
+from repro.common.errors import LineageError
+from repro.spark.metrics import EngineMetrics
+
+
+class SharedFileSystem:
+    """A directory-backed key/value store for NumPy arrays and picklable objects."""
+
+    def __init__(self, root: str, metrics: EngineMetrics | None = None) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.metrics = metrics or EngineMetrics()
+        self._lock = threading.Lock()
+        self._index: dict[str, str] = {}
+
+    def _path_for(self, name: str) -> str:
+        safe = name.replace("/", "_").replace(" ", "_")
+        return os.path.join(self.root, f"{safe}-{uuid.uuid4().hex[:8]}.blk")
+
+    # -- write -----------------------------------------------------------------
+    def write(self, name: str, value) -> str:
+        """Serialize ``value`` under ``name`` and return the file path."""
+        path = self._path_for(name)
+        if isinstance(value, np.ndarray):
+            payload = pickle.dumps(("ndarray", value), protocol=pickle.HIGHEST_PROTOCOL)
+        else:
+            payload = pickle.dumps(("object", value), protocol=pickle.HIGHEST_PROTOCOL)
+        with open(path, "wb") as fh:
+            fh.write(payload)
+        with self._lock:
+            self._index[name] = path
+        self.metrics.sharedfs_written(len(payload))
+        return path
+
+    def write_blocks(self, prefix: str, blocks: dict) -> dict:
+        """Write a dictionary of blocks, returning ``{key: path}``.
+
+        This is the "store its blocks in a shared file system available to
+        driver and executor nodes" step of Algorithms 1 and 4.
+        """
+        return {key: self.write(f"{prefix}-{key}", value) for key, value in blocks.items()}
+
+    # -- read ------------------------------------------------------------------
+    def read(self, name_or_path: str):
+        """Read a value previously written under ``name`` or by exact path."""
+        path = self._resolve(name_or_path)
+        if not os.path.exists(path):
+            raise LineageError(
+                f"shared-filesystem object {name_or_path!r} is missing; impure solvers "
+                "cannot recover such data from lineage")
+        with open(path, "rb") as fh:
+            payload = fh.read()
+        self.metrics.sharedfs_read(len(payload))
+        kind, value = pickle.loads(payload)
+        return value
+
+    def _resolve(self, name_or_path: str) -> str:
+        with self._lock:
+            if name_or_path in self._index:
+                return self._index[name_or_path]
+        return name_or_path
+
+    def exists(self, name_or_path: str) -> bool:
+        return os.path.exists(self._resolve(name_or_path))
+
+    # -- maintenance -------------------------------------------------------------
+    def drop(self, name_or_path: str) -> None:
+        """Delete a stored object (fault-injection hook for the impure-solver tests)."""
+        path = self._resolve(name_or_path)
+        if os.path.exists(path):
+            os.remove(path)
+
+    def clear(self) -> None:
+        """Remove every object stored so far."""
+        with self._lock:
+            self._index.clear()
+        for entry in os.listdir(self.root):
+            full = os.path.join(self.root, entry)
+            if os.path.isfile(full) and entry.endswith(".blk"):
+                os.remove(full)
+
+    def close(self, *, remove_root: bool = False) -> None:
+        if remove_root and os.path.isdir(self.root):
+            shutil.rmtree(self.root, ignore_errors=True)
+
+    def __repr__(self) -> str:
+        return f"SharedFileSystem(root={self.root!r}, objects={len(self._index)})"

@@ -1,0 +1,83 @@
+"""Tests for repro.common.timing."""
+
+import pytest
+
+from repro.common.timing import Timer, Stopwatch, format_seconds
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer()
+        with t:
+            pass
+        assert t.elapsed >= 0.0
+        assert t.count == 1
+
+    def test_multiple_cycles_accumulate(self):
+        t = Timer()
+        for _ in range(3):
+            with t:
+                pass
+        assert t.count == 3
+        assert t.mean == pytest.approx(t.elapsed / 3)
+
+    def test_double_start_raises(self):
+        t = Timer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0 and t.count == 0
+
+    def test_mean_of_empty_timer_is_zero(self):
+        assert Timer().mean == 0.0
+
+
+class TestStopwatch:
+    def test_sections_are_recorded(self):
+        sw = Stopwatch()
+        with sw.section("a"):
+            pass
+        with sw.section("b"):
+            pass
+        assert set(sw.as_dict()) == {"a", "b"}
+        assert sw.total() == pytest.approx(sw.elapsed("a") + sw.elapsed("b"))
+
+    def test_same_section_accumulates(self):
+        sw = Stopwatch()
+        with sw.section("x"):
+            pass
+        first = sw.elapsed("x")
+        with sw.section("x"):
+            pass
+        assert sw.elapsed("x") >= first
+
+    def test_unknown_section_elapsed_is_zero(self):
+        assert Stopwatch().elapsed("nope") == 0.0
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize("seconds,expected", [
+        (45, "45s"),
+        (0.022, "0.022s"),
+        (60, "1m0s"),
+        (115, "1m55s"),
+        (3600, "1h0m"),
+        (8 * 3600 + 9 * 60, "8h9m"),
+        (86400 * 9 + 16 * 3600, "9d16h"),
+    ])
+    def test_paper_style_formatting(self, seconds, expected):
+        assert format_seconds(seconds) == expected
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1)

@@ -1,0 +1,106 @@
+"""Tests for repro.common.validation and repro.common.rng."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.rng import make_rng, spawn_rngs, derive_seed
+from repro.common.validation import (
+    check_block_size,
+    check_nonnegative_weights,
+    check_positive_int,
+    check_square_matrix,
+    check_symmetric,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(3), "x") == 3
+
+    @pytest.mark.parametrize("value", [0, -1, 2.5, "3", True])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(ValidationError):
+            check_positive_int(value, "x")
+
+
+class TestCheckSquareMatrix:
+    def test_accepts_square(self):
+        out = check_square_matrix(np.eye(3))
+        assert out.dtype == np.float64
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            check_square_matrix(np.zeros((2, 3)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            check_square_matrix(np.zeros(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_square_matrix(np.zeros((0, 0)))
+
+
+class TestCheckNonnegativeWeights:
+    def test_accepts_inf_entries(self):
+        m = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        check_nonnegative_weights(m)
+
+    def test_rejects_negative(self):
+        m = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(ValidationError):
+            check_nonnegative_weights(m)
+
+
+class TestCheckBlockSize:
+    def test_valid(self):
+        assert check_block_size(4, 16) == 4
+
+    def test_block_larger_than_n_rejected(self):
+        with pytest.raises(ValidationError):
+            check_block_size(32, 16)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            check_block_size(0, 16)
+
+
+class TestCheckSymmetric:
+    def test_symmetric_with_inf_passes(self):
+        m = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        check_symmetric(m)
+
+    def test_asymmetric_rejected(self):
+        m = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValidationError):
+            check_symmetric(m)
+
+
+class TestRng:
+    def test_make_rng_deterministic(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_make_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_spawn_rngs_are_independent(self):
+        rngs = spawn_rngs(0, 3)
+        assert len(rngs) == 3
+        streams = [r.random(4).tolist() for r in rngs]
+        assert streams[0] != streams[1] != streams[2]
+
+    def test_spawn_rngs_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_derive_seed_is_stable_and_distinct(self):
+        assert derive_seed(1, 2, 3) == derive_seed(1, 2, 3)
+        assert derive_seed(1, 2, 3) != derive_seed(1, 3, 2)
+        assert 0 <= derive_seed(123, 7) < 2 ** 63

@@ -1,0 +1,56 @@
+"""Integration tests: the example applications must run end-to-end.
+
+Each example is executed in-process via ``runpy`` (calling its ``main()``)
+so regressions in the public API surface immediately.
+"""
+
+import os
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "isomap_geodesics.py",
+    "solver_comparison.py",
+    "partitioner_tuning.py",
+    "fault_tolerance.py",
+]
+
+
+def _load(name):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    assert os.path.exists(path), f"example {name} is missing"
+    return runpy.run_path(path, run_name="not_main")
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_and_succeeds(name, capsys):
+    module_globals = _load(name)
+    assert "main" in module_globals, f"{name} must define main()"
+    assert module_globals["main"]() == 0
+    # Every example prints something useful.
+    assert capsys.readouterr().out.strip()
+
+
+def test_quickstart_verifies_against_reference(capsys):
+    module_globals = _load("quickstart.py")
+    module_globals["main"]()
+    out = capsys.readouterr().out
+    assert "match the reference" in out
+
+
+def test_fault_tolerance_demonstrates_both_behaviours(capsys):
+    module_globals = _load("fault_tolerance.py")
+    module_globals["main"]()
+    out = capsys.readouterr().out
+    assert "retried" in out
+    assert "failed as expected" in out
+
+
+def test_isomap_unrolls_the_manifold(capsys):
+    module_globals = _load("isomap_geodesics.py")
+    module_globals["main"]()
+    assert "unrolls the manifold" in capsys.readouterr().out

@@ -1,0 +1,153 @@
+"""Tests for the synthetic graph generators."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.graph.generators import (
+    complete_adjacency,
+    erdos_renyi_adjacency,
+    erdos_renyi_graph,
+    grid_adjacency,
+    paper_edge_probability,
+    path_adjacency,
+    random_geometric_adjacency,
+    star_adjacency,
+)
+
+
+def assert_valid_adjacency(adj: np.ndarray) -> None:
+    """Structural invariants every generator must satisfy."""
+    assert adj.dtype == np.float64
+    assert adj.shape[0] == adj.shape[1]
+    assert np.allclose(np.diag(adj), 0.0)
+    finite = adj[np.isfinite(adj)]
+    assert np.all(finite >= 0.0)
+    # Symmetric including inf pattern.
+    assert np.array_equal(np.isinf(adj), np.isinf(adj.T))
+    both = np.isfinite(adj)
+    assert np.allclose(adj[both], adj.T[both])
+
+
+class TestPaperEdgeProbability:
+    def test_formula(self):
+        n = 1000
+        assert paper_edge_probability(n) == pytest.approx(1.1 * math.log(n) / n)
+
+    def test_single_vertex(self):
+        assert paper_edge_probability(1) == 0.0
+
+    def test_capped_at_one(self):
+        assert paper_edge_probability(2, epsilon=10.0) <= 1.0
+
+
+class TestErdosRenyi:
+    def test_structure(self):
+        assert_valid_adjacency(erdos_renyi_adjacency(50, seed=0))
+
+    def test_deterministic_with_seed(self):
+        a = erdos_renyi_adjacency(30, seed=5)
+        b = erdos_renyi_adjacency(30, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi_adjacency(30, seed=5)
+        b = erdos_renyi_adjacency(30, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_unweighted_edges_are_unit(self):
+        adj = erdos_renyi_adjacency(30, seed=1, weighted=False)
+        finite = adj[np.isfinite(adj) & (adj > 0)]
+        assert np.all(finite == 1.0)
+
+    def test_weight_range(self):
+        adj = erdos_renyi_adjacency(40, seed=2, weight_low=2.0, weight_high=3.0, p=0.5)
+        weights = adj[np.isfinite(adj) & (adj > 0)]
+        assert np.all((weights >= 2.0) & (weights < 3.0))
+
+    def test_p_zero_gives_empty_graph(self):
+        adj = erdos_renyi_adjacency(10, p=0.0, seed=0)
+        assert np.isinf(adj[~np.eye(10, dtype=bool)]).all()
+
+    def test_p_one_gives_complete_graph(self):
+        adj = erdos_renyi_adjacency(10, p=1.0, seed=0)
+        assert np.isfinite(adj).all()
+
+    def test_edge_count_roughly_matches_probability(self):
+        n, p = 200, 0.1
+        adj = erdos_renyi_adjacency(n, p=p, seed=3)
+        edges = np.isfinite(adj[np.triu_indices(n, 1)]).sum()
+        expected = p * n * (n - 1) / 2
+        assert 0.7 * expected < edges < 1.3 * expected
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValidationError):
+            erdos_renyi_adjacency(10, p=1.5)
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValidationError):
+            erdos_renyi_adjacency(10, weight_low=0.0)
+        with pytest.raises(ValidationError):
+            erdos_renyi_adjacency(10, weight_low=5.0, weight_high=1.0)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValidationError):
+            erdos_renyi_adjacency(0)
+
+    def test_networkx_wrapper(self):
+        graph = erdos_renyi_graph(20, seed=4)
+        assert graph.number_of_nodes() == 20
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 60), st.integers(0, 10_000))
+    def test_property_structure(self, n, seed):
+        assert_valid_adjacency(erdos_renyi_adjacency(n, seed=seed))
+
+
+class TestOtherGenerators:
+    def test_path_distances_embedded(self):
+        adj = path_adjacency(5, weight=2.0)
+        assert adj[0, 1] == 2.0
+        assert np.isinf(adj[0, 2])
+        assert_valid_adjacency(adj)
+
+    def test_grid_edge_count(self):
+        adj = grid_adjacency(3, 4)
+        edges = np.isfinite(adj[np.triu_indices(12, 1)]).sum()
+        assert edges == 3 * 3 + 2 * 4  # horizontal + vertical edges
+        assert_valid_adjacency(adj)
+
+    def test_star_structure(self):
+        adj = star_adjacency(6)
+        assert np.isfinite(adj[0, 1:]).all()
+        assert np.isinf(adj[1, 2])
+        assert_valid_adjacency(adj)
+
+    def test_complete_fixed_weight(self):
+        adj = complete_adjacency(5, weight=3.0)
+        off = adj[~np.eye(5, dtype=bool)]
+        assert np.all(off == 3.0)
+
+    def test_complete_random_weights(self):
+        adj = complete_adjacency(5, weight=4.0, seed=1)
+        assert_valid_adjacency(adj)
+        assert np.isfinite(adj[~np.eye(5, dtype=bool)]).all()
+
+    def test_geometric_structure_and_weights_are_distances(self):
+        adj = random_geometric_adjacency(40, seed=2, radius=0.5)
+        assert_valid_adjacency(adj)
+        finite = adj[np.isfinite(adj) & (adj > 0)]
+        assert np.all(finite <= 0.5 + 1e-12)
+
+    def test_geometric_default_radius_connectivity(self):
+        adj = random_geometric_adjacency(60, seed=3)
+        # With the default radius almost every vertex should have a neighbour.
+        degrees = np.isfinite(adj).sum(axis=1) - 1
+        assert (degrees > 0).mean() > 0.9
+
+    def test_geometric_invalid_dim(self):
+        with pytest.raises(ValidationError):
+            random_geometric_adjacency(10, dim=0)

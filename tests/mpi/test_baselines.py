@@ -1,0 +1,117 @@
+"""Tests for the MPI-style baselines: FW-2D-GbE and DC (Solomonik divide & conquer)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.graph.generators import erdos_renyi_adjacency, grid_adjacency, path_adjacency
+from repro.mpi.divide_conquer import dc_apsp, dc_apsp_with_stats
+from repro.mpi.fw2d import fw2d_mpi_apsp
+from repro.sequential.floyd_warshall import floyd_warshall_reference
+
+
+class TestFw2dMpi:
+    @pytest.mark.parametrize("num_ranks", [1, 4, 9, 16])
+    def test_matches_reference(self, num_ranks):
+        adj = erdos_renyi_adjacency(36, seed=8)
+        result = fw2d_mpi_apsp(adj, num_ranks=num_ranks)
+        assert np.allclose(result, floyd_warshall_reference(adj))
+
+    def test_grid_graph(self):
+        adj = grid_adjacency(4, 4)
+        assert np.allclose(fw2d_mpi_apsp(adj, num_ranks=4),
+                           floyd_warshall_reference(adj))
+
+    def test_directed_input_supported(self):
+        rng = np.random.default_rng(3)
+        n = 16
+        adj = np.full((n, n), np.inf)
+        np.fill_diagonal(adj, 0.0)
+        mask = rng.random((n, n)) < 0.3
+        adj[mask] = rng.uniform(1, 5, mask.sum())
+        np.fill_diagonal(adj, 0.0)
+        from scipy.sparse.csgraph import floyd_warshall as scipy_fw
+        assert np.allclose(fw2d_mpi_apsp(adj, num_ranks=4), scipy_fw(adj, directed=True))
+
+    def test_non_square_rank_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fw2d_mpi_apsp(path_adjacency(8), num_ranks=3)
+
+    def test_grid_must_divide_n(self):
+        with pytest.raises(ConfigurationError):
+            fw2d_mpi_apsp(path_adjacency(9), num_ranks=4)
+
+    def test_communication_stats_returned(self):
+        adj = erdos_renyi_adjacency(16, seed=9)
+        _, stats = fw2d_mpi_apsp(adj, num_ranks=4, return_stats=True)
+        # Every iteration broadcasts a row and a column segment to g-1 peers
+        # along each grid dimension: 2 * n * g * (g - 1) point-to-point sends.
+        assert stats.messages == 2 * 16 * 2 * 1
+        assert stats.bytes_sent > 0
+
+    def test_single_rank_sends_nothing(self):
+        adj = erdos_renyi_adjacency(12, seed=10)
+        _, stats = fw2d_mpi_apsp(adj, num_ranks=1, return_stats=True)
+        assert stats.messages == 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(2, 6), st.integers(0, 10_000))
+    def test_property_matches_reference(self, half_n, seed):
+        n = 2 * half_n
+        adj = erdos_renyi_adjacency(n, seed=seed, p=0.4)
+        assert np.allclose(fw2d_mpi_apsp(adj, num_ranks=4),
+                           floyd_warshall_reference(adj))
+
+
+class TestDivideConquer:
+    @pytest.mark.parametrize("base_case", [1, 2, 8, 64])
+    def test_matches_reference(self, base_case):
+        adj = erdos_renyi_adjacency(33, seed=12)
+        assert np.allclose(dc_apsp(adj, base_case=base_case),
+                           floyd_warshall_reference(adj))
+
+    def test_odd_sizes(self):
+        adj = erdos_renyi_adjacency(21, seed=13)
+        assert np.allclose(dc_apsp(adj, base_case=4), floyd_warshall_reference(adj))
+
+    def test_directed_graph(self):
+        rng = np.random.default_rng(14)
+        n = 20
+        adj = np.full((n, n), np.inf)
+        np.fill_diagonal(adj, 0.0)
+        mask = rng.random((n, n)) < 0.25
+        adj[mask] = rng.uniform(1, 9, mask.sum())
+        np.fill_diagonal(adj, 0.0)
+        from scipy.sparse.csgraph import floyd_warshall as scipy_fw
+        assert np.allclose(dc_apsp(adj, base_case=4), scipy_fw(adj, directed=True))
+
+    def test_stats_reflect_recursion(self):
+        adj = erdos_renyi_adjacency(32, seed=15)
+        _, stats = dc_apsp_with_stats(adj, base_case=8)
+        # Each level splits into two recursive closures (A then D), so two
+        # levels of halving (32 -> 16 -> 8) yield 2^2 base cases.
+        assert stats.base_cases == 4
+        assert stats.multiplications > 0
+        assert stats.max_depth == 2
+        assert stats.multiply_volume > 0
+
+    def test_base_case_equal_n_is_plain_fw(self):
+        adj = erdos_renyi_adjacency(16, seed=16)
+        dist, stats = dc_apsp_with_stats(adj, base_case=16)
+        assert stats.base_cases == 1
+        assert stats.multiplications == 0
+        assert np.allclose(dist, floyd_warshall_reference(adj))
+
+    def test_input_not_modified(self):
+        adj = erdos_renyi_adjacency(16, seed=17)
+        before = adj.copy()
+        dc_apsp(adj, base_case=4)
+        assert np.array_equal(adj, before)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 40), st.integers(1, 16), st.integers(0, 10_000))
+    def test_property_matches_reference(self, n, base_case, seed):
+        adj = erdos_renyi_adjacency(n, seed=seed, p=0.3)
+        assert np.allclose(dc_apsp(adj, base_case=base_case),
+                           floyd_warshall_reference(adj))

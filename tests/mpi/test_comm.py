@@ -1,0 +1,133 @@
+"""Tests for the simulated message-passing communicator."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.mpi.comm import CommStats, SimulatedComm, run_spmd
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self):
+        def program(comm):
+            if comm.get_rank() == 0:
+                comm.send({"x": 1}, dest=1)
+                return None
+            return comm.recv(source=0)
+
+        results, stats = run_spmd(2, program)
+        assert results[1] == {"x": 1}
+        assert stats.messages == 1
+
+    def test_numpy_payloads(self):
+        def program(comm):
+            if comm.get_rank() == 0:
+                comm.send(np.arange(10), dest=1)
+                return None
+            return comm.recv(source=0)
+
+        results, stats = run_spmd(2, program)
+        assert np.array_equal(results[1], np.arange(10))
+        assert stats.bytes_sent == 80
+
+    def test_tags_keep_messages_apart(self):
+        def program(comm):
+            if comm.get_rank() == 0:
+                comm.send("second", dest=1, tag=2)
+                comm.send("first", dest=1, tag=1)
+                return None
+            first = comm.recv(source=0, tag=1)
+            second = comm.recv(source=0, tag=2)
+            return (first, second)
+
+        results, _ = run_spmd(2, program)
+        assert results[1] == ("first", "second")
+
+    def test_invalid_destination(self):
+        def program(comm):
+            if comm.get_rank() == 0:
+                comm.send("x", dest=99)
+            return None
+
+        with pytest.raises(ConfigurationError):
+            run_spmd(2, program)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def program(comm):
+            value = [1, 2, 3] if comm.get_rank() == 0 else None
+            return comm.bcast(value, root=0)
+
+        results, stats = run_spmd(4, program)
+        assert all(r == [1, 2, 3] for r in results)
+        assert stats.broadcasts == 1
+
+    def test_bcast_from_nonzero_root(self):
+        def program(comm):
+            value = comm.get_rank() if comm.get_rank() == 2 else None
+            return comm.bcast(value, root=2)
+
+        results, _ = run_spmd(3, program)
+        assert results == [2, 2, 2]
+
+    def test_gather(self):
+        def program(comm):
+            return comm.gather(comm.get_rank() ** 2, root=0)
+
+        results, _ = run_spmd(4, program)
+        assert results[0] == [0, 1, 4, 9]
+        assert results[1] is None
+
+    def test_allgather(self):
+        def program(comm):
+            return comm.allgather(comm.get_rank() + 10)
+
+        results, stats = run_spmd(3, program)
+        assert all(r == [10, 11, 12] for r in results)
+        assert stats.allgathers == 3  # each rank records its contribution
+
+    def test_barrier_counts(self):
+        def program(comm):
+            comm.barrier()
+            return comm.get_size()
+
+        results, stats = run_spmd(4, program)
+        assert results == [4, 4, 4, 4]
+        assert stats.barriers == 4
+
+    def test_repeated_collectives(self):
+        def program(comm):
+            total = 0
+            for round_id in range(5):
+                value = round_id if comm.get_rank() == round_id % 2 else None
+                total += comm.bcast(value, root=round_id % 2)
+            return total
+
+        results, _ = run_spmd(2, program)
+        assert results == [10, 10]
+
+
+class TestRunSpmd:
+    def test_single_rank(self):
+        results, _ = run_spmd(1, lambda comm: comm.get_size())
+        assert results == [1]
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            run_spmd(0, lambda comm: None)
+
+    def test_exception_propagates(self):
+        def program(comm):
+            if comm.get_rank() == 1:
+                raise ValueError("rank 1 exploded")
+            return comm.get_rank()
+
+        with pytest.raises(ValueError, match="rank 1 exploded"):
+            run_spmd(2, program)
+
+    def test_stats_as_dict(self):
+        stats = CommStats()
+        stats.record_message(10)
+        d = stats.as_dict()
+        assert d["messages"] == 1 and d["bytes_sent"] == 10

@@ -1,0 +1,162 @@
+"""Tests for the RDD partitioners (PH, MD, GRID) — Section 5.3 / Figure 4."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.linalg.blocks import upper_triangular_block_ids
+from repro.spark.partitioner import (
+    GridPartitioner,
+    MultiDiagonalPartitioner,
+    Partitioner,
+    PortableHashPartitioner,
+    partitioner_by_name,
+    portable_hash,
+)
+
+
+class TestPortableHash:
+    def test_none_is_zero(self):
+        assert portable_hash(None) == 0
+
+    def test_deterministic(self):
+        assert portable_hash((3, 7)) == portable_hash((3, 7))
+
+    def test_tuple_order_matters(self):
+        assert portable_hash((1, 2)) != portable_hash((2, 1))
+
+    def test_matches_pyspark_algorithm(self):
+        # Reference value computed by hand with the published pySpark algorithm.
+        h = 0x345678
+        for item in (2, 5):
+            h ^= item
+            h *= 1000003
+            h &= __import__("sys").maxsize
+        h ^= 2
+        assert portable_hash((2, 5)) == h
+
+    def test_collisions_on_upper_triangular_keys(self):
+        # The paper observes that portable_hash produces many collisions on
+        # upper-triangular (I, J) keys, skewing partitions.  This is the
+        # paper's Figure 3 configuration (n=131072, b=1024 -> q=128, B=2).
+        keys = list(upper_triangular_block_ids(128))
+        partitioner = PortableHashPartitioner(2048)
+        counts = partitioner.distribution(keys)
+        # Skew: the heaviest partition carries noticeably more than the mean.
+        assert counts.max() > 1.3 * counts.mean()
+
+
+class TestPortableHashPartitioner:
+    def test_range(self):
+        p = PortableHashPartitioner(8)
+        for key in upper_triangular_block_ids(10):
+            assert 0 <= p(key) < 8
+
+    def test_equality(self):
+        assert PortableHashPartitioner(4) == PortableHashPartitioner(4)
+        assert PortableHashPartitioner(4) != PortableHashPartitioner(8)
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(Exception):
+            PortableHashPartitioner(0)
+
+
+class TestMultiDiagonalPartitioner:
+    def test_balanced_distribution(self):
+        q, parts = 16, 8
+        md = MultiDiagonalPartitioner(parts, q)
+        counts = md.distribution(upper_triangular_block_ids(q))
+        # Near-perfect balance: sizes differ by at most 1.
+        assert counts.max() - counts.min() <= 1
+
+    def test_balance_beats_portable_hash(self):
+        q, parts = 64, 128
+        keys = list(upper_triangular_block_ids(q))
+        md_counts = MultiDiagonalPartitioner(parts, q).distribution(keys)
+        ph_counts = PortableHashPartitioner(parts).distribution(keys)
+        assert md_counts.std() < ph_counts.std()
+
+    def test_symmetric_keys_colocate(self):
+        md = MultiDiagonalPartitioner(6, 8)
+        assert md((2, 5)) == md((5, 2))
+
+    def test_row_spread(self):
+        # Blocks of the same block-row should be spread over many partitions.
+        q, parts = 12, 12
+        md = MultiDiagonalPartitioner(parts, q)
+        row0 = {md((0, j)) for j in range(q)}
+        assert len(row0) >= parts // 2
+
+    def test_layout_matches_partition_function(self):
+        md = MultiDiagonalPartitioner(4, 6)
+        layout = md.layout()
+        for i in range(6):
+            for j in range(6):
+                assert layout[i, j] == md((i, j))
+
+    def test_layout_symmetric(self):
+        layout = MultiDiagonalPartitioner(4, 8).layout()
+        assert np.array_equal(layout, layout.T)
+
+    def test_diagonal_walk_round_robin(self):
+        md = MultiDiagonalPartitioner(4, 8)
+        # Main diagonal is dealt 0,1,2,3,0,1,...
+        assert [md((i, i)) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_non_block_keys_fall_back_to_hash(self):
+        md = MultiDiagonalPartitioner(4, 4)
+        assert 0 <= md("some-key") < 4
+
+    def test_out_of_grid_keys_fall_back(self):
+        md = MultiDiagonalPartitioner(4, 4)
+        assert 0 <= md((100, 200)) < 4
+
+    def test_equality_includes_q(self):
+        assert MultiDiagonalPartitioner(4, 8) == MultiDiagonalPartitioner(4, 8)
+        assert MultiDiagonalPartitioner(4, 8) != MultiDiagonalPartitioner(4, 9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 20), st.integers(1, 64))
+    def test_property_balance(self, q, parts):
+        md = MultiDiagonalPartitioner(parts, q)
+        counts = md.distribution(upper_triangular_block_ids(q))
+        assert counts.max() - counts.min() <= 1
+        assert counts.sum() == q * (q + 1) // 2
+
+
+class TestGridPartitioner:
+    def test_range(self):
+        g = GridPartitioner(6)
+        for key in upper_triangular_block_ids(8):
+            assert 0 <= g(key) < 6
+
+    def test_grid_shape_factorization(self):
+        g = GridPartitioner(12)
+        assert g.rows * g.cols == 12
+
+    def test_non_tuple_key(self):
+        assert 0 <= GridPartitioner(5)("x") < 5
+
+
+class TestPartitionerByName:
+    @pytest.mark.parametrize("name,cls", [
+        ("PH", PortableHashPartitioner), ("md", MultiDiagonalPartitioner),
+        ("hash", PortableHashPartitioner), ("grid", GridPartitioner),
+    ])
+    def test_lookup(self, name, cls):
+        assert isinstance(partitioner_by_name(name, 4, 8), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partitioner_by_name("random", 4, 8)
+
+
+class TestBasePartitioner:
+    def test_out_of_range_result_rejected(self):
+        class Bad(Partitioner):
+            def partition(self, key):
+                return self.num_partitions  # off by one
+
+        with pytest.raises(ConfigurationError):
+            Bad(4)((0, 0))

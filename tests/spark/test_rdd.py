@@ -1,0 +1,271 @@
+"""Tests for the RDD API: transformations, actions, caching, partitioning semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import EngineConfig
+from repro.spark.context import SparkContext
+from repro.spark.partitioner import MultiDiagonalPartitioner, PortableHashPartitioner
+from repro.spark.rdd import ShuffledRDD
+
+
+class TestBasicTransformations:
+    def test_parallelize_collect_round_trip(self, spark_context):
+        data = [(i, i * i) for i in range(20)]
+        assert sorted(spark_context.parallelize(data).collect()) == data
+
+    def test_map(self, spark_context):
+        rdd = spark_context.parallelize(list(range(10)))
+        assert sorted(rdd.map(lambda x: x * 2).collect()) == [2 * i for i in range(10)]
+
+    def test_filter(self, spark_context):
+        rdd = spark_context.parallelize(list(range(20)))
+        assert sorted(rdd.filter(lambda x: x % 2 == 0).collect()) == list(range(0, 20, 2))
+
+    def test_flatmap(self, spark_context):
+        rdd = spark_context.parallelize([1, 2, 3])
+        assert sorted(rdd.flatMap(lambda x: [x] * x).collect()) == [1, 2, 2, 3, 3, 3]
+
+    def test_map_values(self, spark_context):
+        rdd = spark_context.parallelize([("a", 1), ("b", 2)])
+        assert dict(rdd.mapValues(lambda v: v + 10).collect()) == {"a": 11, "b": 12}
+
+    def test_keys_values(self, spark_context):
+        rdd = spark_context.parallelize([("a", 1), ("b", 2)])
+        assert sorted(rdd.keys().collect()) == ["a", "b"]
+        assert sorted(rdd.values().collect()) == [1, 2]
+
+    def test_map_partitions_with_index(self, spark_context):
+        rdd = spark_context.parallelize(list(range(8)), num_partitions=4)
+        out = rdd.mapPartitionsWithIndex(lambda idx, it: [(idx, len(list(it)))]).collect()
+        assert sum(count for _, count in out) == 8
+        assert {idx for idx, _ in out} == {0, 1, 2, 3}
+
+    def test_chained_transformations(self, spark_context):
+        rdd = spark_context.parallelize(list(range(50)))
+        result = rdd.map(lambda x: x + 1).filter(lambda x: x % 5 == 0).map(lambda x: x // 5)
+        assert sorted(result.collect()) == list(range(1, 11))
+
+    def test_transformations_are_lazy(self, spark_context):
+        calls = []
+
+        def record(x):
+            calls.append(x)
+            return x
+
+        rdd = spark_context.parallelize([1, 2, 3]).map(record)
+        assert calls == []          # nothing computed yet
+        rdd.collect()
+        assert sorted(calls) == [1, 2, 3]
+
+
+class TestActions:
+    def test_count(self, spark_context):
+        assert spark_context.parallelize(list(range(33))).count() == 33
+
+    def test_take_and_first(self, spark_context):
+        rdd = spark_context.parallelize(list(range(10)), num_partitions=3)
+        assert len(rdd.take(4)) == 4
+        assert rdd.first() in range(10)
+        assert rdd.take(0) == []
+
+    def test_first_on_empty_raises(self, spark_context):
+        with pytest.raises(ValueError):
+            spark_context.parallelize([]).first()
+
+    def test_reduce(self, spark_context):
+        assert spark_context.parallelize(list(range(1, 11))).reduce(lambda a, b: a + b) == 55
+
+    def test_reduce_empty_raises(self, spark_context):
+        with pytest.raises(ValueError):
+            spark_context.parallelize([]).reduce(lambda a, b: a + b)
+
+    def test_collect_as_map(self, spark_context):
+        rdd = spark_context.parallelize([("x", 1), ("y", 2)])
+        assert rdd.collectAsMap() == {"x": 1, "y": 2}
+
+    def test_count_by_key(self, spark_context):
+        rdd = spark_context.parallelize([("a", 1), ("a", 2), ("b", 3)])
+        assert rdd.countByKey() == {"a": 2, "b": 1}
+
+    def test_foreach(self, spark_context):
+        seen = []
+        spark_context.parallelize([1, 2, 3]).foreach(seen.append)
+        assert sorted(seen) == [1, 2, 3]
+
+    def test_glom_partition_count(self, spark_context):
+        rdd = spark_context.parallelize(list(range(12)), num_partitions=4)
+        parts = rdd.glom()
+        assert len(parts) == 4
+        assert sum(len(p) for p in parts) == 12
+
+    def test_collect_accounts_driver_traffic(self, spark_context):
+        before = spark_context.metrics.collect_bytes
+        spark_context.parallelize([np.zeros(1000)]).collect()
+        assert spark_context.metrics.collect_bytes >= before + 8000
+
+
+class TestByKeyOperations:
+    def test_reduce_by_key(self, spark_context):
+        rdd = spark_context.parallelize([("a", 1), ("b", 5), ("a", 3)])
+        assert dict(rdd.reduceByKey(lambda x, y: x + y).collect()) == {"a": 4, "b": 5}
+
+    def test_reduce_by_key_triggers_shuffle(self, spark_context):
+        rdd = spark_context.parallelize([("a", 1), ("a", 2)])
+        rdd.reduceByKey(lambda x, y: x + y).collect()
+        assert spark_context.metrics.shuffle_count == 1
+
+    def test_group_by_key(self, spark_context):
+        rdd = spark_context.parallelize([("a", 1), ("a", 2), ("b", 3)])
+        grouped = {k: sorted(v) for k, v in rdd.groupByKey().collect()}
+        assert grouped == {"a": [1, 2], "b": [3]}
+
+    def test_combine_by_key_list_pairing(self, spark_context):
+        # The paper's ListAppend/ListUnpack pairing pattern.
+        rdd = spark_context.parallelize([((0, 1), "A"), ((0, 1), "D"), ((1, 1), "A")])
+        combined = rdd.combineByKey(lambda v: [v], lambda acc, v: acc + [v],
+                                    lambda a, b: a + b)
+        result = {k: sorted(v) for k, v in combined.collect()}
+        assert result == {(0, 1): ["A", "D"], (1, 1): ["A"]}
+
+    def test_by_key_on_non_pairs_raises(self, spark_context):
+        rdd = spark_context.parallelize([1, 2, 3])
+        with pytest.raises(TypeError):
+            rdd.reduceByKey(lambda a, b: a + b).collect()
+
+    def test_reduce_by_key_with_custom_partitioner(self, spark_context):
+        partitioner = MultiDiagonalPartitioner(4, 4)
+        rdd = spark_context.parallelize([((0, 1), 5), ((0, 1), 3), ((2, 3), 1)])
+        reduced = rdd.reduceByKey(min, partitioner)
+        assert reduced.partitioner == partitioner
+        assert dict(reduced.collect()) == {(0, 1): 3, (2, 3): 1}
+
+
+class TestPartitioning:
+    def test_partition_by_places_keys_correctly(self, spark_context):
+        partitioner = PortableHashPartitioner(5)
+        rdd = spark_context.parallelize([(i, i) for i in range(40)]).partitionBy(partitioner)
+        parts = rdd.glom()
+        for index, part in enumerate(parts):
+            for key, _ in part:
+                assert partitioner(key) == index
+
+    def test_partition_by_is_noop_when_already_partitioned(self, spark_context):
+        partitioner = PortableHashPartitioner(4)
+        rdd = spark_context.parallelize([(i, i) for i in range(10)], partitioner=partitioner)
+        assert rdd.partitionBy(partitioner) is rdd
+
+    def test_partition_by_accepts_int(self, spark_context):
+        rdd = spark_context.parallelize([(i, i) for i in range(10)]).partitionBy(3)
+        assert rdd.num_partitions == 3
+
+    def test_map_drops_partitioner_filter_keeps_it(self, spark_context):
+        partitioner = PortableHashPartitioner(4)
+        rdd = spark_context.parallelize([(i, i) for i in range(10)], partitioner=partitioner)
+        assert rdd.map(lambda kv: kv).partitioner is None
+        assert rdd.filter(lambda kv: True).partitioner == partitioner
+        assert rdd.mapValues(lambda v: v).partitioner == partitioner
+        assert rdd.map_preserving(lambda kv: kv).partitioner == partitioner
+
+    def test_union_concatenates_partitions_and_drops_partitioner(self, spark_context):
+        partitioner = PortableHashPartitioner(4)
+        a = spark_context.parallelize([(1, "a")], partitioner=partitioner)
+        b = spark_context.parallelize([(2, "b")], partitioner=partitioner)
+        union = spark_context.union([a, b])
+        # This is the partition-explosion behaviour Section 5.2 warns about.
+        assert union.num_partitions == a.num_partitions + b.num_partitions
+        assert union.partitioner is None
+        assert sorted(union.collect()) == [(1, "a"), (2, "b")]
+
+    def test_union_via_method(self, spark_context):
+        a = spark_context.parallelize([1, 2])
+        b = spark_context.parallelize([3])
+        assert sorted(a.union(b).collect()) == [1, 2, 3]
+
+    def test_cartesian(self, spark_context):
+        a = spark_context.parallelize([1, 2], num_partitions=2)
+        b = spark_context.parallelize(["x", "y"], num_partitions=2)
+        pairs = sorted(a.cartesian(b).collect())
+        assert pairs == [(1, "x"), (1, "y"), (2, "x"), (2, "y")]
+        assert a.cartesian(b).num_partitions == 4
+
+    def test_cartesian_counts_data_movement(self, spark_context):
+        a = spark_context.parallelize([np.zeros(100)], num_partitions=1)
+        b = spark_context.parallelize([np.zeros(100)], num_partitions=1)
+        a.cartesian(b).collect()
+        assert spark_context.metrics.shuffle_bytes > 0
+
+
+class TestCaching:
+    def test_cache_avoids_recomputation(self, spark_context):
+        calls = []
+
+        def record(x):
+            calls.append(x)
+            return x
+
+        rdd = spark_context.parallelize([1, 2, 3], num_partitions=1).map(record).cache()
+        rdd.collect()
+        rdd.collect()
+        assert len(calls) == 3  # computed once despite two actions
+
+    def test_unpersist_recomputes(self, spark_context):
+        calls = []
+        rdd = spark_context.parallelize([1], num_partitions=1) \
+            .map(lambda x: calls.append(x) or x).cache()
+        rdd.collect()
+        rdd.unpersist()
+        rdd.collect()
+        assert len(calls) == 2
+
+    def test_cached_flag(self, spark_context):
+        rdd = spark_context.parallelize([1])
+        assert not rdd.is_cached()
+        rdd.cache()
+        assert rdd.is_cached()
+
+    def test_cache_metrics(self, spark_context):
+        rdd = spark_context.parallelize([np.zeros(100)], num_partitions=1).cache()
+        rdd.collect()
+        assert spark_context.metrics.cached_partitions >= 1
+
+
+class TestShuffledRDD:
+    def test_shuffle_materialized_once(self, spark_context):
+        rdd = spark_context.parallelize([("a", 1), ("b", 2)]).partitionBy(2)
+        rdd.collect()
+        rdd.collect()
+        assert spark_context.metrics.shuffle_count == 1
+
+    def test_shuffle_is_shuffled_rdd(self, spark_context):
+        rdd = spark_context.parallelize([("a", 1)]).partitionBy(2)
+        assert isinstance(rdd, ShuffledRDD)
+
+    def test_chained_shuffles(self, spark_context):
+        rdd = spark_context.parallelize([(i % 3, i) for i in range(30)])
+        result = rdd.reduceByKey(lambda a, b: a + b).partitionBy(PortableHashPartitioner(2))
+        collected = dict(result.collect())
+        expected = {k: sum(i for i in range(30) if i % 3 == k) for k in range(3)}
+        assert collected == expected
+        assert spark_context.metrics.shuffle_count == 2
+
+    def test_threaded_backend_gives_same_results(self, threaded_config):
+        with SparkContext(threaded_config) as sc:
+            rdd = sc.parallelize([(i % 5, i) for i in range(100)], num_partitions=8)
+            result = dict(rdd.reduceByKey(lambda a, b: a + b).collect())
+        expected = {k: sum(i for i in range(100) if i % 5 == k) for k in range(5)}
+        assert result == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(-100, 100)), max_size=60),
+           st.integers(1, 7))
+    def test_property_reduce_by_key_matches_python(self, data, num_partitions):
+        expected = {}
+        for k, v in data:
+            expected[k] = expected.get(k, 0) + v
+        with SparkContext(EngineConfig(backend="serial", num_executors=2,
+                                       cores_per_executor=1)) as sc:
+            rdd = sc.parallelize(data, num_partitions=num_partitions)
+            result = dict(rdd.reduceByKey(lambda a, b: a + b).collect())
+        assert result == expected
