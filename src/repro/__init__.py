@@ -6,11 +6,18 @@ This package reproduces the system described in
     "Solving All-Pairs Shortest-Paths Problem in Large Graphs Using Apache Spark",
     ICPP 2019.
 
-The public API is intentionally small:
+The public API:
 
-* :func:`repro.solve_apsp` — front-end that runs any of the four paper solvers
-  (``repeated-squaring``, ``fw-2d``, ``blocked-im``, ``blocked-cb``) or the
-  sequential / MPI-style baselines on an adjacency matrix or a graph.
+* :class:`repro.APSPEngine` — a persistent solving session owning one Spark
+  context for its lifetime; ``engine.solve(adj, request)`` for single solves,
+  ``engine.submit(...)`` / ``engine.solve_many(...)`` for batches of
+  :class:`repro.APSPJob` with stable job ids and per-job timings.
+* :class:`repro.SolveRequest` — typed, validated description of one solve
+  (solver, block size, partitioner, over-decomposition).
+* :func:`repro.solve_apsp` — one-shot convenience wrapper (ephemeral engine
+  per call) kept for backward compatibility.
+* :func:`repro.register_solver` — decorator adding new solver classes to the
+  open registry; :func:`repro.available_solvers` lists them.
 * :mod:`repro.graph` — synthetic graph generators used in the evaluation.
 * :mod:`repro.spark` — the mini-Spark engine substrate (RDDs, partitioners,
   shuffle accounting, shared-filesystem broadcast).
@@ -21,10 +28,20 @@ The public API is intentionally small:
 
 from repro._version import __version__
 from repro.core.api import solve_apsp, available_solvers, APSPResult
+from repro.core.engine import APSPEngine, APSPJob
+from repro.core.registry import SolverInfo, register_solver, solver_catalog, solver_info
+from repro.core.request import SolveRequest
 
 __all__ = [
     "__version__",
     "solve_apsp",
     "available_solvers",
     "APSPResult",
+    "APSPEngine",
+    "APSPJob",
+    "SolveRequest",
+    "SolverInfo",
+    "register_solver",
+    "solver_catalog",
+    "solver_info",
 ]

@@ -88,9 +88,19 @@ class EngineConfig:
         return max(2, self.total_cores)
 
     def resolve_shared_fs_dir(self) -> str:
-        """Return the shared-filesystem directory, creating a temp dir if needed."""
+        """Return a usable shared-filesystem directory without mutating the config.
+
+        When :attr:`shared_fs_dir` is set it is created (if needed) and
+        returned.  Otherwise a fresh temporary directory is returned — the
+        *caller* owns it and is responsible for cleaning it up; the config is
+        deliberately left untouched so that a config shared across several
+        contexts or engine sessions never smuggles one session's temp dir
+        (and its lifetime) into another.
+        :class:`~repro.spark.context.SparkContext` implements exactly that
+        ownership: it removes the temp dir on ``stop()``.
+        """
         if self.shared_fs_dir is None:
-            self.shared_fs_dir = tempfile.mkdtemp(prefix="apspark-sharedfs-")
+            return tempfile.mkdtemp(prefix="apspark-sharedfs-")
         os.makedirs(self.shared_fs_dir, exist_ok=True)
         return self.shared_fs_dir
 

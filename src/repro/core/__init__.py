@@ -19,7 +19,11 @@ records in an RDD, keeping only the upper triangle of the symmetric matrix:
 """
 
 from repro.core.api import solve_apsp, available_solvers, APSPResult, get_solver_class
-from repro.core.base import SparkAPSPSolver, SolverOptions
+from repro.core.base import SparkAPSPSolver, SolverOptions, SolvePlan
+from repro.core.engine import APSPEngine, APSPJob
+from repro.core.registry import (SolverInfo, register_solver, solver_catalog,
+                                 solver_info, unregister_solver)
+from repro.core.request import SolveRequest
 from repro.core.repeated_squaring import RepeatedSquaringSolver
 from repro.core.floyd_warshall_2d import FloydWarshall2DSolver
 from repro.core.blocked_inmemory import BlockedInMemorySolver
@@ -31,6 +35,15 @@ __all__ = [
     "available_solvers",
     "get_solver_class",
     "APSPResult",
+    "APSPEngine",
+    "APSPJob",
+    "SolveRequest",
+    "SolvePlan",
+    "SolverInfo",
+    "register_solver",
+    "unregister_solver",
+    "solver_catalog",
+    "solver_info",
     "SparkAPSPSolver",
     "SolverOptions",
     "RepeatedSquaringSolver",

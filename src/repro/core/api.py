@@ -1,57 +1,34 @@
-"""High-level front-end: ``solve_apsp`` and the solver registry."""
+"""High-level front-end: ``solve_apsp`` on top of :class:`~repro.core.engine.APSPEngine`.
+
+The modern entry point is the engine session API::
+
+    with APSPEngine(config) as engine:
+        result = engine.solve(adjacency, SolveRequest(solver="blocked-cb"))
+
+:func:`solve_apsp` remains as the one-shot convenience wrapper (one
+ephemeral engine per call) so existing call sites keep working unchanged.
+Solver lookup lives in :mod:`repro.core.registry`; the names re-exported
+here (:func:`available_solvers`, :func:`get_solver_class`) are kept for
+backward compatibility.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Type
+from typing import Any
 
 import numpy as np
 
+# Importing the solver modules populates the registry as an import side effect.
+import repro.core.blocked_collect_broadcast  # noqa: F401
+import repro.core.blocked_inmemory  # noqa: F401
+import repro.core.floyd_warshall_2d  # noqa: F401
+import repro.core.repeated_squaring  # noqa: F401
 from repro.common.config import EngineConfig
-from repro.common.errors import ConfigurationError
-from repro.core.base import APSPResult, SolverOptions, SparkAPSPSolver
-from repro.core.blocked_collect_broadcast import BlockedCollectBroadcastSolver
-from repro.core.blocked_inmemory import BlockedInMemorySolver
-from repro.core.floyd_warshall_2d import FloydWarshall2DSolver
-from repro.core.repeated_squaring import RepeatedSquaringSolver
-
-#: Registry of the paper's four Spark solvers, keyed by their short names.
-_SOLVER_REGISTRY: dict[str, Type[SparkAPSPSolver]] = {
-    RepeatedSquaringSolver.name: RepeatedSquaringSolver,
-    FloydWarshall2DSolver.name: FloydWarshall2DSolver,
-    BlockedInMemorySolver.name: BlockedInMemorySolver,
-    BlockedCollectBroadcastSolver.name: BlockedCollectBroadcastSolver,
-}
-
-#: Accepted aliases for solver names (paper terminology and common shorthands).
-_ALIASES: dict[str, str] = {
-    "squaring": "repeated-squaring",
-    "repeated_squaring": "repeated-squaring",
-    "rs": "repeated-squaring",
-    "fw2d": "fw-2d",
-    "fw_2d": "fw-2d",
-    "2d-floyd-warshall": "fw-2d",
-    "blocked-in-memory": "blocked-im",
-    "blocked_im": "blocked-im",
-    "im": "blocked-im",
-    "blocked-collect-broadcast": "blocked-cb",
-    "blocked_cb": "blocked-cb",
-    "cb": "blocked-cb",
-}
-
-
-def available_solvers() -> list[str]:
-    """Return the canonical names of the registered Spark APSP solvers."""
-    return sorted(_SOLVER_REGISTRY)
-
-
-def get_solver_class(name: str) -> Type[SparkAPSPSolver]:
-    """Resolve a solver name or alias to its implementing class."""
-    key = name.strip().lower()
-    key = _ALIASES.get(key, key)
-    if key not in _SOLVER_REGISTRY:
-        raise ConfigurationError(
-            f"unknown solver {name!r}; available: {', '.join(available_solvers())}")
-    return _SOLVER_REGISTRY[key]
+from repro.core.base import APSPResult
+from repro.core.engine import APSPEngine
+from repro.core.registry import (available_solvers, get_solver_class,  # noqa: F401
+                                 register_solver, solver_catalog, solver_info)
+from repro.core.request import SolveRequest
 
 
 def solve_apsp(adjacency: np.ndarray, *, solver: str = "blocked-cb",
@@ -59,7 +36,12 @@ def solve_apsp(adjacency: np.ndarray, *, solver: str = "blocked-cb",
                partitions_per_core: int = 2, num_partitions: int | None = None,
                validate: bool = False, config: EngineConfig | None = None,
                **extra: Any) -> APSPResult:
-    """Solve All-Pairs Shortest-Paths with one of the paper's Spark solvers.
+    """Solve All-Pairs Shortest-Paths with one of the registered Spark solvers.
+
+    One-shot convenience wrapper: builds a :class:`SolveRequest`, runs it on
+    an ephemeral :class:`APSPEngine` (context created and torn down inside
+    this call), and returns the result.  For repeated solves prefer a
+    long-lived engine, which reuses one Spark context across the batch.
 
     Parameters
     ----------
@@ -68,7 +50,8 @@ def solve_apsp(adjacency: np.ndarray, *, solver: str = "blocked-cb",
         Use :mod:`repro.graph` to build one from a graph or a point cloud.
     solver:
         ``"repeated-squaring"``, ``"fw-2d"``, ``"blocked-im"`` or
-        ``"blocked-cb"`` (default; the paper's best performer), or any alias.
+        ``"blocked-cb"`` (default; the paper's best performer), any alias,
+        or any solver added through :func:`repro.core.registry.register_solver`.
     block_size:
         Decomposition parameter ``b``; chosen automatically when omitted.
     partitioner:
@@ -93,10 +76,9 @@ def solve_apsp(adjacency: np.ndarray, *, solver: str = "blocked-cb",
     >>> result.distances.shape
     (64, 64)
     """
-    solver_cls = get_solver_class(solver)
-    options = SolverOptions(block_size=block_size, partitioner=partitioner,
-                            partitions_per_core=partitions_per_core,
-                            num_partitions=num_partitions, validate=validate,
-                            extra=dict(extra))
-    instance = solver_cls(config=config, options=options)
-    return instance.solve(adjacency)
+    request = SolveRequest.coerce(
+        None, solver=solver, block_size=block_size, partitioner=partitioner,
+        partitions_per_core=partitions_per_core, num_partitions=num_partitions,
+        validate=validate, **extra)
+    with APSPEngine(config) as engine:
+        return engine.solve(adjacency, request)

@@ -15,6 +15,7 @@ from repro.common.timing import Stopwatch
 from repro.graph.adjacency import validate_adjacency
 from repro.linalg.blocks import matrix_to_blocks, blocks_to_matrix, num_blocks
 from repro.spark.context import SparkContext
+from repro.spark.metrics import metrics_delta
 from repro.spark.partitioner import Partitioner, partitioner_by_name
 from repro.spark.rdd import RDD
 
@@ -84,6 +85,41 @@ class APSPResult:
                 f"{'pure' if self.pure else 'impure'}")
 
 
+@dataclass(frozen=True)
+class SolvePlan:
+    """Resolved geometry of one solve, inspectable before anything runs.
+
+    Produced by :meth:`SparkAPSPSolver.prepare`: the adjacency matrix has been
+    validated, the block size / block-grid side / partition count resolved, and
+    the partitioner instantiated.  Feeding the plan to
+    :meth:`SparkAPSPSolver.execute` (optionally with a shared
+    :class:`~repro.spark.context.SparkContext`) performs the actual solve.
+    """
+
+    solver: str
+    pure: bool
+    adjacency: np.ndarray
+    n: int
+    block_size: int
+    q: int
+    num_partitions: int
+    partitioner_name: str
+    partitioner: Partitioner
+
+    def describe(self) -> dict:
+        """Geometry summary as a plain dict (for logs, the CLI, and tests)."""
+        return {
+            "solver": self.solver,
+            "pure": self.pure,
+            "n": self.n,
+            "block_size": self.block_size,
+            "q": self.q,
+            "num_blocks_upper": self.q * (self.q + 1) // 2,
+            "num_partitions": self.num_partitions,
+            "partitioner": self.partitioner_name,
+        }
+
+
 def auto_block_size(n: int, total_cores: int, partitions_per_core: int = 2) -> int:
     """Pick a block size so that the upper-triangular block count ≈ 2x the partition count.
 
@@ -138,29 +174,59 @@ class SparkAPSPSolver:
         return partitioner_by_name(self.options.partitioner, num_partitions, q)
 
     # ------------------------------------------------------------------
-    def solve(self, adjacency: np.ndarray, *, context: SparkContext | None = None) -> APSPResult:
-        """Solve APSP for the given (undirected) adjacency matrix."""
+    def prepare(self, adjacency: np.ndarray) -> SolvePlan:
+        """Validate the input and resolve the solve geometry without running.
+
+        Returns a :class:`SolvePlan` describing block size, block-grid side,
+        partition count and partitioner — everything
+        :meth:`execute` needs, and everything a caller might want to inspect
+        or log before committing cluster time.
+        """
         adj = validate_adjacency(adjacency, require_symmetric=True)
         n = adj.shape[0]
         block_size, q, num_partitions = self._resolve_geometry(n)
         partitioner = self._build_partitioner(q, num_partitions)
-        stopwatch = Stopwatch()
+        return SolvePlan(
+            solver=self.name,
+            pure=self.pure,
+            adjacency=adj,
+            n=n,
+            block_size=block_size,
+            q=q,
+            num_partitions=num_partitions,
+            partitioner_name=self.options.partitioner.upper(),
+            partitioner=partitioner,
+        )
 
+    def execute(self, plan: SolvePlan, context: SparkContext | None = None) -> APSPResult:
+        """Run a prepared :class:`SolvePlan`.
+
+        When ``context`` is given it is reused and left running (the
+        :class:`~repro.core.engine.APSPEngine` path: one context, many
+        solves); otherwise an ephemeral context is created and stopped.
+        The result's ``metrics`` are the engine counters attributable to
+        *this* solve (a delta against the context's counters at entry), so
+        they are meaningful under context reuse too.
+        """
+        stopwatch = Stopwatch()
         owns_context = context is None
         sc = context or SparkContext(self.config)
         start = time.perf_counter()
         try:
+            metrics_before = sc.metrics.as_dict()
             with stopwatch.section("setup"):
-                records = list(matrix_to_blocks(adj, block_size, upper_only=True))
-                rdd = sc.parallelize(records, partitioner=partitioner).cache()
+                records = list(matrix_to_blocks(plan.adjacency, plan.block_size,
+                                                upper_only=True))
+                rdd = sc.parallelize(records, partitioner=plan.partitioner).cache()
             result_blocks, iterations = self._run(
-                sc, rdd, n, block_size, q, partitioner, stopwatch)
+                sc, rdd, plan.n, plan.block_size, plan.q, plan.partitioner, stopwatch)
             with stopwatch.section("gather"):
                 if isinstance(result_blocks, RDD):
                     result_blocks = result_blocks.collect()
-                distances = blocks_to_matrix(result_blocks, n, block_size, symmetric=True)
+                distances = blocks_to_matrix(result_blocks, plan.n, plan.block_size,
+                                             symmetric=True)
             elapsed = time.perf_counter() - start
-            metrics = sc.metrics.as_dict()
+            metrics = metrics_delta(metrics_before, sc.metrics.as_dict())
         finally:
             if owns_context:
                 sc.stop()
@@ -168,12 +234,12 @@ class SparkAPSPSolver:
         result = APSPResult(
             distances=distances,
             solver=self.name,
-            n=n,
-            block_size=block_size,
-            q=q,
+            n=plan.n,
+            block_size=plan.block_size,
+            q=plan.q,
             iterations=iterations,
-            num_partitions=num_partitions,
-            partitioner=self.options.partitioner.upper(),
+            num_partitions=plan.num_partitions,
+            partitioner=plan.partitioner_name,
             pure=self.pure,
             elapsed_seconds=elapsed,
             phase_seconds=stopwatch.as_dict(),
@@ -182,6 +248,13 @@ class SparkAPSPSolver:
         if self.options.validate:
             self.validate_result(result)
         return result
+
+    def solve(self, adjacency: np.ndarray, *, context: SparkContext | None = None) -> APSPResult:
+        """Solve APSP for the given (undirected) adjacency matrix.
+
+        Equivalent to ``execute(prepare(adjacency), context)``.
+        """
+        return self.execute(self.prepare(adjacency), context)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -212,7 +285,9 @@ class SparkAPSPSolver:
                         f"{d[i, j]} > {d[i, k]} + {d[k, j]}")
             return
         rng = np.random.default_rng(seed)
-        idx = rng.integers(0, n, size=(min(sample, n * n), 3))
+        # At most ``sample`` triples regardless of n, so validation stays O(sample)
+        # on large matrices instead of growing with the problem size.
+        idx = rng.integers(0, n, size=(max(1, int(sample)), 3))
         for i, j, k in idx:
             dij, dik, dkj = d[i, j], d[i, k], d[k, j]
             if np.isfinite(dik) and np.isfinite(dkj) and dij > dik + dkj + 1e-9:

@@ -16,11 +16,15 @@ from repro.common.errors import SolverError
 from repro.common.timing import Stopwatch
 from repro.core import building_blocks as bb
 from repro.core.base import SparkAPSPSolver
+from repro.core.registry import register_solver
 from repro.spark.context import SparkContext
 from repro.spark.partitioner import Partitioner
 from repro.spark.rdd import RDD
 
 
+@register_solver(aliases=("blocked-collect-broadcast", "cb"),
+                 description="Blocked APSP with pivot data staged through the driver "
+                             "and shared storage (Algorithm 4, impure, fastest)")
 class BlockedCollectBroadcastSolver(SparkAPSPSolver):
     """Blocked APSP with pivot data redistributed through the driver and shared storage."""
 

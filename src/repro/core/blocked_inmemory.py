@@ -23,11 +23,15 @@ from __future__ import annotations
 from repro.common.timing import Stopwatch
 from repro.core import building_blocks as bb
 from repro.core.base import SparkAPSPSolver
+from repro.core.registry import register_solver
 from repro.spark.context import SparkContext
 from repro.spark.partitioner import Partitioner
 from repro.spark.rdd import RDD
 
 
+@register_solver(aliases=("blocked-in-memory", "im"),
+                 description="Blocked (Venkataraman) APSP expressed entirely with "
+                             "Spark shuffles (Algorithm 3, pure)")
 class BlockedInMemorySolver(SparkAPSPSolver):
     """Pure-Spark blocked APSP relying on shuffles to pair pivot data with blocks."""
 

@@ -1,0 +1,311 @@
+"""`APSPEngine`: a persistent session that runs many solves on one context.
+
+The paper's experiments (Tables 2/3, Figures 2/3/5) all run dozens of solves
+against a single long-lived Spark cluster.  :class:`APSPEngine` models that
+shape: it owns one :class:`~repro.spark.context.SparkContext` for its whole
+lifetime, accepts typed :class:`~repro.core.request.SolveRequest` objects,
+and offers both a synchronous :meth:`solve` and a batch interface
+(:meth:`submit` / :meth:`solve_many`) that hands back :class:`APSPJob`
+records with stable job ids, per-job timings, and per-job engine metrics.
+
+Example
+-------
+>>> from repro.graph import erdos_renyi_adjacency
+>>> from repro.core.engine import APSPEngine
+>>> from repro.core.request import SolveRequest
+>>> adj = erdos_renyi_adjacency(48, seed=7)
+>>> with APSPEngine() as engine:
+...     a = engine.solve(adj, SolveRequest(solver="blocked-cb", block_size=16))
+...     b = engine.solve(adj, solver="blocked-im", block_size=12)
+...     engine.stats()["jobs_completed"]
+2
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.common.config import EngineConfig, default_config
+from repro.common.errors import SolverError
+from repro.core.base import APSPResult, SolvePlan, SparkAPSPSolver
+from repro.core.registry import get_solver_class
+from repro.core.request import SolveRequest
+from repro.spark.context import SparkContext
+
+#: Job lifecycle states.
+JOB_PENDING = "pending"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+
+
+@dataclass
+class APSPJob:
+    """One unit of engine work: a request plus its lifecycle and outcome.
+
+    Jobs are created by :meth:`APSPEngine.submit` in the ``pending`` state;
+    :meth:`result` (or the engine's :meth:`APSPEngine.run_pending` /
+    :meth:`APSPEngine.solve_many`) drives them to ``done`` or ``failed``.
+    ``job_id`` values are stable and ordered (``job-0001``, ``job-0002``, …)
+    within one engine session.
+    """
+
+    job_id: str
+    request: SolveRequest
+    adjacency: np.ndarray | None  # released once the job has executed
+    status: str = JOB_PENDING
+    elapsed_seconds: float | None = None
+    error: Exception | None = None
+    _result: APSPResult | None = field(default=None, repr=False)
+    _engine: "APSPEngine | None" = field(default=None, repr=False)
+
+    @property
+    def done(self) -> bool:
+        return self.status in (JOB_DONE, JOB_FAILED)
+
+    def result(self) -> APSPResult:
+        """Return the solve result, executing the job now if still pending.
+
+        Raises the job's original error if execution failed.
+        """
+        if self.status == JOB_PENDING:
+            if self._engine is None:
+                raise SolverError(f"{self.job_id} is detached from its engine")
+            self._engine._execute_job(self)
+        if self.error is not None:
+            raise self.error
+        assert self._result is not None
+        return self._result
+
+    def summary(self) -> str:
+        """One-line status summary."""
+        timing = f" {self.elapsed_seconds:.3f}s" if self.elapsed_seconds is not None else ""
+        return f"{self.job_id} [{self.status}]{timing} {self.request.describe()}"
+
+
+class APSPEngine:
+    """A reusable APSP solving session backed by a single Spark context.
+
+    Parameters
+    ----------
+    config:
+        Engine configuration shared by every solve of the session.  The
+        config object is never mutated: temporary shared-filesystem
+        directories are owned (and cleaned up) by the underlying context,
+        not written back into the config.
+
+    Use as a context manager (``with APSPEngine(cfg) as engine: ...``) or
+    call :meth:`start` / :meth:`stop` explicitly.  All solves of a session
+    share one :class:`SparkContext`, so per-session engine metrics
+    (:attr:`metrics`) accumulate across solves while each
+    :class:`~repro.core.base.APSPResult` still reports its own delta.
+    """
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config or default_config()
+        self._context: SparkContext | None = None
+        self._closed = False
+        self._job_counter = itertools.count(1)
+        self.jobs: list[APSPJob] = []
+        self._jobs_submitted = 0
+        self._solves_completed = 0
+        self._solves_failed = 0
+        self._total_solve_seconds = 0.0
+        self._started_at: float | None = None
+
+    # ------------------------------------------------------------------ lifecycle
+    def __enter__(self) -> "APSPEngine":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._context is not None
+
+    @property
+    def context(self) -> SparkContext:
+        """The session's Spark context (started lazily on first access).
+
+        Once :meth:`stop` has been called the session is closed and this
+        raises instead of silently spinning up a context nothing would ever
+        stop; call :meth:`start` (or enter a new ``with`` block) to reopen.
+        """
+        if self._context is None:
+            if self._closed:
+                raise SolverError(
+                    "engine session is stopped; call start() (or use a new "
+                    "'with' block) before solving again")
+            self.start()
+        assert self._context is not None
+        return self._context
+
+    def start(self) -> "APSPEngine":
+        """Create the session's Spark context (idempotent; reopens after stop())."""
+        self._closed = False
+        if self._context is None:
+            self._context = SparkContext(self.config)
+            self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> None:
+        """Stop the context, releasing scheduler threads and any owned temp storage."""
+        self._closed = True
+        if self._context is not None:
+            self._context.stop()
+            self._context = None
+
+    # ------------------------------------------------------------------ submission
+    def _coerce_request(self, request: SolveRequest | None,
+                        kwargs: dict[str, Any]) -> SolveRequest:
+        if request is not None and kwargs:
+            return SolveRequest.coerce(request, **kwargs)
+        if request is not None:
+            return request
+        return SolveRequest.coerce(None, **kwargs)
+
+    def submit(self, adjacency: np.ndarray, request: SolveRequest | None = None,
+               **kwargs: Any) -> APSPJob:
+        """Enqueue one solve and return its :class:`APSPJob` (not yet executed).
+
+        Accepts a prebuilt :class:`SolveRequest`, loose keyword options
+        (``solver=..., block_size=...``), or both (keywords override).
+        """
+        req = self._coerce_request(request, kwargs)
+        job = APSPJob(job_id=f"job-{next(self._job_counter):04d}", request=req,
+                      adjacency=adjacency, _engine=self)
+        self.jobs.append(job)
+        self._jobs_submitted += 1
+        return job
+
+    def solve(self, adjacency: np.ndarray, request: SolveRequest | None = None,
+              **kwargs: Any) -> APSPResult:
+        """Solve one instance synchronously on the session context.
+
+        The transient job is dropped from :attr:`jobs` once the result is
+        returned (the caller holds the result; keeping a second reference
+        per solve would grow session memory without bound), while the
+        session counters in :meth:`stats` still record it.
+        """
+        job = self.submit(adjacency, request, **kwargs)
+        try:
+            return job.result()
+        finally:
+            self.jobs.remove(job)
+
+    def solve_many(self, items: Iterable[np.ndarray | tuple[np.ndarray, SolveRequest]],
+                   request: SolveRequest | None = None, **kwargs: Any) -> list[APSPJob]:
+        """Submit and run a batch, returning the finished jobs in order.
+
+        ``items`` is a sequence of adjacency matrices — or of
+        ``(adjacency, request)`` pairs for per-item requests.  A shared
+        ``request`` (or loose keywords) applies to the bare matrices.
+        Failed jobs are returned with ``status == "failed"`` and the error
+        attached rather than aborting the rest of the batch.
+        """
+        jobs: list[APSPJob] = []
+        for item in items:
+            if isinstance(item, tuple):
+                adjacency, item_request = item
+                jobs.append(self.submit(adjacency, item_request))
+            else:
+                jobs.append(self.submit(item, request, **kwargs))
+        for job in jobs:
+            try:
+                job.result()
+            except Exception:  # noqa: BLE001 — recorded on the job
+                pass
+        return jobs
+
+    def clear_jobs(self) -> list[APSPJob]:
+        """Drop finished jobs from the session history and return them.
+
+        Pending jobs are kept.  Session counters (``jobs_completed`` etc.)
+        are unaffected, so :meth:`stats` still reflects the whole session;
+        this only releases the per-job objects (and the results they hold)
+        for long-running sessions.
+        """
+        finished = [job for job in self.jobs if job.done]
+        self.jobs = [job for job in self.jobs if not job.done]
+        return finished
+
+    def run_pending(self) -> list[APSPJob]:
+        """Execute every still-pending job; returns the jobs that were run."""
+        pending = [job for job in self.jobs if job.status == JOB_PENDING]
+        for job in pending:
+            try:
+                job.result()
+            except Exception:  # noqa: BLE001 — recorded on the job
+                pass
+        return pending
+
+    # ------------------------------------------------------------------ planning
+    def plan(self, adjacency: np.ndarray, request: SolveRequest | None = None,
+             **kwargs: Any) -> SolvePlan:
+        """Resolve geometry for a would-be solve without running it."""
+        req = self._coerce_request(request, kwargs)
+        return self._solver_for(req).prepare(adjacency)
+
+    def _solver_for(self, request: SolveRequest) -> SparkAPSPSolver:
+        solver_cls = get_solver_class(request.solver)
+        return solver_cls(config=self.config, options=request.to_options())
+
+    # ------------------------------------------------------------------ execution
+    def _execute_job(self, job: APSPJob) -> None:
+        solver = self._solver_for(job.request)
+        job.status = JOB_RUNNING
+        start = time.perf_counter()
+        try:
+            result = solver.execute(solver.prepare(job.adjacency), self.context)
+        except Exception as exc:  # noqa: BLE001 — surfaced via job.result()
+            job.elapsed_seconds = time.perf_counter() - start
+            job.status = JOB_FAILED
+            job.error = exc
+            self._solves_failed += 1
+            return
+        finally:
+            # Release the input and any staged shared-fs blocks so a
+            # long-lived session's memory/disk footprint stays bounded by
+            # one solve, not the whole job history.
+            job.adjacency = None
+            if self._context is not None:
+                self._context.clear_shared_fs()
+        job.elapsed_seconds = time.perf_counter() - start
+        job.status = JOB_DONE
+        job._result = result
+        self._solves_completed += 1
+        self._total_solve_seconds += job.elapsed_seconds
+
+    # ------------------------------------------------------------------ metrics
+    @property
+    def metrics(self) -> dict:
+        """Engine data-movement counters accumulated across the whole session."""
+        if self._context is None:
+            return {}
+        return self._context.metrics.as_dict()
+
+    def stats(self) -> dict:
+        """Aggregated session statistics (jobs, timings, data movement)."""
+        stats = {
+            "jobs_submitted": self._jobs_submitted,
+            "jobs_completed": self._solves_completed,
+            "jobs_failed": self._solves_failed,
+            "jobs_pending": sum(1 for j in self.jobs if j.status == JOB_PENDING),
+            "total_solve_seconds": self._total_solve_seconds,
+            "session_seconds": (time.perf_counter() - self._started_at
+                                if self._started_at is not None else 0.0),
+        }
+        stats.update(self.metrics)
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self.running else "stopped"
+        return (f"APSPEngine({state}, jobs={len(self.jobs)}, "
+                f"completed={self._solves_completed}, failed={self._solves_failed})")

@@ -14,11 +14,15 @@ from __future__ import annotations
 from repro.common.timing import Stopwatch
 from repro.core import building_blocks as bb
 from repro.core.base import SparkAPSPSolver
+from repro.core.registry import register_solver
 from repro.spark.context import SparkContext
 from repro.spark.partitioner import Partitioner
 from repro.spark.rdd import RDD
 
 
+@register_solver(aliases=("fw2d", "2d-floyd-warshall"),
+                 description="2D-decomposed Floyd-Warshall with a per-iteration "
+                             "pivot collect+broadcast (Algorithm 2, pure)")
 class FloydWarshall2DSolver(SparkAPSPSolver):
     """Pure-Spark 2D-decomposed Floyd-Warshall with per-pivot collect + broadcast."""
 

@@ -1,0 +1,144 @@
+"""Pluggable solver registry.
+
+The four paper solvers register themselves at import time through the
+:func:`register_solver` decorator; external code can add its own
+:class:`~repro.core.base.SparkAPSPSolver` subclasses the same way and they
+become reachable from :class:`~repro.core.engine.APSPEngine`,
+:func:`~repro.core.api.solve_apsp` and the ``apspark`` CLI without touching
+this package.
+
+Every registration carries metadata (canonical name, accepted aliases,
+purity, one-line description) that the CLI's ``apspark solvers`` subcommand
+and :func:`solver_catalog` expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SolverInfo:
+    """Registry metadata for one solver implementation."""
+
+    name: str
+    cls: type
+    aliases: tuple[str, ...] = ()
+    pure: bool = True
+    description: str = ""
+
+    def as_dict(self) -> dict:
+        """Plain-dict view used by the CLI and reports."""
+        return {
+            "name": self.name,
+            "aliases": ", ".join(self.aliases),
+            "pure": self.pure,
+            "description": self.description,
+        }
+
+
+#: Canonical name -> SolverInfo.
+_REGISTRY: dict[str, SolverInfo] = {}
+#: Normalised alias -> canonical name.
+_ALIAS_INDEX: dict[str, str] = {}
+
+
+def _normalise(name: str) -> str:
+    return name.strip().lower().replace("_", "-")
+
+
+def register_solver(cls=None, *, aliases: Iterable[str] = (),
+                    description: str | None = None):
+    """Class decorator registering a :class:`SparkAPSPSolver` subclass.
+
+    Usable bare (``@register_solver``) or with arguments
+    (``@register_solver(aliases=("rs",))``).  The canonical name is taken
+    from the class's ``name`` attribute, purity from ``pure``, and the
+    description from the argument or the first line of the class docstring.
+    Re-registering a name replaces the previous entry (latest wins), so
+    test doubles can shadow a built-in solver and restore it afterwards.
+    """
+
+    def _register(solver_cls):
+        name = getattr(solver_cls, "name", None)
+        if not name or name == "abstract":
+            raise ConfigurationError(
+                f"solver class {solver_cls.__name__} must define a non-abstract "
+                "'name' attribute to be registered")
+        canonical = _normalise(name)
+        doc = (solver_cls.__doc__ or "").strip().splitlines()
+        info = SolverInfo(
+            name=canonical,
+            cls=solver_cls,
+            aliases=tuple(_normalise(a) for a in aliases),
+            pure=bool(getattr(solver_cls, "pure", True)),
+            description=description if description is not None else (doc[0] if doc else ""),
+        )
+        # Validate before mutating anything, so a rejected registration
+        # leaves the registry exactly as it was.
+        for alias in info.aliases:
+            owner = _ALIAS_INDEX.get(alias)
+            if owner is not None and owner != canonical:
+                raise ConfigurationError(
+                    f"alias {alias!r} already registered for solver {owner!r}")
+            if alias in _REGISTRY and alias != canonical:
+                raise ConfigurationError(
+                    f"alias {alias!r} would shadow the registered solver of "
+                    "the same name")
+        previous = _REGISTRY.get(canonical)
+        if previous is not None:
+            for alias in previous.aliases:
+                if _ALIAS_INDEX.get(alias) == canonical:
+                    del _ALIAS_INDEX[alias]
+        _REGISTRY[canonical] = info
+        for alias in info.aliases:
+            _ALIAS_INDEX[alias] = canonical
+        return solver_cls
+
+    if cls is not None:  # bare @register_solver
+        return _register(cls)
+    return _register
+
+
+def unregister_solver(name: str) -> None:
+    """Remove a solver (and its aliases) from the registry; unknown names are ignored."""
+    canonical = _ALIAS_INDEX.get(_normalise(name), _normalise(name))
+    info = _REGISTRY.pop(canonical, None)
+    if info is not None:
+        for alias in info.aliases:
+            # Only remove aliases this solver actually owns.
+            if _ALIAS_INDEX.get(alias) == canonical:
+                del _ALIAS_INDEX[alias]
+
+
+def resolve_solver_name(name: str) -> str:
+    """Resolve a name or alias to the canonical solver name."""
+    key = _normalise(name)
+    key = _ALIAS_INDEX.get(key, key)
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown solver {name!r}; available: {', '.join(available_solvers())}")
+    return key
+
+
+def solver_info(name: str) -> SolverInfo:
+    """Return the registry metadata for a solver name or alias."""
+    return _REGISTRY[resolve_solver_name(name)]
+
+
+def get_solver_class(name: str):
+    """Resolve a solver name or alias to its implementing class."""
+    return solver_info(name).cls
+
+
+def available_solvers() -> list[str]:
+    """Return the canonical names of the registered solvers, sorted."""
+    return sorted(_REGISTRY)
+
+
+def solver_catalog() -> list[SolverInfo]:
+    """Return :class:`SolverInfo` entries for every registered solver, sorted by name."""
+    return [_REGISTRY[name] for name in available_solvers()]

@@ -18,12 +18,16 @@ import numpy as np
 from repro.common.timing import Stopwatch
 from repro.core import building_blocks as bb
 from repro.core.base import SparkAPSPSolver
+from repro.core.registry import register_solver
 from repro.linalg.semiring import elementwise_min, minplus_closure_iterations
 from repro.spark.context import SparkContext
 from repro.spark.partitioner import Partitioner
 from repro.spark.rdd import RDD
 
 
+@register_solver(aliases=("squaring", "rs"),
+                 description="Min-plus repeated squaring via column-block products "
+                             "staged through shared storage (Algorithm 1, impure)")
 class RepeatedSquaringSolver(SparkAPSPSolver):
     """Min-plus repeated squaring with column-block staging through shared storage."""
 

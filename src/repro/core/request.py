@@ -1,0 +1,113 @@
+"""Typed solve requests: every knob of one APSP solve, validated up front.
+
+:class:`SolveRequest` replaces the loose keyword soup that used to flow
+through ``solve_apsp(**kwargs)``: it names the solver, the decomposition
+parameter ``b``, the partitioner, and the over-decomposition factor, and it
+rejects inconsistent values at construction time — long before a Spark
+context is spun up — so batch submissions fail fast instead of mid-sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.common.errors import ConfigurationError
+from repro.core.base import SolverOptions
+from repro.core.registry import resolve_solver_name
+from repro.spark.partitioner import canonical_partitioner_name
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One APSP solve: solver choice plus tuning parameters (Sections 5.2/5.3).
+
+    Parameters
+    ----------
+    solver:
+        Canonical solver name or any registered alias; resolved (and
+        validated) against the solver registry at construction.
+    block_size:
+        The decomposition parameter ``b``; ``None`` selects it automatically.
+    partitioner:
+        ``"MD"`` (multi-diagonal), ``"PH"`` (portable hash) or ``"GRID"``.
+    partitions_per_core:
+        The over-decomposition factor ``B`` (the paper recommends 2-4).
+    num_partitions:
+        Explicit partition count override (takes precedence over ``B``).
+    validate:
+        Run structural sanity checks on the result.
+    tag:
+        Free-form label echoed on the :class:`~repro.core.engine.APSPJob`,
+        handy for batch bookkeeping.
+    extra:
+        Solver-specific escape hatch, forwarded verbatim.
+    """
+
+    solver: str = "blocked-cb"
+    block_size: int | None = None
+    partitioner: str = "MD"
+    partitions_per_core: int = 2
+    num_partitions: int | None = None
+    validate: bool = False
+    tag: str | None = None
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Canonicalise through the registry: unknown solvers raise here.
+        object.__setattr__(self, "solver", resolve_solver_name(self.solver))
+        object.__setattr__(self, "partitioner",
+                           canonical_partitioner_name(str(self.partitioner)))
+        if self.block_size is not None and int(self.block_size) < 1:
+            raise ConfigurationError("block_size must be >= 1 or None")
+        if int(self.partitions_per_core) < 1:
+            raise ConfigurationError("partitions_per_core must be >= 1")
+        if self.num_partitions is not None and int(self.num_partitions) < 1:
+            raise ConfigurationError("num_partitions must be >= 1 or None")
+        object.__setattr__(self, "extra", dict(self.extra))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def coerce(cls, request: "SolveRequest | None" = None, /,
+               **overrides: Any) -> "SolveRequest":
+        """Build a request from an existing one and/or loose keyword overrides.
+
+        This is the bridge the backward-compatible :func:`repro.solve_apsp`
+        wrapper uses: ``coerce(None, solver="cb", block_size=16)`` builds a
+        fresh request, ``coerce(req, validate=True)`` derives a variant.
+        Unknown keywords are routed into :attr:`extra` rather than rejected,
+        matching the old front-end's lenient ``**extra`` behaviour.
+        """
+        explicit_extra = overrides.pop("extra", None)
+        known = set(cls.__dataclass_fields__)
+        fields = {k: v for k, v in overrides.items() if k in known}
+        extra = {k: v for k, v in overrides.items() if k not in known}
+        if explicit_extra:
+            extra.update(explicit_extra)
+        if request is None:
+            return cls(extra=extra, **fields)
+        merged_extra = {**request.extra, **extra}
+        return replace(request, extra=merged_extra, **fields)
+
+    def to_options(self) -> SolverOptions:
+        """Convert to the :class:`SolverOptions` consumed by solver classes."""
+        return SolverOptions(
+            block_size=self.block_size,
+            partitioner=self.partitioner,
+            partitions_per_core=self.partitions_per_core,
+            num_partitions=self.num_partitions,
+            validate=self.validate,
+            extra=dict(self.extra),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        bits = [self.solver,
+                f"b={'auto' if self.block_size is None else self.block_size}",
+                f"partitioner={self.partitioner}",
+                f"B={self.partitions_per_core}"]
+        if self.num_partitions is not None:
+            bits.append(f"partitions={self.num_partitions}")
+        if self.tag:
+            bits.append(f"tag={self.tag}")
+        return " ".join(bits)

@@ -11,6 +11,10 @@ Run a small measured sweep on this machine::
 
     apspark figure3 --mode measured
     apspark solve --n 256 --solver blocked-cb --block-size 32
+
+List the registered solvers with their aliases and purity::
+
+    apspark solvers
 """
 
 from __future__ import annotations
@@ -22,7 +26,9 @@ import numpy as np
 
 from repro.common.config import EngineConfig
 from repro.common.timing import format_seconds
-from repro.core.api import available_solvers, solve_apsp
+from repro.core.api import available_solvers, solver_catalog
+from repro.core.engine import APSPEngine
+from repro.core.request import SolveRequest
 from repro.experiments import figure2, figure3, table2, table3_figure5
 from repro.experiments.report import format_table, rows_to_csv
 from repro.graph.generators import erdos_renyi_adjacency
@@ -63,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--executors", type=int, default=4)
     p_solve.add_argument("--cores", type=int, default=2)
     p_solve.add_argument("--backend", choices=("serial", "threads"), default="serial")
+    p_solve.add_argument("--repeat", type=int, default=1,
+                         help="solve the instance this many times on one engine "
+                              "session (demonstrates context reuse)")
+
+    p_solvers = sub.add_parser("solvers", help="list registered solvers and their metadata")
+    p_solvers.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
     return parser
 
 
@@ -106,17 +118,31 @@ def main(argv=None) -> int:
         adjacency = erdos_renyi_adjacency(args.n, seed=args.seed)
         config = EngineConfig(backend=args.backend, num_executors=args.executors,
                               cores_per_executor=args.cores)
-        result = solve_apsp(adjacency, solver=args.solver, block_size=args.block_size,
-                            partitioner=args.partitioner, config=config)
+        request = SolveRequest(solver=args.solver, block_size=args.block_size,
+                               partitioner=args.partitioner)
         reference = floyd_warshall_reference(adjacency)
-        correct = bool(np.allclose(result.distances, reference))
-        print(result.summary())
+        with APSPEngine(config) as engine:
+            jobs = engine.solve_many([adjacency] * max(1, args.repeat), request)
+            correct = True
+            for job in jobs:
+                result = job.result()
+                correct = correct and bool(np.allclose(result.distances, reference))
+                print(f"{job.job_id}: {result.summary()}")
+                print(f"  elapsed: {format_seconds(result.elapsed_seconds)}; "
+                      f"shuffled {result.metrics['shuffle_bytes'] / 1e6:.1f} MB; "
+                      f"collected {result.metrics['collect_bytes'] / 1e6:.1f} MB; "
+                      f"shared-fs {result.metrics['sharedfs_bytes_written'] / 1e6:.1f} MB written")
+            stats = engine.stats()
         print(f"verified against sequential Floyd-Warshall: {'OK' if correct else 'MISMATCH'}")
-        print(f"elapsed: {format_seconds(result.elapsed_seconds)}; "
-              f"shuffled {result.metrics['shuffle_bytes'] / 1e6:.1f} MB; "
-              f"collected {result.metrics['collect_bytes'] / 1e6:.1f} MB; "
-              f"shared-fs {result.metrics['sharedfs_bytes_written'] / 1e6:.1f} MB written")
+        print(f"engine session: {stats['jobs_completed']} job(s) on one context, "
+              f"{stats['tasks_launched']} tasks, "
+              f"{format_seconds(stats['total_solve_seconds'])} solving")
         return 0 if correct else 1
+
+    if args.command == "solvers":
+        rows = [info.as_dict() for info in solver_catalog()]
+        _emit(rows, args, columns=["name", "aliases", "pure", "description"])
+        return 0
 
     return 2
 

@@ -11,13 +11,12 @@ induced by the two partitioners, which explains the timing differences.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.cluster.costmodel import CostModel
 from repro.common.config import EngineConfig
-from repro.core.api import solve_apsp
+from repro.core.engine import APSPEngine
+from repro.core.request import SolveRequest
 from repro.graph.generators import erdos_renyi_adjacency
 from repro.linalg.blocks import num_blocks, upper_triangular_block_ids
 from repro.sequential.floyd_warshall import floyd_warshall_reference
@@ -81,28 +80,29 @@ def run_measured(*, n: int = 192, block_sizes=(16, 24, 32, 48, 64),
     adjacency = erdos_renyi_adjacency(n, seed=seed)
     reference = floyd_warshall_reference(adjacency) if check_correctness else None
     rows: list[dict] = []
-    for solver in ("blocked-im", "blocked-cb"):
-        for partitioner in ("PH", "MD"):
-            for b_factor in (1, 2):
-                for block_size in block_sizes:
-                    start = time.perf_counter()
-                    result = solve_apsp(adjacency, solver=solver, block_size=block_size,
-                                        partitioner=partitioner,
-                                        partitions_per_core=b_factor, config=config)
-                    elapsed = time.perf_counter() - start
-                    correct = True
-                    if reference is not None:
-                        correct = bool(np.allclose(result.distances, reference))
-                    rows.append({
-                        "solver": solver,
-                        "partitioner": partitioner,
-                        "B": b_factor,
-                        "block_size": block_size,
-                        "total_seconds": elapsed,
-                        "shuffle_bytes": result.metrics.get("shuffle_bytes", 0),
-                        "sharedfs_bytes": result.metrics.get("sharedfs_bytes_written", 0),
-                        "correct": correct,
-                    })
+    # The whole sweep shares one engine session (one Spark context), exactly
+    # like the paper's long-lived cluster runs.
+    with APSPEngine(config) as engine:
+        for solver in ("blocked-im", "blocked-cb"):
+            for partitioner in ("PH", "MD"):
+                for b_factor in (1, 2):
+                    for block_size in block_sizes:
+                        result = engine.solve(adjacency, SolveRequest(
+                            solver=solver, block_size=block_size,
+                            partitioner=partitioner, partitions_per_core=b_factor))
+                        correct = True
+                        if reference is not None:
+                            correct = bool(np.allclose(result.distances, reference))
+                        rows.append({
+                            "solver": solver,
+                            "partitioner": partitioner,
+                            "B": b_factor,
+                            "block_size": block_size,
+                            "total_seconds": result.elapsed_seconds,
+                            "shuffle_bytes": result.metrics.get("shuffle_bytes", 0),
+                            "sharedfs_bytes": result.metrics.get("sharedfs_bytes_written", 0),
+                            "correct": correct,
+                        })
     return rows
 
 

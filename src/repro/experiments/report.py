@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import csv
 import io
 from typing import Iterable, Mapping, Sequence
 
@@ -42,7 +43,9 @@ def rows_to_csv(rows: Sequence[Mapping], columns: Sequence[str] | None = None) -
         return ""
     if columns is None:
         columns = list(rows[0].keys())
-    lines = [",".join(columns)]
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(columns)
     for row in rows:
-        lines.append(",".join(str(row.get(col, "")) for col in columns))
-    return "\n".join(lines) + "\n"
+        writer.writerow([str(row.get(col, "")) for col in columns])
+    return buffer.getvalue()

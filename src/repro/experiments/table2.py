@@ -11,13 +11,11 @@ totals the same way the paper does.
 
 from __future__ import annotations
 
-import time
-
 from repro.cluster.costmodel import CostModel
 from repro.common.config import EngineConfig
 from repro.common.timing import format_seconds
-from repro.core.api import get_solver_class
-from repro.core.base import SolverOptions
+from repro.core.engine import APSPEngine
+from repro.core.request import SolveRequest
 from repro.graph.generators import erdos_renyi_adjacency
 
 #: The paper's Table 2 configuration.
@@ -67,27 +65,25 @@ def run_measured(*, n: int = 160, block_sizes=(16, 32, 64), solvers=SOLVERS,
     config = config or EngineConfig(backend="serial", num_executors=4, cores_per_executor=2)
     adjacency = erdos_renyi_adjacency(n, seed=seed)
     rows: list[dict] = []
-    for solver in solvers:
-        solver_cls = get_solver_class(solver)
-        for partitioner in partitioners:
-            for block_size in block_sizes:
-                options = SolverOptions(block_size=block_size, partitioner=partitioner,
-                                        partitions_per_core=PAPER_B_FACTOR)
-                instance = solver_cls(config=config, options=options)
-                start = time.perf_counter()
-                result = instance.solve(adjacency)
-                elapsed = time.perf_counter() - start
-                single = elapsed / max(1, result.iterations)
-                rows.append({
-                    "method": solver,
-                    "partitioner": partitioner,
-                    "block_size": block_size,
-                    "iterations": result.iterations,
-                    "single_seconds": single,
-                    "projected_seconds": single * result.iterations,
-                    "total_seconds": elapsed,
-                    "shuffle_bytes": result.metrics.get("shuffle_bytes", 0),
-                    "collect_bytes": result.metrics.get("collect_bytes", 0),
-                    "sharedfs_bytes": result.metrics.get("sharedfs_bytes_written", 0),
-                })
+    with APSPEngine(config) as engine:
+        for solver in solvers:
+            for partitioner in partitioners:
+                for block_size in block_sizes:
+                    result = engine.solve(adjacency, SolveRequest(
+                        solver=solver, block_size=block_size, partitioner=partitioner,
+                        partitions_per_core=PAPER_B_FACTOR))
+                    elapsed = result.elapsed_seconds
+                    single = elapsed / max(1, result.iterations)
+                    rows.append({
+                        "method": solver,
+                        "partitioner": partitioner,
+                        "block_size": block_size,
+                        "iterations": result.iterations,
+                        "single_seconds": single,
+                        "projected_seconds": single * result.iterations,
+                        "total_seconds": elapsed,
+                        "shuffle_bytes": result.metrics.get("shuffle_bytes", 0),
+                        "collect_bytes": result.metrics.get("collect_bytes", 0),
+                        "sharedfs_bytes": result.metrics.get("sharedfs_bytes_written", 0),
+                    })
     return rows

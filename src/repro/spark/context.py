@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import shutil
 from typing import Callable, Iterable, Sequence
 
 from repro.common.config import EngineConfig, default_config
@@ -36,6 +37,8 @@ class SparkContext:
         self.scheduler = TaskScheduler(self.config, self.metrics, self.fault_injector)
         self.shuffle_manager = ShuffleManager(self.config, self.metrics)
         self._shared_fs: SharedFileSystem | None = None
+        self._shared_fs_root: str | None = None
+        self._owns_shared_fs = False
         self._rdd_counter = 0
         self._stopped = False
 
@@ -53,6 +56,11 @@ class SparkContext:
         self.scheduler.shutdown()
         if self._shared_fs is not None:
             self._shared_fs.close(remove_root=self._owns_shared_fs)
+        if self._owns_shared_fs and self._shared_fs_root is not None:
+            # The context created this temp dir, so the context removes it —
+            # nothing is written back into (or leaked through) the config.
+            shutil.rmtree(self._shared_fs_root, ignore_errors=True)
+            self._shared_fs_root = None
         self._stopped = True
 
     # ------------------------------------------------------------------ plumbing
@@ -94,12 +102,29 @@ class SparkContext:
     # ------------------------------------------------------------------ shared storage
     @property
     def shared_fs(self) -> SharedFileSystem:
-        """The shared persistent storage used by the impure solvers (lazily created)."""
+        """The shared persistent storage used by the impure solvers (lazily created).
+
+        When the config names no directory, the context creates a private
+        temp dir, owns it for its lifetime, and removes it on :meth:`stop` —
+        the (possibly shared) config object is never mutated.
+        """
         if self._shared_fs is None:
             self._owns_shared_fs = self.config.shared_fs_dir is None
-            root = self.config.resolve_shared_fs_dir()
-            self._shared_fs = SharedFileSystem(os.path.join(root, "sharedfs"), self.metrics)
+            self._shared_fs_root = self.config.resolve_shared_fs_dir()
+            self._shared_fs = SharedFileSystem(
+                os.path.join(self._shared_fs_root, "sharedfs"), self.metrics)
         return self._shared_fs
+
+    def clear_shared_fs(self) -> None:
+        """Drop every staged shared-filesystem object (if any were created).
+
+        A long-lived context serving many solves would otherwise accumulate
+        the impure solvers' staged ``.blk`` files until :meth:`stop`; callers
+        that know a job boundary (e.g. the engine between jobs) use this to
+        keep disk usage bounded to one solve.
+        """
+        if self._shared_fs is not None:
+            self._shared_fs.clear()
 
     # ------------------------------------------------------------------ job execution
     def run_job(self, rdd: RDD, func: Callable[[list], object] | None = None) -> list:

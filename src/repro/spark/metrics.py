@@ -156,3 +156,26 @@ class EngineMetrics:
         d = self.as_dict()
         body = ", ".join(f"{k}={v}" for k, v in d.items() if not isinstance(v, dict))
         return f"EngineMetrics({body})"
+
+
+def metrics_delta(before: dict, after: dict) -> dict:
+    """Counter-wise difference of two :meth:`EngineMetrics.as_dict` snapshots.
+
+    A long-lived context (one :class:`~repro.core.engine.APSPEngine` session)
+    accumulates counters across many solves; subtracting the snapshot taken
+    when a solve started attributes data movement to that solve alone.
+    Numeric counters subtract; nested dicts (per-executor spills) subtract
+    key-wise; anything else is taken from ``after`` verbatim.
+    """
+    delta: dict = {}
+    for key, after_value in after.items():
+        before_value = before.get(key)
+        if isinstance(after_value, (int, float)) and isinstance(before_value, (int, float)):
+            delta[key] = after_value - before_value
+        elif isinstance(after_value, dict):
+            prior = before_value if isinstance(before_value, dict) else {}
+            delta[key] = {k: v - prior.get(k, 0) for k, v in after_value.items()
+                          if v - prior.get(k, 0)}
+        else:
+            delta[key] = after_value
+    return delta

@@ -175,13 +175,34 @@ class GridPartitioner(Partitioner):
         return portable_hash(key) % self.num_partitions
 
 
+#: Canonical partitioner short names and the aliases they accept.
+PARTITIONER_NAMES = ("MD", "PH", "GRID")
+_PARTITIONER_ALIASES = {
+    "HASH": "PH", "PORTABLE_HASH": "PH",
+    "MULTIDIAGONAL": "MD", "MULTI_DIAGONAL": "MD",
+    "2D": "GRID",
+}
+
+
+def canonical_partitioner_name(name: str) -> str:
+    """Resolve a partitioner name or alias to ``"PH"``, ``"MD"`` or ``"GRID"``.
+
+    The single source of truth for partitioner naming, shared by
+    :func:`partitioner_by_name` and :class:`repro.core.request.SolveRequest`.
+    """
+    upper = str(name).strip().upper()
+    upper = _PARTITIONER_ALIASES.get(upper, upper)
+    if upper not in PARTITIONER_NAMES:
+        raise ConfigurationError(
+            f"unknown partitioner {name!r}; expected one of {', '.join(PARTITIONER_NAMES)}")
+    return upper
+
+
 def partitioner_by_name(name: str, num_partitions: int, q: int) -> Partitioner:
     """Construct a partitioner from its short name (``"PH"``, ``"MD"`` or ``"GRID"``)."""
-    upper = name.upper()
-    if upper in ("PH", "HASH", "PORTABLE_HASH"):
+    canonical = canonical_partitioner_name(name)
+    if canonical == "PH":
         return PortableHashPartitioner(num_partitions)
-    if upper in ("MD", "MULTIDIAGONAL", "MULTI_DIAGONAL"):
+    if canonical == "MD":
         return MultiDiagonalPartitioner(num_partitions, q)
-    if upper in ("GRID", "2D"):
-        return GridPartitioner(num_partitions)
-    raise ConfigurationError(f"unknown partitioner {name!r}; expected PH, MD or GRID")
+    return GridPartitioner(num_partitions)

@@ -61,12 +61,17 @@ class TestEngineConfig:
         with pytest.raises(ConfigurationError):
             cfg.replace(backend="bogus")
 
-    def test_resolve_shared_fs_dir_creates_tempdir(self):
+    def test_resolve_shared_fs_dir_creates_tempdir_without_mutation(self):
+        import shutil
+
         cfg = EngineConfig()
         path = cfg.resolve_shared_fs_dir()
-        assert os.path.isdir(path)
-        # Second call is stable.
-        assert cfg.resolve_shared_fs_dir() == path
+        try:
+            assert os.path.isdir(path)
+            # The config is not mutated: the caller owns the temp dir.
+            assert cfg.shared_fs_dir is None
+        finally:
+            shutil.rmtree(path, ignore_errors=True)
 
     def test_resolve_shared_fs_dir_respects_explicit_dir(self, tmp_path):
         target = str(tmp_path / "gpfs")
