@@ -4,6 +4,11 @@ Each ``test_bench_*.py`` module regenerates one table or figure of the paper
 (see DESIGN.md's experiment index) at a scale that fits this machine, plus the
 ablation benches called out in DESIGN.md.  Paper-scale numbers are produced by
 the projected mode of :mod:`repro.experiments` (not benchmarked here).
+
+Scales are environment-tunable through ``APSPARK_BENCH_N`` (see
+:func:`repro.bench.bench_scale_n`): the CI smoke job sets a tiny value, local
+deep runs can crank it up, and both share these fixtures and the suite
+definitions in :mod:`repro.bench.scenarios`.
 """
 
 from __future__ import annotations
@@ -11,8 +16,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.bench import bench_scale_n
 from repro.common.config import EngineConfig
 from repro.graph.generators import erdos_renyi_adjacency
+
+
+@pytest.fixture(scope="session")
+def bench_n() -> int:
+    """Benchmark problem size: ``APSPARK_BENCH_N`` when set, else 128."""
+    return bench_scale_n(128)
 
 
 @pytest.fixture(scope="session")
@@ -22,12 +34,6 @@ def bench_config() -> EngineConfig:
 
 
 @pytest.fixture(scope="session")
-def bench_graph() -> np.ndarray:
+def bench_graph(bench_n) -> np.ndarray:
     """The benchmark workload: an Erdős–Rényi graph with the paper's edge probability."""
-    return erdos_renyi_adjacency(128, seed=1234)
-
-
-@pytest.fixture(scope="session")
-def large_bench_graph() -> np.ndarray:
-    """A larger instance for the weak-scaling benchmark."""
-    return erdos_renyi_adjacency(192, seed=4321)
+    return erdos_renyi_adjacency(bench_n, seed=1234)

@@ -1,25 +1,25 @@
-"""Ablation bench: engine execution backend (serial vs thread pool).
+"""Ablation bench: engine execution backend (serial vs threads vs processes).
 
 The thread-pool backend exploits the fact that NumPy block kernels release the
-GIL; this bench measures how much of that parallelism the Blocked
-Collect/Broadcast solver actually captures on this machine.
+GIL; the process-pool backend ships picklable kernel payloads to worker
+processes for GIL-free multi-core execution.  The scenario grid lives in
+:mod:`repro.bench.scenarios` (suite ``backends``) so this module, the JSON
+harness (``apspark bench run --suite backends``), and the CI regression gate
+all measure the identical workload.
 """
 
 import pytest
 
-from repro.common.config import EngineConfig
-from repro.core.base import SolverOptions
-from repro.core.blocked_collect_broadcast import BlockedCollectBroadcastSolver
+from repro.bench import get_suite, solve_scenario
+from repro.core.engine import APSPEngine
+
+SUITE = get_suite("backends")
 
 
-@pytest.mark.parametrize("backend", ("serial", "threads"))
-def test_bench_backend(benchmark, bench_graph, backend):
-    config = EngineConfig(backend=backend, num_executors=2, cores_per_executor=2)
-    options = SolverOptions(block_size=32, partitioner="MD")
-
-    def run():
-        return BlockedCollectBroadcastSolver(config=config, options=options).solve(bench_graph)
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
-    benchmark.extra_info["backend"] = backend
+@pytest.mark.parametrize("scenario", SUITE.scenarios, ids=lambda s: s.name)
+def test_bench_backend(benchmark, scenario):
+    with APSPEngine(scenario.engine_config()) as engine:
+        result = benchmark.pedantic(lambda: solve_scenario(scenario, engine),
+                                    rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["backend"] = scenario.backend
     benchmark.extra_info["tasks"] = result.metrics["tasks_launched"]

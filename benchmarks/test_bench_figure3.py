@@ -1,34 +1,27 @@
 """Figure 3 bench: blocked solvers x block size x partitioner x over-decomposition.
 
 Engine-scale analogue of Figure 3's top/middle panels: Blocked In-Memory and
-Blocked Collect/Broadcast swept over block size for the PH and MD partitioners
-and B ∈ {1, 2} partitions per core.  The partition-size distribution (bottom
-panel) is a pure function of the partitioner and is exercised in
-``test_bench_partitioner.py`` and the unit tests.
+Blocked Collect/Broadcast swept over the PH and MD partitioners and
+B ∈ {1, 2} partitions per core.  The grid is suite ``partitioner`` in
+:mod:`repro.bench.scenarios` (shared with the JSON harness); the
+partition-size distribution (bottom panel) is a pure function of the
+partitioner and is exercised in ``test_bench_partitioner.py`` and the unit
+tests.
 """
 
 import pytest
 
-from repro.core.api import get_solver_class
-from repro.core.base import SolverOptions
+from repro.bench import get_suite, solve_scenario
+from repro.core.engine import APSPEngine
 
-SOLVERS = ("blocked-im", "blocked-cb")
-PARTITIONERS = ("MD", "PH")
-B_FACTORS = (1, 2)
+SUITE = get_suite("partitioner")
 
 
-@pytest.mark.parametrize("solver", SOLVERS)
-@pytest.mark.parametrize("partitioner", PARTITIONERS)
-@pytest.mark.parametrize("b_factor", B_FACTORS)
-def test_bench_blocked_partitioner_sweep(benchmark, bench_config, bench_graph,
-                                         solver, partitioner, b_factor):
-    solver_cls = get_solver_class(solver)
-    options = SolverOptions(block_size=32, partitioner=partitioner,
-                            partitions_per_core=b_factor)
-
-    def run():
-        return solver_cls(config=bench_config, options=options).solve(bench_graph)
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+@pytest.mark.parametrize("scenario", SUITE.scenarios, ids=lambda s: s.name)
+def test_bench_blocked_partitioner_sweep(benchmark, scenario):
+    with APSPEngine(scenario.engine_config()) as engine:
+        result = benchmark.pedantic(lambda: solve_scenario(scenario, engine),
+                                    rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["partitioner"] = scenario.partitioner
     benchmark.extra_info["shuffle_bytes"] = result.metrics["shuffle_bytes"]
     benchmark.extra_info["num_partitions"] = result.num_partitions

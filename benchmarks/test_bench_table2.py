@@ -2,30 +2,24 @@
 
 Runs every solver end-to-end on the mini-Spark engine for a sweep of block
 sizes (the engine-scale analogue of Table 2's per-block-size rows).  The
-per-iteration time and the iteration count recorded in ``extra_info`` are the
-quantities Table 2 reports; paper-scale projections come from
-``apspark table2 --mode projected``.
+scenario grid is suite ``blocksize`` in :mod:`repro.bench.scenarios`, shared
+with the JSON harness (``apspark bench run --suite blocksize``); paper-scale
+projections come from ``apspark table2 --mode projected``.
 """
 
 import pytest
 
-from repro.core.api import get_solver_class
-from repro.core.base import SolverOptions
+from repro.bench import get_suite, solve_scenario
+from repro.core.engine import APSPEngine
 
-SOLVERS = ("repeated-squaring", "fw-2d", "blocked-im", "blocked-cb")
-BLOCK_SIZES = (16, 32, 64)
+SUITE = get_suite("blocksize")
 
 
-@pytest.mark.parametrize("solver", SOLVERS)
-@pytest.mark.parametrize("block_size", BLOCK_SIZES)
-def test_bench_solver_block_size(benchmark, bench_config, bench_graph, solver, block_size):
-    solver_cls = get_solver_class(solver)
-    options = SolverOptions(block_size=block_size, partitioner="MD")
-
-    def run():
-        return solver_cls(config=bench_config, options=options).solve(bench_graph)
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+@pytest.mark.parametrize("scenario", SUITE.scenarios, ids=lambda s: s.name)
+def test_bench_solver_block_size(benchmark, scenario):
+    with APSPEngine(scenario.engine_config()) as engine:
+        result = benchmark.pedantic(lambda: solve_scenario(scenario, engine),
+                                    rounds=1, iterations=1, warmup_rounds=0)
     benchmark.extra_info["iterations"] = result.iterations
     benchmark.extra_info["single_iteration_seconds"] = (
         result.elapsed_seconds / max(1, result.iterations))

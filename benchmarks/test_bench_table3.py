@@ -9,37 +9,31 @@ reference that anchors the Gop/s-per-core normalization.
 
 import pytest
 
-from repro.common.config import EngineConfig
-from repro.core.api import get_solver_class
-from repro.core.base import SolverOptions
+from repro.bench import get_suite, solve_scenario
+from repro.core.engine import APSPEngine
 from repro.graph.generators import erdos_renyi_adjacency
 from repro.mpi.divide_conquer import dc_apsp
 from repro.mpi.fw2d import fw2d_mpi_apsp
 from repro.sequential.floyd_warshall import floyd_warshall_reference
 
-#: (simulated cores p, problem size n = 16 * p)
+#: (simulated cores p, problem size n = 16 * p) — mirrors suite ``scaling``.
 WEAK_SCALING_POINTS = ((4, 64), (8, 128), (16, 256))
+
+#: The Spark-side weak-scaling grid shared with the JSON harness.
+SUITE = get_suite("scaling")
 
 
 def _graph(n):
     return erdos_renyi_adjacency(n, seed=1000 + n)
 
 
-@pytest.mark.parametrize("p,n", WEAK_SCALING_POINTS)
-@pytest.mark.parametrize("solver", ("blocked-im", "blocked-cb"))
-def test_bench_weak_scaling_spark(benchmark, solver, p, n):
-    config = EngineConfig(backend="serial", num_executors=max(1, p // 4),
-                          cores_per_executor=min(4, p))
-    options = SolverOptions(block_size=max(8, n // 8), partitioner="MD")
-    solver_cls = get_solver_class(solver)
-    adjacency = _graph(n)
-
-    def run():
-        return solver_cls(config=config, options=options).solve(adjacency)
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
-    benchmark.extra_info["p"] = p
-    benchmark.extra_info["n"] = n
+@pytest.mark.parametrize("scenario", SUITE.scenarios, ids=lambda s: s.name)
+def test_bench_weak_scaling_spark(benchmark, scenario):
+    with APSPEngine(scenario.engine_config()) as engine:
+        result = benchmark.pedantic(lambda: solve_scenario(scenario, engine),
+                                    rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["p"] = scenario.engine_config().total_cores
+    benchmark.extra_info["n"] = scenario.n
     benchmark.extra_info["gops"] = result.gops
 
 

@@ -1,0 +1,48 @@
+"""Benchmark subsystem: scenario grids, machine-readable results, regression gates.
+
+Public surface:
+
+* :class:`~repro.bench.scenarios.BenchScenario` / :class:`~repro.bench.scenarios.BenchSuite`
+  — the scenario grid definitions shared by the JSON harness and the
+  pytest-benchmark modules under ``benchmarks/``.
+* :func:`~repro.bench.runner.run_suite` — execute a suite through
+  :class:`~repro.core.engine.APSPEngine`, recording wall time, per-stage
+  timings, and engine metric deltas.
+* :mod:`~repro.bench.results` — versioned ``BENCH_<suite>.json`` reports with
+  git/host metadata.
+* :mod:`~repro.bench.compare` — diff a run against a committed baseline and
+  gate on per-scenario slowdown thresholds.
+
+CLI: ``apspark bench run|compare|list``.
+"""
+
+from repro.bench.compare import (ScenarioComparison, compare_reports,
+                                 has_regressions, regressions, summarize)
+from repro.bench.results import (SCHEMA_VERSION, build_report, default_report_path,
+                                 load_report, validate_report, write_report)
+from repro.bench.runner import ScenarioResult, run_suite, solve_scenario
+from repro.bench.scenarios import (BENCH_N_ENV, BenchScenario, BenchSuite,
+                                   available_suites, bench_scale_n, get_suite)
+
+__all__ = [
+    "BENCH_N_ENV",
+    "BenchScenario",
+    "BenchSuite",
+    "SCHEMA_VERSION",
+    "ScenarioComparison",
+    "ScenarioResult",
+    "available_suites",
+    "bench_scale_n",
+    "build_report",
+    "compare_reports",
+    "default_report_path",
+    "get_suite",
+    "has_regressions",
+    "load_report",
+    "regressions",
+    "run_suite",
+    "solve_scenario",
+    "summarize",
+    "validate_report",
+    "write_report",
+]

@@ -1,0 +1,121 @@
+"""Baseline comparison: diff a benchmark run against a committed baseline.
+
+The gate is per-scenario: a scenario regresses when ``current / baseline``
+exceeds its slowdown threshold (recorded in the baseline report, overridable
+at comparison time).  Sub-floor timings are never gated — at micro scales the
+ratio is dominated by scheduling noise, not the code under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Scenarios faster than this (in both runs) are informational only.
+DEFAULT_MIN_SECONDS = 0.05
+
+#: Fallback threshold when neither the baseline entry nor the caller names one.
+DEFAULT_THRESHOLD = 1.5
+
+STATUS_OK = "ok"
+STATUS_SLOWER = "slower"        # exceeded the gate -> regression
+STATUS_FASTER = "faster"        # improved beyond the inverse gate
+STATUS_TOO_FAST = "below-floor"  # both runs under the noise floor
+STATUS_MISSING = "missing"      # in baseline, absent from current run
+STATUS_NEW = "new"              # in current run, absent from baseline
+
+
+@dataclass(frozen=True)
+class ScenarioComparison:
+    """Comparison verdict for one scenario id."""
+
+    scenario_id: str
+    baseline_seconds: float | None
+    current_seconds: float | None
+    ratio: float | None
+    threshold: float
+    status: str
+
+    @property
+    def regressed(self) -> bool:
+        return self.status == STATUS_SLOWER
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario_id,
+            "baseline_s": (f"{self.baseline_seconds:.4f}"
+                           if self.baseline_seconds is not None else "-"),
+            "current_s": (f"{self.current_seconds:.4f}"
+                          if self.current_seconds is not None else "-"),
+            "ratio": f"{self.ratio:.2f}x" if self.ratio is not None else "-",
+            "threshold": f"{self.threshold:.2f}x",
+            "status": self.status,
+        }
+
+
+def _scenario_index(report: dict) -> dict[str, dict]:
+    return {entry["id"]: entry for entry in report.get("scenarios", [])}
+
+
+def compare_reports(baseline: dict, current: dict, *,
+                    threshold: float | None = None,
+                    min_seconds: float = DEFAULT_MIN_SECONDS) -> list[ScenarioComparison]:
+    """Compare two loaded reports scenario by scenario.
+
+    ``threshold`` overrides every scenario's own slowdown gate when given.
+    Scenario sets need not match: baseline-only scenarios are reported as
+    ``missing`` and current-only ones as ``new`` (neither is a regression —
+    grids evolve).
+    """
+    baseline_index = _scenario_index(baseline)
+    current_index = _scenario_index(current)
+    rows: list[ScenarioComparison] = []
+
+    for scenario_id, base_entry in baseline_index.items():
+        gate = threshold if threshold is not None else float(
+            base_entry.get("slowdown_threshold", DEFAULT_THRESHOLD))
+        current_entry = current_index.get(scenario_id)
+        base_seconds = float(base_entry["wall_seconds"])
+        if current_entry is None:
+            rows.append(ScenarioComparison(scenario_id, base_seconds, None,
+                                           None, gate, STATUS_MISSING))
+            continue
+        cur_seconds = float(current_entry["wall_seconds"])
+        ratio = cur_seconds / base_seconds if base_seconds > 0 else float("inf")
+        if base_seconds < min_seconds and cur_seconds < min_seconds:
+            status = STATUS_TOO_FAST
+        elif ratio > gate:
+            status = STATUS_SLOWER
+        elif ratio < 1.0 / gate:
+            status = STATUS_FASTER
+        else:
+            status = STATUS_OK
+        rows.append(ScenarioComparison(scenario_id, base_seconds, cur_seconds,
+                                       ratio, gate, status))
+
+    fallback_gate = threshold if threshold is not None else DEFAULT_THRESHOLD
+    for scenario_id, current_entry in current_index.items():
+        if scenario_id not in baseline_index:
+            rows.append(ScenarioComparison(
+                scenario_id, None, float(current_entry["wall_seconds"]),
+                None, fallback_gate, STATUS_NEW))
+    return rows
+
+
+def regressions(rows: list[ScenarioComparison]) -> list[ScenarioComparison]:
+    """The subset of rows that violate their slowdown gate."""
+    return [row for row in rows if row.regressed]
+
+
+def has_regressions(rows: list[ScenarioComparison]) -> bool:
+    return bool(regressions(rows))
+
+
+def summarize(rows: list[ScenarioComparison]) -> str:
+    """One-line verdict suitable for CI logs."""
+    failed = regressions(rows)
+    compared = [r for r in rows if r.ratio is not None]
+    if failed:
+        worst = max(failed, key=lambda r: r.ratio or 0.0)
+        return (f"REGRESSION: {len(failed)}/{len(compared)} scenario(s) over "
+                f"threshold (worst: {worst.scenario_id} at {worst.ratio:.2f}x)")
+    return f"ok: {len(compared)} scenario(s) within threshold"

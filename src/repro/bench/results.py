@@ -1,0 +1,146 @@
+"""Versioned machine-readable benchmark reports (``BENCH_<suite>.json``).
+
+Schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "suite": "smoke",
+      "created_unix": 1714000000.0,
+      "git": {"sha": "...", "branch": "...", "dirty": false},
+      "host": {"platform": "...", "python": "...", "numpy": "...",
+               "cpu_count": 4, "hostname": "...", "bench_n_env": null},
+      "scenarios": [
+        {"id": "blocked-cb-serial",
+         "params": {...},                  # full scenario grid point
+         "wall_seconds": 0.123,           # best of repeats
+         "mean_seconds": 0.130,
+         "all_seconds": [...],
+         "phase_seconds": {...},          # per-stage timings from the solver
+         "metrics": {...},                # engine metric delta for the solve
+         "solve": {"q": 4, "iterations": 4, ...},
+         "verified": true | false | null,
+         "slowdown_threshold": 1.5},
+        ...
+      ]
+    }
+
+Reports are the unit the baseline comparator (:mod:`repro.bench.compare`)
+consumes, and what CI uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+import time
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.bench.runner import ScenarioResult
+from repro.bench.scenarios import BENCH_N_ENV, BenchSuite
+
+#: Bump when the report layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Keys every report must carry to be considered well-formed.
+_REQUIRED_KEYS = ("schema_version", "suite", "scenarios")
+
+
+def git_metadata(cwd: str | None = None) -> dict:
+    """Best-effort git revision info; never raises (benches run anywhere)."""
+
+    def _run(*args: str) -> str | None:
+        try:
+            proc = subprocess.run(["git", *args], cwd=cwd, capture_output=True,
+                                  text=True, timeout=10, check=False)
+        except (OSError, subprocess.SubprocessError):
+            return None
+        return proc.stdout.strip() if proc.returncode == 0 else None
+
+    sha = _run("rev-parse", "HEAD")
+    branch = _run("rev-parse", "--abbrev-ref", "HEAD")
+    status = _run("status", "--porcelain")
+    return {
+        "sha": sha,
+        "branch": branch,
+        "dirty": bool(status) if status is not None else None,
+    }
+
+
+def host_metadata() -> dict:
+    """Environment fingerprint recorded with every report."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "hostname": socket.gethostname(),
+        "bench_n_env": os.environ.get(BENCH_N_ENV),
+    }
+
+
+def build_report(suite: BenchSuite, results: list[ScenarioResult]) -> dict:
+    """Assemble the versioned report dict for a finished suite run."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite.name,
+        "description": suite.description,
+        "created_unix": time.time(),
+        "git": git_metadata(),
+        "host": host_metadata(),
+        "scenarios": [result.as_dict() for result in results],
+    }
+
+
+def default_report_path(suite_name: str, directory: str = ".") -> str:
+    """The conventional on-disk name for a suite's report."""
+    return os.path.join(directory, f"BENCH_{suite_name}.json")
+
+
+def write_report(report: dict, path: str) -> str:
+    """Write a report as stable, human-diffable JSON; returns the path."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def validate_report(report: dict, path: str = "<report>") -> dict:
+    """Check a loaded report against the schema; returns it on success."""
+    if not isinstance(report, dict):
+        raise ValidationError(f"{path}: benchmark report must be a JSON object")
+    missing = [key for key in _REQUIRED_KEYS if key not in report]
+    if missing:
+        raise ValidationError(
+            f"{path}: benchmark report is missing keys: {', '.join(missing)}")
+    version = report["schema_version"]
+    if version != SCHEMA_VERSION:
+        raise ValidationError(
+            f"{path}: unsupported benchmark schema version {version!r} "
+            f"(this build reads version {SCHEMA_VERSION})")
+    if not isinstance(report["scenarios"], list):
+        raise ValidationError(f"{path}: 'scenarios' must be a list")
+    for entry in report["scenarios"]:
+        if not isinstance(entry, dict) or "id" not in entry or "wall_seconds" not in entry:
+            raise ValidationError(
+                f"{path}: each scenario needs at least 'id' and 'wall_seconds'")
+    return report
+
+
+def load_report(path: str) -> dict:
+    """Load and validate a ``BENCH_*.json`` report from disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except FileNotFoundError:
+        raise ValidationError(f"benchmark report not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path}: invalid JSON ({exc})") from exc
+    return validate_report(report, path)

@@ -1,0 +1,151 @@
+"""Benchmark runner: execute a scenario grid through :class:`APSPEngine`.
+
+The runner mirrors the paper's experimental shape: scenarios sharing an
+engine configuration run on one persistent engine session (one Spark context,
+many solves), and each scenario records wall time, per-stage timings and the
+engine metric *delta* attributable to that solve alone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.core.engine import APSPEngine
+from repro.graph.generators import erdos_renyi_adjacency
+from repro.sequential.floyd_warshall import floyd_warshall_reference
+
+from repro.bench.scenarios import BenchScenario, BenchSuite
+
+
+@dataclass
+class ScenarioResult:
+    """Everything measured for one scenario."""
+
+    scenario: BenchScenario
+    wall_seconds: float                 # best (minimum) over repeats
+    all_seconds: list[float] = field(default_factory=list)
+    phase_seconds: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    solve: dict = field(default_factory=dict)   # geometry of the last solve
+    verified: bool | None = None        # None when verification was skipped
+
+    @property
+    def mean_seconds(self) -> float:
+        return sum(self.all_seconds) / len(self.all_seconds)
+
+    def as_dict(self) -> dict:
+        """JSON-ready record (the per-scenario unit of the ``BENCH_*`` schema)."""
+        metrics = dict(self.metrics)
+        spills = metrics.get("spilled_bytes_per_executor")
+        if isinstance(spills, dict):
+            # JSON object keys must be strings; executor ids are ints.
+            metrics["spilled_bytes_per_executor"] = {
+                str(k): v for k, v in spills.items()}
+        return {
+            "id": self.scenario.name,
+            "params": self.scenario.params(),
+            "wall_seconds": self.wall_seconds,
+            "mean_seconds": self.mean_seconds,
+            "all_seconds": list(self.all_seconds),
+            "phase_seconds": dict(self.phase_seconds),
+            "metrics": metrics,
+            "solve": dict(self.solve),
+            "verified": self.verified,
+            "slowdown_threshold": self.scenario.slowdown_threshold,
+        }
+
+
+def solve_scenario(scenario: BenchScenario, engine: APSPEngine,
+                   adjacency: np.ndarray | None = None):
+    """Run one scenario once on an existing engine session, returning the result.
+
+    This is the exact workload the pytest-benchmark modules measure, so the
+    JSON harness and pytest-benchmark share one definition of "one run".
+    """
+    if adjacency is None:
+        adjacency = erdos_renyi_adjacency(scenario.n, seed=scenario.seed)
+    return engine.solve(adjacency, scenario.request())
+
+
+def run_suite(suite: BenchSuite, *, repeats: int | None = None,
+              verify: bool = False,
+              progress: Callable[[str], None] | None = None) -> list[ScenarioResult]:
+    """Run every scenario of ``suite`` and return the measurements in order.
+
+    Parameters
+    ----------
+    repeats:
+        Override each scenario's own repeat count (the reported wall time is
+        the best of the repeats — the usual benchmarking convention).
+    verify:
+        Additionally check each result against the sequential Floyd-Warshall
+        reference (cached per graph, so the reference is computed once per
+        problem size).
+    progress:
+        Optional sink for one human-readable line per scenario.
+    """
+    if repeats is not None and repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    results: list[ScenarioResult] = []
+    engines: dict[tuple, APSPEngine] = {}
+    graphs: dict[tuple[int, int], np.ndarray] = {}
+    references: dict[tuple[int, int], np.ndarray] = {}
+    try:
+        for scenario in suite.scenarios:
+            config = scenario.engine_config()
+            config_key = (config.backend, config.num_executors, config.cores_per_executor)
+            engine = engines.get(config_key)
+            if engine is None:
+                engine = APSPEngine(config).start()
+                engines[config_key] = engine
+
+            graph_key = (scenario.n, scenario.seed)
+            adjacency = graphs.get(graph_key)
+            if adjacency is None:
+                adjacency = erdos_renyi_adjacency(scenario.n, seed=scenario.seed)
+                graphs[graph_key] = adjacency
+
+            times: list[float] = []
+            solve_result = None
+            for _ in range(repeats if repeats is not None else scenario.repeats):
+                start = time.perf_counter()
+                solve_result = solve_scenario(scenario, engine, adjacency)
+                times.append(time.perf_counter() - start)
+
+            verified: bool | None = None
+            if verify:
+                reference = references.get(graph_key)
+                if reference is None:
+                    reference = floyd_warshall_reference(adjacency)
+                    references[graph_key] = reference
+                verified = bool(np.allclose(solve_result.distances, reference))
+
+            result = ScenarioResult(
+                scenario=scenario,
+                wall_seconds=min(times),
+                all_seconds=times,
+                phase_seconds=dict(solve_result.phase_seconds),
+                metrics=dict(solve_result.metrics),
+                solve={
+                    "q": solve_result.q,
+                    "block_size": solve_result.block_size,
+                    "iterations": solve_result.iterations,
+                    "num_partitions": solve_result.num_partitions,
+                    "gops": solve_result.gops,
+                },
+                verified=verified,
+            )
+            results.append(result)
+            if progress is not None:
+                check = {True: " [verified]", False: " [MISMATCH]"}.get(verified, "")
+                progress(f"{scenario.name}: {result.wall_seconds:.3f}s "
+                         f"({len(times)} run(s)){check}")
+    finally:
+        for engine in engines.values():
+            engine.stop()
+    return results

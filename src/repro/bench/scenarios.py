@@ -1,0 +1,271 @@
+"""Benchmark scenario grids: the single source of truth for what gets measured.
+
+A :class:`BenchScenario` pins every knob of one measured solve — solver,
+problem size, block size, partitioner, engine backend and shape — and a
+:class:`BenchSuite` is an ordered grid of scenarios.  Both the JSON harness
+(``apspark bench run``) and the pytest-benchmark modules under
+``benchmarks/`` parametrize over these definitions, so a workload is defined
+exactly once.
+
+Scales are environment-tunable: set ``APSPARK_BENCH_N`` to shrink or grow
+every suite's problem size (the CI smoke run uses a tiny value; local deep
+runs can crank it up) without editing code.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+# Importing the API populates the solver registry, which SolveRequest
+# validation (and therefore scenario construction) depends on.
+import repro.core.api  # noqa: F401
+from repro.common.config import EngineConfig
+from repro.common.errors import ConfigurationError
+from repro.core.request import SolveRequest
+
+#: Environment variable overriding every suite's problem size ``n``.
+BENCH_N_ENV = "APSPARK_BENCH_N"
+
+#: Default slowdown gate: fail a comparison when a scenario runs this many
+#: times slower than its baseline.
+DEFAULT_SLOWDOWN_THRESHOLD = 1.5
+
+
+def bench_scale_n(default: int) -> int:
+    """Problem size for a suite: ``APSPARK_BENCH_N`` when set, else ``default``."""
+    raw = os.environ.get(BENCH_N_ENV)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"{BENCH_N_ENV} must be an integer, got {raw!r}") from exc
+    if value < 8:
+        raise ConfigurationError(f"{BENCH_N_ENV} must be >= 8, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One benchmarked solve: a point in the solver × n × b × backend grid."""
+
+    name: str
+    solver: str = "blocked-cb"
+    n: int = 128
+    block_size: int | None = 32
+    partitioner: str = "MD"
+    partitions_per_core: int = 2
+    backend: str = "serial"
+    num_executors: int = 4
+    cores_per_executor: int = 2
+    seed: int = 1234
+    repeats: int = 1
+    slowdown_threshold: float = DEFAULT_SLOWDOWN_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario name must be non-empty")
+        if self.n < 2:
+            raise ConfigurationError("scenario n must be >= 2")
+        if self.repeats < 1:
+            raise ConfigurationError("scenario repeats must be >= 1")
+        if self.slowdown_threshold <= 1.0:
+            raise ConfigurationError("slowdown_threshold must be > 1.0")
+        # Validate eagerly: a bad grid should fail at definition time, long
+        # before any engine spins up.
+        self.engine_config()
+        self.request()
+
+    # ------------------------------------------------------------------
+    def engine_config(self) -> EngineConfig:
+        """The engine configuration this scenario runs under."""
+        return EngineConfig(backend=self.backend, num_executors=self.num_executors,
+                            cores_per_executor=self.cores_per_executor)
+
+    def request(self) -> SolveRequest:
+        """The typed solve request this scenario submits."""
+        return SolveRequest(solver=self.solver, block_size=self.block_size,
+                            partitioner=self.partitioner,
+                            partitions_per_core=self.partitions_per_core,
+                            tag=self.name)
+
+    def params(self) -> dict:
+        """Scenario parameters as a plain dict (for reports)."""
+        return {
+            "solver": self.solver,
+            "n": self.n,
+            "block_size": self.block_size,
+            "partitioner": self.partitioner,
+            "partitions_per_core": self.partitions_per_core,
+            "backend": self.backend,
+            "num_executors": self.num_executors,
+            "cores_per_executor": self.cores_per_executor,
+            "seed": self.seed,
+            "repeats": self.repeats,
+        }
+
+    def with_n(self, n: int) -> "BenchScenario":
+        """Variant of this scenario at a different problem size."""
+        block = self.block_size
+        if block is not None:
+            block = max(4, min(block, n))
+        return replace(self, n=n, block_size=block)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{self.name}: {self.solver} n={self.n} b={self.block_size} "
+                f"{self.partitioner} backend={self.backend}")
+
+
+@dataclass(frozen=True)
+class BenchSuite:
+    """An ordered grid of scenarios measured and gated together."""
+
+    name: str
+    description: str
+    scenarios: tuple[BenchScenario, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.scenarios]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ConfigurationError(
+                f"suite {self.name!r} has duplicate scenario names: {dupes}")
+
+    def scenario(self, name: str) -> BenchScenario:
+        for s in self.scenarios:
+            if s.name == name:
+                return s
+        raise ConfigurationError(f"suite {self.name!r} has no scenario {name!r}")
+
+    def with_n(self, n: int) -> "BenchSuite":
+        """The whole suite re-scaled to problem size ``n``."""
+        return replace(self, scenarios=tuple(s.with_n(n) for s in self.scenarios))
+
+
+# ---------------------------------------------------------------------------
+# Suite definitions
+# ---------------------------------------------------------------------------
+def _smoke_suite() -> BenchSuite:
+    """Tiny cross-section of the grid: every solver, every backend axis.
+
+    Small enough for a CI job (seconds, not minutes) while still touching the
+    min-plus/Floyd-Warshall hot paths of all four solvers and all three
+    scheduler backends.
+    """
+    n = bench_scale_n(48)
+    shape = dict(n=n, block_size=16, num_executors=2, cores_per_executor=2)
+    return BenchSuite(
+        name="smoke",
+        description="tiny grid: all solvers serial, blocked-cb across backends",
+        scenarios=(
+            BenchScenario(name="blocked-cb-serial", solver="blocked-cb",
+                          backend="serial", **shape),
+            BenchScenario(name="blocked-cb-threads", solver="blocked-cb",
+                          backend="threads", **shape),
+            BenchScenario(name="blocked-cb-processes", solver="blocked-cb",
+                          backend="processes", **shape),
+            BenchScenario(name="blocked-im-serial", solver="blocked-im",
+                          backend="serial", **shape),
+            BenchScenario(name="repeated-squaring-serial", solver="repeated-squaring",
+                          backend="serial", **shape),
+            BenchScenario(name="fw2d-serial", solver="fw-2d",
+                          backend="serial", **shape),
+        ),
+    )
+
+
+def _backends_suite() -> BenchSuite:
+    """Scheduler backend ablation (the old ``test_bench_backend`` workload)."""
+    n = bench_scale_n(128)
+    scenarios = tuple(
+        BenchScenario(name=f"blocked-cb-{backend}", solver="blocked-cb", n=n,
+                      block_size=32, backend=backend,
+                      num_executors=2, cores_per_executor=2)
+        for backend in ("serial", "threads", "processes")
+    )
+    return BenchSuite(
+        name="backends",
+        description="blocked-cb across serial / threads / processes execution",
+        scenarios=scenarios,
+    )
+
+
+def _blocksize_suite() -> BenchSuite:
+    """Table 2 workload: every solver swept over block size."""
+    n = bench_scale_n(128)
+    solvers = ("repeated-squaring", "fw-2d", "blocked-im", "blocked-cb")
+    block_sizes = (16, 32, 64)
+    scenarios = tuple(
+        BenchScenario(name=f"{solver}-b{block_size}", solver=solver, n=n,
+                      block_size=min(block_size, n))
+        for solver in solvers for block_size in block_sizes
+    )
+    return BenchSuite(
+        name="blocksize",
+        description="Table 2: effect of block size on each solver",
+        scenarios=scenarios,
+    )
+
+
+def _partitioner_suite() -> BenchSuite:
+    """Figure 3 workload: blocked solvers × partitioner × over-decomposition."""
+    n = bench_scale_n(128)
+    scenarios = tuple(
+        BenchScenario(name=f"{solver}-{partitioner}-B{b_factor}", solver=solver,
+                      n=n, block_size=min(32, n), partitioner=partitioner,
+                      partitions_per_core=b_factor)
+        for solver in ("blocked-im", "blocked-cb")
+        for partitioner in ("MD", "PH")
+        for b_factor in (1, 2)
+    )
+    return BenchSuite(
+        name="partitioner",
+        description="Figure 3: partitioner and over-decomposition sweep",
+        scenarios=scenarios,
+    )
+
+
+def _scaling_suite() -> BenchSuite:
+    """Table 3 workload: weak scaling of the blocked solvers (n/p fixed)."""
+    points = ((4, 64), (8, 128), (16, 256))
+    scenarios = tuple(
+        BenchScenario(name=f"{solver}-p{p}-n{n}", solver=solver, n=n,
+                      block_size=max(8, n // 8),
+                      num_executors=max(1, p // 4), cores_per_executor=min(4, p))
+        for p, n in points
+        for solver in ("blocked-im", "blocked-cb")
+    )
+    return BenchSuite(
+        name="scaling",
+        description="Table 3: weak scaling of the blocked solvers",
+        scenarios=scenarios,
+    )
+
+
+#: Suite registry: name -> builder (called fresh so env scaling applies).
+_SUITE_BUILDERS: dict[str, Callable[[], BenchSuite]] = {
+    "smoke": _smoke_suite,
+    "backends": _backends_suite,
+    "blocksize": _blocksize_suite,
+    "partitioner": _partitioner_suite,
+    "scaling": _scaling_suite,
+}
+
+
+def available_suites() -> tuple[str, ...]:
+    """Names of the registered benchmark suites."""
+    return tuple(sorted(_SUITE_BUILDERS))
+
+
+def get_suite(name: str) -> BenchSuite:
+    """Build a suite by name (re-reading ``APSPARK_BENCH_N`` each call)."""
+    try:
+        builder = _SUITE_BUILDERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown benchmark suite {name!r}; expected one of "
+            f"{', '.join(available_suites())}") from None
+    return builder()

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.calibration import KernelCalibration
-from repro.cluster.model import ClusterSpec, paper_cluster, MIB, GIB
+from repro.cluster.model import ClusterSpec, paper_cluster, GIB
 from repro.common.errors import ConfigurationError
 from repro.linalg.blocks import num_blocks, upper_triangular_block_ids
 from repro.linalg.semiring import minplus_closure_iterations
@@ -212,8 +212,9 @@ class CostModel:
 
         mp_rate = self.calibration.minplus_rate
         fw_rate = self.calibration.floyd_warshall_rate
-        sched = lambda stages, tasks: stages * self.stage_overhead_seconds + \
-            tasks * self.task_dispatch_seconds
+        def sched(stages, tasks):
+            return (stages * self.stage_overhead_seconds
+                    + tasks * self.task_dispatch_seconds)
 
         sequential = 0.0
         compute = 0.0

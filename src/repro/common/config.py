@@ -11,12 +11,12 @@ from __future__ import annotations
 import dataclasses
 import os
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
 
 #: Execution backends supported by the scheduler.
-BACKENDS = ("serial", "threads")
+BACKENDS = ("serial", "threads", "processes")
 
 
 @dataclass
@@ -29,7 +29,11 @@ class EngineConfig:
         ``"serial"`` runs tasks one by one on the driver thread (fully
         deterministic, easiest to debug); ``"threads"`` runs tasks of a stage
         concurrently on a thread pool (NumPy/BLAS kernels release the GIL, so
-        this gives real parallelism for the compute-heavy block kernels).
+        this gives real parallelism for the compute-heavy block kernels);
+        ``"processes"`` additionally ships picklable task payloads to a
+        process pool for GIL-free multi-core execution — tasks that cannot
+        be pickled (closure-heavy lineage) transparently fall back to the
+        driver's thread pool, so every solver stays correct.
     num_executors:
         Number of simulated executor processes (paper: one per node, 32).
     cores_per_executor:

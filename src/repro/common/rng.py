@@ -7,8 +7,6 @@ are reproducible given a seed.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
-
 import numpy as np
 
 

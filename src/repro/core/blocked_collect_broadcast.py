@@ -17,6 +17,7 @@ from repro.common.timing import Stopwatch
 from repro.core import building_blocks as bb
 from repro.core.base import SparkAPSPSolver
 from repro.core.registry import register_solver
+from repro.linalg.semiring import elementwise_min, minplus_product
 from repro.spark.context import SparkContext
 from repro.spark.partitioner import Partitioner
 from repro.spark.rdd import RDD
@@ -50,7 +51,7 @@ class BlockedCollectBroadcastSolver(SparkAPSPSolver):
             # ---- Phase 2: update block-row/column of the pivot -----------------
             with stopwatch.section("phase2-rowcol"):
                 rowcol = current.filter(bb.off_diagonal_in_row_or_column(pivot)) \
-                    .map_preserving(_phase2_update(pivot, shared_fs, diag_path)).cache()
+                    .map_preserving(_Phase2Update(pivot, shared_fs, diag_path)).cache()
                 rowcol_records = rowcol.collect()
                 rowcol_paths = {
                     key: shared_fs.write(f"cb-it{pivot}-rowcol-{key}", block)
@@ -60,7 +61,7 @@ class BlockedCollectBroadcastSolver(SparkAPSPSolver):
             # ---- Phase 3: update the remaining blocks ---------------------------
             with stopwatch.section("phase3-remaining"):
                 others = current.filter(bb.not_in_block_row_or_column(pivot)) \
-                    .map_preserving(_phase3_update(pivot, shared_fs, rowcol_paths))
+                    .map_preserving(_Phase3Update(pivot, shared_fs, rowcol_paths))
 
             # ---- Reassemble A ---------------------------------------------------
             with stopwatch.section("repartition"):
@@ -70,33 +71,56 @@ class BlockedCollectBroadcastSolver(SparkAPSPSolver):
         return current, q
 
 
-def _phase2_update(pivot: int, shared_fs, diag_path: str):
-    """Update a row/column block against the staged pivot block (``MinPlus``)."""
-    def run(record):
-        (i, j), block = record
-        diag_block = shared_fs.read(diag_path)
-        if j == pivot:
+class _Phase2Update:
+    """Update a row/column block against the staged pivot block (``MinPlus``).
+
+    A callable class rather than a closure so the ``processes`` backend can
+    pickle the update (together with the shared-filesystem handle) into a
+    worker process.
+    """
+
+    __slots__ = ("pivot", "shared_fs", "diag_path")
+
+    def __init__(self, pivot: int, shared_fs, diag_path: str) -> None:
+        self.pivot = pivot
+        self.shared_fs = shared_fs
+        self.diag_path = diag_path
+
+    def __call__(self, record):
+        (_, j), _ = record
+        diag_block = self.shared_fs.read(self.diag_path)
+        if j == self.pivot:
             # Column block A_{i, pivot}: right-multiply by the pivot closure.
             return bb.min_plus(record, diag_block, other_on_left=False)
         # Row block A_{pivot, j}: left-multiply.
         return bb.min_plus(record, diag_block, other_on_left=True)
-    return run
 
 
-def _phase3_update(pivot: int, shared_fs, rowcol_paths: dict):
-    """Update an off-pivot block with ``min(A_IJ, A_It ⊗ A_tJ)`` read from shared storage."""
-    def fetch_oriented(row: int, col: int) -> np.ndarray:
+class _Phase3Update:
+    """Update an off-pivot block with ``min(A_IJ, A_It ⊗ A_tJ)`` read from shared storage.
+
+    Picklable for the same reason as :class:`_Phase2Update` — phase 3 is the
+    O(q²) bulk of every iteration and the main beneficiary of true
+    multi-core execution.
+    """
+
+    __slots__ = ("pivot", "shared_fs", "rowcol_paths")
+
+    def __init__(self, pivot: int, shared_fs, rowcol_paths: dict) -> None:
+        self.pivot = pivot
+        self.shared_fs = shared_fs
+        self.rowcol_paths = rowcol_paths
+
+    def _fetch_oriented(self, row: int, col: int) -> np.ndarray:
         """Return ``A_{row, col}`` where exactly one of row/col equals the pivot."""
         key = (min(row, col), max(row, col))
-        block = shared_fs.read(rowcol_paths[key])
+        block = self.shared_fs.read(self.rowcol_paths[key])
         if (row, col) == key:
             return block
         return block.T
 
-    def run(record):
+    def __call__(self, record):
         (i, j), block = record
-        left = fetch_oriented(i, pivot)     # A_{i, pivot}
-        right = fetch_oriented(pivot, j)    # A_{pivot, j}
-        from repro.linalg.semiring import elementwise_min, minplus_product
+        left = self._fetch_oriented(i, self.pivot)     # A_{i, pivot}
+        right = self._fetch_oriented(self.pivot, j)    # A_{pivot, j}
         return (i, j), elementwise_min(block, minplus_product(left, right))
-    return run

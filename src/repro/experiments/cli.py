@@ -12,6 +12,12 @@ Run a small measured sweep on this machine::
     apspark figure3 --mode measured
     apspark solve --n 256 --solver blocked-cb --block-size 32
 
+Benchmark suites with machine-readable results and regression gating::
+
+    apspark bench list
+    apspark bench run --suite smoke
+    apspark bench compare --suite smoke --baseline benchmarks/baselines/BENCH_smoke.json
+
 List the registered solvers with their aliases and purity::
 
     apspark solvers
@@ -20,11 +26,13 @@ List the registered solvers with their aliases and purity::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
 
-from repro.common.config import EngineConfig
+from repro import bench
+from repro.common.config import BACKENDS, EngineConfig
 from repro.common.timing import format_seconds
 from repro.core.api import available_solvers, solver_catalog
 from repro.core.engine import APSPEngine
@@ -68,14 +76,104 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--seed", type=int, default=0)
     p_solve.add_argument("--executors", type=int, default=4)
     p_solve.add_argument("--cores", type=int, default=2)
-    p_solve.add_argument("--backend", choices=("serial", "threads"), default="serial")
+    p_solve.add_argument("--backend", choices=BACKENDS, default="serial")
     p_solve.add_argument("--repeat", type=int, default=1,
                          help="solve the instance this many times on one engine "
                               "session (demonstrates context reuse)")
 
     p_solvers = sub.add_parser("solvers", help="list registered solvers and their metadata")
     p_solvers.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+
+    p_bench = sub.add_parser("bench", help="benchmark suites, BENCH_*.json results, "
+                                           "and baseline regression gating")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    b_run = bench_sub.add_parser("run", help="run a suite and write BENCH_<suite>.json")
+    b_run.add_argument("--suite", default="smoke", choices=bench.available_suites())
+    b_run.add_argument("--output", default=None,
+                       help="report path (default: ./BENCH_<suite>.json)")
+    b_run.add_argument("--repeats", type=int, default=None,
+                       help="override every scenario's repeat count")
+    b_run.add_argument("--n", type=int, default=None,
+                       help="override every scenario's problem size "
+                            "(like setting APSPARK_BENCH_N)")
+    b_run.add_argument("--verify", action="store_true",
+                       help="check each result against the sequential reference")
+    b_run.add_argument("--quiet", action="store_true",
+                       help="suppress per-scenario progress lines")
+
+    b_compare = bench_sub.add_parser(
+        "compare", help="diff a BENCH_*.json run against a baseline; "
+                        "exits 1 on regression")
+    b_compare.add_argument("--suite", default="smoke",
+                           help="suite name used to locate default file paths")
+    b_compare.add_argument("--baseline", default=None,
+                           help="baseline report "
+                                "(default: benchmarks/baselines/BENCH_<suite>.json)")
+    b_compare.add_argument("--current", default=None,
+                           help="current report (default: ./BENCH_<suite>.json)")
+    b_compare.add_argument("--threshold", type=float, default=None,
+                           help="override every scenario's slowdown gate "
+                                "(e.g. 1.5 = fail at 50%% slower)")
+    b_compare.add_argument("--min-seconds", type=float, default=None,
+                           help="noise floor below which scenarios are not gated")
+    b_compare.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+
+    b_list = bench_sub.add_parser("list", help="list suites (or one suite's scenarios)")
+    b_list.add_argument("--suite", default=None, help="show this suite's scenario grid")
+    b_list.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
     return parser
+
+
+def _bench_main(args) -> int:
+    if args.bench_command == "list":
+        if args.suite:
+            suite = bench.get_suite(args.suite)
+            rows = [{"name": s.name, **s.params(),
+                     "threshold": f"{s.slowdown_threshold:.2f}x"}
+                    for s in suite.scenarios]
+        else:
+            rows = []
+            for name in bench.available_suites():
+                suite = bench.get_suite(name)
+                rows.append({"suite": suite.name,
+                             "scenarios": len(suite.scenarios),
+                             "description": suite.description})
+        _emit(rows, args)
+        return 0
+
+    if args.bench_command == "run":
+        suite = bench.get_suite(args.suite)
+        if args.n is not None:
+            suite = suite.with_n(args.n)
+        progress = (lambda line: None) if args.quiet else print
+        results = bench.run_suite(suite, repeats=args.repeats,
+                                  verify=args.verify, progress=progress)
+        report = bench.build_report(suite, results)
+        path = bench.write_report(report, args.output
+                                  or bench.default_report_path(suite.name))
+        print(f"wrote {path} ({len(results)} scenario(s))")
+        if args.verify and any(r.verified is False for r in results):
+            print("verification FAILED for at least one scenario", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.bench_command == "compare":
+        baseline_path = args.baseline or os.path.join(
+            "benchmarks", "baselines", f"BENCH_{args.suite}.json")
+        current_path = args.current or bench.default_report_path(args.suite)
+        baseline = bench.load_report(baseline_path)
+        current = bench.load_report(current_path)
+        kwargs = {"threshold": args.threshold}
+        if args.min_seconds is not None:
+            kwargs["min_seconds"] = args.min_seconds
+        rows = bench.compare_reports(baseline, current, **kwargs)
+        _emit([row.as_dict() for row in rows], args)
+        # Keep piped CSV output clean: the human summary goes to stderr then.
+        print(bench.summarize(rows), file=sys.stderr if args.csv else sys.stdout)
+        return 1 if bench.has_regressions(rows) else 0
+
+    return 2
 
 
 def _emit(rows, args, columns=None) -> None:
@@ -138,6 +236,9 @@ def main(argv=None) -> int:
               f"{stats['tasks_launched']} tasks, "
               f"{format_seconds(stats['total_solve_seconds'])} solving")
         return 0 if correct else 1
+
+    if args.command == "bench":
+        return _bench_main(args)
 
     if args.command == "solvers":
         rows = [info.as_dict() for info in solver_catalog()]

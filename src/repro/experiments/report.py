@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 
 def format_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None,

@@ -16,7 +16,7 @@ from repro.common.rng import make_rng
 from repro.common.validation import check_positive_int
 
 try:
-    import networkx as nx
+    import networkx as nx  # noqa: F401 — availability probe for the nx helpers
     _HAVE_NX = True
 except Exception:  # pragma: no cover
     _HAVE_NX = False

@@ -12,7 +12,7 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable
 
 from repro.common.errors import ConfigurationError
 from repro.spark.util import estimate_size

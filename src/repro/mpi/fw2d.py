@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.graph.adjacency import validate_adjacency
-from repro.mpi.comm import SimulatedComm, CommStats, run_spmd
+from repro.mpi.comm import SimulatedComm, run_spmd
 
 
 def _grid_dim(num_ranks: int) -> int:

@@ -12,6 +12,7 @@ from repro.spark.faults import FaultInjector, FaultPlan
 from repro.spark.metrics import EngineMetrics
 from repro.spark.partitioner import Partitioner
 from repro.spark.rdd import RDD, ParallelCollectionRDD, UnionRDD
+from repro.spark.remote import RemoteTask
 from repro.spark.scheduler import TaskScheduler
 from repro.spark.sharedfs import SharedFileSystem
 from repro.spark.shuffle import ShuffleManager
@@ -137,11 +138,28 @@ class SparkContext:
             raise RuntimeError("SparkContext has been stopped")
         rdd.prepare()
         func = func or (lambda records: records)
+        use_remote = self.scheduler.supports_remote
 
         def make_task(index: int):
             def task():
                 return func(rdd.iterator(index))
             return task
 
-        tasks = [make_task(i) for i in range(rdd.num_partitions)]
+        def make_post(index: int):
+            # Driver-side completion of a remote task: backfill the RDD's
+            # persistence cache, then apply the (arbitrary, driver-only)
+            # result function.
+            def post(records):
+                rdd._fill_cache(index, records)
+                return func(records)
+            return post
+
+        tasks = []
+        for index in range(rdd.num_partitions):
+            payload = rdd.remote_payload(index) if use_remote else None
+            if payload is None:
+                tasks.append(make_task(index))
+            else:
+                fn, args = payload
+                tasks.append(RemoteTask(fn, args, post=make_post(index)))
         return self.scheduler.run_stage("result", tasks)

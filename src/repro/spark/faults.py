@@ -11,7 +11,7 @@ recomputes correctly while impure channels surface
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import FaultInjectedError
 from repro.common.rng import make_rng

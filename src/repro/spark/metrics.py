@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import threading
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass
@@ -128,6 +128,27 @@ class EngineMetrics:
         with self._lock:
             self.cached_partitions += 1
             self.cached_bytes += nbytes
+
+    def merge_delta(self, delta: dict) -> None:
+        """Fold a counter delta (from :func:`metrics_delta`) into this accumulator.
+
+        Used by the ``processes`` backend: a worker process accumulates
+        counters (e.g. shared-filesystem reads) against its own collector and
+        ships the delta back with the task result; the driver merges it here
+        so per-solve metric deltas stay accurate across process boundaries.
+        Only counters this object already knows are merged; ``num_stages`` is
+        derived and therefore skipped.
+        """
+        with self._lock:
+            for key, value in delta.items():
+                if key == "spilled_bytes_per_executor" and isinstance(value, dict):
+                    for executor, nbytes in value.items():
+                        self.spilled_bytes_per_executor[int(executor)] += nbytes
+                elif key == "num_stages":
+                    continue
+                elif (isinstance(value, (int, float)) and not isinstance(value, bool)
+                        and isinstance(getattr(self, key, None), (int, float))):
+                    setattr(self, key, getattr(self, key) + value)
 
     def as_dict(self) -> dict:
         """Snapshot of all counters as a plain dictionary (for reports and tests)."""

@@ -21,7 +21,93 @@ from typing import Callable, Iterable, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.spark.partitioner import Partitioner, PortableHashPartitioner
+from repro.spark.remote import RemoteTask, compute_map_partition, is_picklable
 from repro.spark.util import estimate_size, record_key
+
+
+class _PerRecordAdapter:
+    """Partition adapter applying ``func`` to every record.
+
+    The adapters are classes (not lambdas) so that a partition computation is
+    picklable — and therefore shippable to a worker process — whenever the
+    user function itself is.
+    """
+
+    __slots__ = ("func",)
+
+    def __init__(self, func: Callable) -> None:
+        self.func = func
+
+    def __call__(self, index: int, records: list) -> list:
+        return [self.func(x) for x in records]
+
+
+class _FilterAdapter:
+    """Partition adapter keeping records matching ``predicate``."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: Callable) -> None:
+        self.predicate = predicate
+
+    def __call__(self, index: int, records: list) -> list:
+        return [x for x in records if self.predicate(x)]
+
+
+class _FlatMapAdapter:
+    """Partition adapter applying ``func`` per record and flattening the results."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, func: Callable) -> None:
+        self.func = func
+
+    def __call__(self, index: int, records: list) -> list:
+        out: list = []
+        for x in records:
+            out.extend(self.func(x))
+        return out
+
+
+class _MapValuesAdapter:
+    """Partition adapter applying ``func`` to values of (key, value) records."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, func: Callable) -> None:
+        self.func = func
+
+    def __call__(self, index: int, records: list) -> list:
+        return [(record_key(x), self.func(x[1])) for x in records]
+
+
+class _WholePartitionAdapter:
+    """Partition adapter applying ``func`` to the whole partition."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, func: Callable) -> None:
+        self.func = func
+
+    def __call__(self, index: int, records: list) -> list:
+        return list(self.func(records))
+
+
+class _IndexedPartitionAdapter:
+    """Partition adapter applying ``func(index, partition)`` to the whole partition."""
+
+    __slots__ = ("func",)
+
+    def __init__(self, func: Callable) -> None:
+        self.func = func
+
+    def __call__(self, index: int, records: list) -> list:
+        return list(self.func(index, records))
+
+
+def _record_value(record):
+    """Module-level value extractor (picklable, unlike a lambda)."""
+    return record[1]
 
 
 class RDD:
@@ -84,6 +170,32 @@ class RDD:
             return data
         return self.compute_partition(index)
 
+    def remote_payload(self, index: int):
+        """Picklable ``(fn, args)`` computing this partition in a worker, or ``None``.
+
+        ``None`` means "driver-only": the partition computation captures
+        driver state (closures, the context, shuffle outputs) and must run
+        in-process.  Subclasses with self-contained computations override
+        this so the ``processes`` backend can ship them.
+        """
+        return None
+
+    def _fill_cache(self, index: int, records: list) -> None:
+        """Store remotely-computed records in the persistence cache (if enabled).
+
+        Remote execution bypasses :meth:`iterator`, so the driver re-inserts
+        results here to keep ``persist()`` semantics identical across
+        backends.
+        """
+        if not self._persisted:
+            return
+        with self._cache_lock:
+            if index in self._cache:
+                return
+            self._cache[index] = records
+        self.context.metrics.partition_cached(
+            sum(estimate_size(r) for r in records))
+
     # ------------------------------------------------------------------ persistence
     def persist(self) -> "RDD":
         """Keep computed partitions in memory (Spark's ``MEMORY_ONLY``)."""
@@ -104,7 +216,7 @@ class RDD:
     # ------------------------------------------------------------------ narrow transformations
     def map(self, func: Callable) -> "RDD":
         """Apply ``func`` to every record.  Keys may change, so the partitioner is dropped."""
-        return MapPartitionsRDD(self, lambda index, it: [func(x) for x in it],
+        return MapPartitionsRDD(self, _PerRecordAdapter(func),
                                 preserves_partitioning=False)
 
     def map_preserving(self, func: Callable) -> "RDD":
@@ -115,45 +227,38 @@ class RDD:
         this variant to avoid spurious reshuffles — the same effect as using
         ``mapValues``/``preservesPartitioning=True`` in pySpark.
         """
-        return MapPartitionsRDD(self, lambda index, it: [func(x) for x in it],
+        return MapPartitionsRDD(self, _PerRecordAdapter(func),
                                 preserves_partitioning=True)
 
     def flatMap(self, func: Callable) -> "RDD":
         """Apply ``func`` returning an iterable per record and flatten the results."""
-        def _run(index, it):
-            out = []
-            for x in it:
-                out.extend(func(x))
-            return out
-        return MapPartitionsRDD(self, _run, preserves_partitioning=False)
+        return MapPartitionsRDD(self, _FlatMapAdapter(func), preserves_partitioning=False)
 
     def filter(self, predicate: Callable) -> "RDD":
         """Keep records for which ``predicate`` is true.  Partitioning is preserved."""
-        return MapPartitionsRDD(self, lambda index, it: [x for x in it if predicate(x)],
+        return MapPartitionsRDD(self, _FilterAdapter(predicate),
                                 preserves_partitioning=True)
 
     def mapValues(self, func: Callable) -> "RDD":
         """Apply ``func`` to the value of every (key, value) record, keeping keys and partitioning."""
-        def _run(index, it):
-            return [(record_key(x), func(x[1])) for x in it]
-        return MapPartitionsRDD(self, _run, preserves_partitioning=True)
+        return MapPartitionsRDD(self, _MapValuesAdapter(func), preserves_partitioning=True)
 
     def mapPartitions(self, func: Callable, *, preserves_partitioning: bool = False) -> "RDD":
         """Apply ``func`` to each whole partition (an iterable) returning an iterable."""
-        return MapPartitionsRDD(self, lambda index, it: list(func(it)),
+        return MapPartitionsRDD(self, _WholePartitionAdapter(func),
                                 preserves_partitioning=preserves_partitioning)
 
     def mapPartitionsWithIndex(self, func: Callable, *, preserves_partitioning: bool = False) -> "RDD":
         """Like :meth:`mapPartitions` but ``func`` also receives the partition index."""
-        return MapPartitionsRDD(self, lambda index, it: list(func(index, it)),
+        return MapPartitionsRDD(self, _IndexedPartitionAdapter(func),
                                 preserves_partitioning=preserves_partitioning)
 
     def keys(self) -> "RDD":
-        return MapPartitionsRDD(self, lambda index, it: [record_key(x) for x in it],
+        return MapPartitionsRDD(self, _PerRecordAdapter(record_key),
                                 preserves_partitioning=False)
 
     def values(self) -> "RDD":
-        return MapPartitionsRDD(self, lambda index, it: [x[1] for x in it],
+        return MapPartitionsRDD(self, _PerRecordAdapter(_record_value),
                                 preserves_partitioning=False)
 
     def union(self, other: "RDD") -> "RDD":
@@ -320,10 +425,30 @@ class MapPartitionsRDD(RDD):
         partitioner = parent.partitioner if preserves_partitioning else None
         super().__init__(parent.context, parent.num_partitions, partitioner, parents=[parent])
         self._func = func
+        self._remote_ok: bool | None = None
 
     def compute_partition(self, index: int) -> list:
         parent = self._parents[0]
         return self._func(index, parent.iterator(index))
+
+    def remote_payload(self, index: int):
+        """Ship ``func(parent partition)`` to a worker when ``func`` is picklable.
+
+        The parent's records are fetched on the driver (they are cache hits
+        or cheap narrow computations for the solvers' hot paths) and shipped
+        together with the adapter, so the worker needs no lineage — only the
+        function and its input.
+        """
+        if self._persisted:
+            with self._cache_lock:
+                if index in self._cache:
+                    return None  # cached: the closure path is a dict lookup
+        if self._remote_ok is None:
+            self._remote_ok = is_picklable(self._func)
+        if not self._remote_ok:
+            return None
+        records = self._parents[0].iterator(index)
+        return compute_map_partition, (self._func, index, records)
 
 
 class UnionRDD(RDD):
@@ -348,6 +473,11 @@ class UnionRDD(RDD):
     def compute_partition(self, index: int) -> list:
         rdd, parent_index = self._offsets[index]
         return list(rdd.iterator(parent_index))
+
+    def remote_payload(self, index: int):
+        """Delegate to the member RDD owning this partition."""
+        rdd, parent_index = self._offsets[index]
+        return rdd.remote_payload(parent_index)
 
 
 class CartesianRDD(RDD):
@@ -412,6 +542,28 @@ class ShuffledRDD(RDD):
         super().prepare(_visited)
         self._materialize()
 
+    def _bucket_records(self, records: list) -> dict[int, list]:
+        """Partition (and optionally map-side combine) one map task's records."""
+        partitioner = self.partitioner
+        buckets: dict[int, list] = defaultdict(list)
+        if self._map_side_combine:
+            combined: dict[int, dict] = defaultdict(dict)
+            for record in records:
+                key = record_key(record)
+                target = partitioner(key)
+                bucket = combined[target]
+                if key in bucket:
+                    bucket[key] = self._merge_value(bucket[key], record[1])
+                else:
+                    bucket[key] = self._create_combiner(record[1])
+            for target, kv in combined.items():
+                buckets[target] = list(kv.items())
+        else:
+            for record in records:
+                key = record_key(record)
+                buckets[partitioner(key)].append(record)
+        return dict(buckets)
+
     def _materialize(self) -> None:
         with self._materialize_lock:
             if self._shuffle_id is not None:
@@ -419,32 +571,30 @@ class ShuffledRDD(RDD):
             parent = self._parents[0]
             manager = self.context.shuffle_manager
             shuffle_id = manager.new_shuffle()
-            partitioner = self.partitioner
+            use_remote = self.context.scheduler.supports_remote
 
             def make_map_task(map_index: int):
                 def task():
-                    records = parent.iterator(map_index)
-                    buckets: dict[int, list] = defaultdict(list)
-                    if self._map_side_combine:
-                        combined: dict[int, dict] = defaultdict(dict)
-                        for record in records:
-                            key = record_key(record)
-                            target = partitioner(key)
-                            bucket = combined[target]
-                            if key in bucket:
-                                bucket[key] = self._merge_value(bucket[key], record[1])
-                            else:
-                                bucket[key] = self._create_combiner(record[1])
-                        for target, kv in combined.items():
-                            buckets[target] = list(kv.items())
-                    else:
-                        for record in records:
-                            key = record_key(record)
-                            buckets[partitioner(key)].append(record)
-                    return map_index, dict(buckets)
+                    return map_index, self._bucket_records(parent.iterator(map_index))
                 return task
 
-            tasks = [make_map_task(i) for i in range(parent.num_partitions)]
+            def make_map_post(map_index: int):
+                # Driver-side completion of a remote map task: the worker
+                # computed the parent partition, the driver buckets it (and
+                # backfills the parent's persistence cache).
+                def post(records):
+                    parent._fill_cache(map_index, records)
+                    return map_index, self._bucket_records(records)
+                return post
+
+            tasks = []
+            for map_index in range(parent.num_partitions):
+                payload = parent.remote_payload(map_index) if use_remote else None
+                if payload is None:
+                    tasks.append(make_map_task(map_index))
+                else:
+                    fn, args = payload
+                    tasks.append(RemoteTask(fn, args, post=make_map_post(map_index)))
             results = self.context.scheduler.run_stage("shuffle-map", tasks)
             for map_index, buckets in results:
                 manager.write_map_output(shuffle_id, map_index, buckets)

@@ -1,0 +1,116 @@
+"""Cross-process task execution support for the ``processes`` backend.
+
+The mini-Spark engine normally runs stage tasks as in-process closures
+(``serial``/``threads`` backends).  Closures capture the driver's object
+graph — RDD lineage, the context, locks — and therefore cannot be pickled
+into a worker process.  The ``processes`` backend instead ships *payloads*:
+a module-level function plus picklable arguments, wrapped in a
+:class:`RemoteTask`.  Anything that cannot express itself as such a payload
+keeps running on the driver's coordination thread pool, so every solver
+stays correct under every backend and only the picklable hot paths (the
+NumPy block kernels) pay the serialization toll for true multi-core
+execution.
+
+Worker-side engine counters (e.g. shared-filesystem reads performed by an
+impure solver's kernel) are accumulated against a per-process
+:data:`WORKER_METRICS` collector; :func:`run_remote` snapshots it around the
+payload and returns the counter delta so the driver can fold it back into
+the context's :class:`~repro.spark.metrics.EngineMetrics`.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Callable
+
+from repro.spark.metrics import EngineMetrics, metrics_delta
+
+#: Per-process metrics collector.  In a worker process this is the sink that
+#: unpickled engine objects (e.g. :class:`~repro.spark.sharedfs.SharedFileSystem`)
+#: bind to; in the driver process it is simply never read.
+WORKER_METRICS = EngineMetrics()
+
+
+def worker_metrics() -> EngineMetrics:
+    """The metrics collector engine objects should bind to after unpickling."""
+    return WORKER_METRICS
+
+
+def run_remote(fn: Callable, *args) -> tuple[object, dict]:
+    """Execute a payload in a worker process, returning ``(result, metrics delta)``.
+
+    The delta covers every counter the payload touched through
+    :data:`WORKER_METRICS` (worker processes execute one task at a time, so
+    the snapshot pair is race-free).
+    """
+    before = WORKER_METRICS.as_dict()
+    result = fn(*args)
+    return result, metrics_delta(before, WORKER_METRICS.as_dict())
+
+
+def pack_payload(fn: Callable, args: tuple) -> bytes | None:
+    """Serialize a payload for shipping, or ``None`` when it cannot be pickled.
+
+    Pickling explicitly on the driver (instead of letting the executor's
+    feeder thread fail later) gives a clean decision point: an unshippable
+    payload — e.g. records holding locks or open handles that the cheap
+    adapter-level :func:`is_picklable` probe could not see — falls back to
+    driver-side execution instead of crashing the stage.
+    """
+    try:
+        return pickle.dumps((fn, args), protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:  # noqa: BLE001 — any pickling failure means "run locally"
+        return None
+
+
+def run_packed(payload: bytes) -> tuple[object, dict]:
+    """Worker entry point: unpickle a packed payload and run it."""
+    fn, args = pickle.loads(payload)
+    return run_remote(fn, *args)
+
+
+def compute_map_partition(func: Callable, index: int, records: list) -> list:
+    """Payload for a narrow transformation: apply a partition adapter to records."""
+    return func(index, records)
+
+
+def is_picklable(obj) -> bool:
+    """True when ``obj`` survives pickling (the processes-backend entry ticket)."""
+    try:
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:  # noqa: BLE001 — any pickling failure means "not shippable"
+        return False
+    return True
+
+
+class RemoteTask:
+    """A stage task whose payload can execute in a worker process.
+
+    ``fn`` must be a module-level callable and ``args`` picklable values.
+    ``post`` is an optional *driver-side* hook applied to the payload's
+    result (cache fills, shuffle bucketing, per-partition post-processing);
+    it may capture arbitrary driver state because it never crosses the
+    process boundary.  Calling the task directly runs the whole thing
+    in-process, which is what the ``serial``/``threads`` backends do.
+    """
+
+    __slots__ = ("fn", "args", "post")
+
+    def __init__(self, fn: Callable, args: tuple = (),
+                 post: Callable | None = None) -> None:
+        self.fn = fn
+        self.args = tuple(args)
+        self.post = post
+
+    def finish(self, result):
+        """Apply the driver-side post-processing hook to a payload result."""
+        if self.post is not None:
+            return self.post(result)
+        return result
+
+    def __call__(self):
+        return self.finish(self.fn(*self.args))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.fn, "__name__", repr(self.fn))
+        return f"RemoteTask({name}, args={len(self.args)})"

@@ -1,24 +1,68 @@
 """Stage/task scheduler with pluggable execution backends and task retry.
 
 Stages are lists of independent tasks (one per partition).  The scheduler runs
-them serially or on a thread pool, consults the fault injector before every
-attempt, retries failed attempts (lineage-based recomputation happens simply by
-re-running the task closure), and records stage timings in the metrics.
+them serially, on a thread pool, or — for tasks carrying a picklable payload
+(:class:`~repro.spark.remote.RemoteTask`) — on a process pool, consults the
+fault injector before every attempt, retries failed attempts (lineage-based
+recomputation happens simply by re-running the task closure), and records
+stage timings in the metrics.
+
+Backend execution model
+-----------------------
+``serial``
+    Tasks run one by one on the driver thread.
+``threads``
+    Tasks of a stage run concurrently on a thread pool; NumPy kernels release
+    the GIL so the block math genuinely parallelizes.
+``processes``
+    A coordination thread per task drives execution; tasks that are
+    :class:`RemoteTask` payloads are shipped to a lazily-created
+    ``ProcessPoolExecutor`` (true multi-core, no GIL), and their worker-side
+    metric deltas are merged back into the driver's counters.  Plain closure
+    tasks keep running on the coordination threads, so solvers that cannot
+    express picklable payloads remain correct.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import sys
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence
 
 from repro.common.config import EngineConfig
 from repro.common.errors import FaultInjectedError, SolverError
 from repro.spark.faults import FaultInjector
 from repro.spark.metrics import EngineMetrics
+from repro.spark.remote import RemoteTask, pack_payload, run_packed
 
 #: Maximum attempts per task (Spark's default ``spark.task.maxFailures`` is 4).
 MAX_TASK_ATTEMPTS = 4
+
+
+def _mp_context():
+    """A start method that is safe in a threaded driver (never plain fork)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "forkserver" if "forkserver" in methods else "spawn")
+
+
+def _sanitize_main_for_spawn() -> None:
+    """Drop a pseudo ``__main__.__file__`` (e.g. ``<stdin>``) before spawning.
+
+    When the driver is fed from a pipe or heredoc, CPython's spawn/forkserver
+    child preparation would try to re-run ``__main__`` from the non-existent
+    path ``<stdin>`` and kill every worker with ``BrokenProcessPool``.  Our
+    remote payloads are always importable module-level callables, so the
+    child never needs ``__main__`` re-executed from such a pseudo-file.
+    """
+    main = sys.modules.get("__main__")
+    main_file = getattr(main, "__file__", None)
+    if main_file is not None and os.path.basename(main_file).startswith("<"):
+        main.__file__ = None
 
 
 class TaskScheduler:
@@ -31,11 +75,55 @@ class TaskScheduler:
         self.faults = fault_injector or FaultInjector()
         self._stage_counter = 0
         self._pool: ThreadPoolExecutor | None = None
-        if config.backend == "threads":
+        self._proc_pool: ProcessPoolExecutor | None = None
+        self._proc_pool_lock = threading.Lock()
+        if config.backend in ("threads", "processes"):
             self._pool = ThreadPoolExecutor(max_workers=max(1, config.total_cores),
                                             thread_name_prefix="apspark-exec")
 
     # ------------------------------------------------------------------
+    @property
+    def supports_remote(self) -> bool:
+        """True when :class:`RemoteTask` payloads are shipped to worker processes."""
+        return self.config.backend == "processes"
+
+    def _process_pool(self) -> ProcessPoolExecutor:
+        """The worker-process pool, created lazily on first remote dispatch.
+
+        Worker startup (forkserver/spawn imports the package) is paid once per
+        scheduler; the pool then lives until :meth:`shutdown`, exactly like
+        the thread pool — the context owns both lifecycles.
+        """
+        with self._proc_pool_lock:
+            if self._proc_pool is None:
+                _sanitize_main_for_spawn()
+                workers = max(1, min(self.config.total_cores,
+                                     max(2, os.cpu_count() or 1)))
+                self._proc_pool = ProcessPoolExecutor(
+                    max_workers=workers, mp_context=_mp_context())
+            return self._proc_pool
+
+    # ------------------------------------------------------------------
+    def _invoke(self, task: Callable[[], object]) -> object:
+        """Execute one task attempt on the right executor for this backend.
+
+        A :class:`RemoteTask` whose full payload (function *and* arguments)
+        pickles is shipped to the process pool; anything else — including a
+        payload whose records turn out to be unshippable — runs in-process,
+        so the fallback guarantee holds at the data level, not just for the
+        function.  Retried attempts re-ship the same payload: its input was
+        materialized on the driver when the stage was built, so replaying it
+        is exactly the lineage recomputation of this simulator.
+        """
+        if isinstance(task, RemoteTask) and self.supports_remote:
+            payload = pack_payload(task.fn, task.args)
+            if payload is not None:
+                future = self._process_pool().submit(run_packed, payload)
+                result, delta = future.result()
+                self.metrics.merge_delta(delta)
+                return task.finish(result)
+        return task()
+
     def _run_task(self, task: Callable[[], object]) -> object:
         """Run a single task with fault injection and retry."""
         task_id = self.faults.next_task_id()
@@ -46,7 +134,7 @@ class TaskScheduler:
                 if attempt > 0:
                     self.metrics.task_retried()
                 self.faults.maybe_fail(task_id, attempt)
-                return task()
+                return self._invoke(task)
             except FaultInjectedError as exc:
                 self.metrics.task_failed()
                 last_error = exc
@@ -54,23 +142,52 @@ class TaskScheduler:
         raise SolverError(
             f"task {task_id} failed {MAX_TASK_ATTEMPTS} times") from last_error
 
+    @staticmethod
+    def _gather(futures: Sequence[Future]) -> list:
+        """Collect every future's result, then re-raise the first failure.
+
+        Waiting on *all* futures before raising keeps the stage
+        exception-safe: sibling tasks finish (or fail) and record their
+        metrics, no work is left running unobserved in the pool, and the
+        executor is immediately reusable for the next stage.
+        """
+        results: list = []
+        first_error: Exception | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except Exception as exc:  # noqa: BLE001 — re-raised below
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
     def run_stage(self, kind: str, tasks: Sequence[Callable[[], object]]) -> list:
         """Run all ``tasks`` and return their results in order."""
         self._stage_counter += 1
         stage_id = self._stage_counter
         start = time.perf_counter()
-        if not tasks:
-            results: list = []
-        elif self._pool is not None and len(tasks) > 1:
-            futures = [self._pool.submit(self._run_task, task) for task in tasks]
-            results = [f.result() for f in futures]
-        else:
-            results = [self._run_task(task) for task in tasks]
-        duration = time.perf_counter() - start
-        self.metrics.stage_finished(stage_id, kind, len(tasks), duration)
+        try:
+            if not tasks:
+                results: list = []
+            elif self._pool is not None and len(tasks) > 1:
+                futures = [self._pool.submit(self._run_task, task) for task in tasks]
+                results = self._gather(futures)
+            else:
+                results = [self._run_task(task) for task in tasks]
+        finally:
+            # Record the stage even when it fails so metric snapshots taken
+            # around a failing solve stay internally consistent.
+            duration = time.perf_counter() - start
+            self.metrics.stage_finished(stage_id, kind, len(tasks), duration)
         return results
 
     def shutdown(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        with self._proc_pool_lock:
+            if self._proc_pool is not None:
+                self._proc_pool.shutdown(wait=True)
+                self._proc_pool = None

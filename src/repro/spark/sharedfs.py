@@ -33,6 +33,25 @@ class SharedFileSystem:
         self._lock = threading.Lock()
         self._index: dict[str, str] = {}
 
+    # -- pickling (processes backend) --------------------------------------------
+    def __getstate__(self) -> dict:
+        """Ship only the directory and the name index across process boundaries.
+
+        The metrics object and its lock stay behind; the unpickled copy binds
+        to the per-process worker collector so reads performed inside a worker
+        are accounted and returned to the driver as a delta (see
+        :mod:`repro.spark.remote`).
+        """
+        with self._lock:
+            return {"root": self.root, "index": dict(self._index)}
+
+    def __setstate__(self, state: dict) -> None:
+        from repro.spark.remote import worker_metrics
+        self.root = state["root"]
+        self.metrics = worker_metrics()
+        self._lock = threading.Lock()
+        self._index = dict(state["index"])
+
     def _path_for(self, name: str) -> str:
         safe = name.replace("/", "_").replace(" ", "_")
         return os.path.join(self.root, f"{safe}-{uuid.uuid4().hex[:8]}.blk")

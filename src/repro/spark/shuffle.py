@@ -13,7 +13,6 @@ executor that produced it and checked against the configured capacity.
 from __future__ import annotations
 
 import threading
-from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.common.config import EngineConfig

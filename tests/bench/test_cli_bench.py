@@ -1,0 +1,105 @@
+"""End-to-end tests of the ``apspark bench`` CLI subcommands."""
+
+import json
+
+import pytest
+
+from repro.bench import BENCH_N_ENV
+from repro.experiments.cli import main
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv(BENCH_N_ENV, "24")
+
+
+class TestBenchList:
+    def test_lists_suites(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "backends" in out
+
+    def test_lists_one_suite_grid(self, capsys):
+        assert main(["bench", "list", "--suite", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "blocked-cb-processes" in out
+
+    def test_csv_mode(self, capsys):
+        assert main(["bench", "list", "--csv"]) == 0
+        assert "suite,scenarios,description" in capsys.readouterr().out
+
+
+class TestBenchRun:
+    def test_smoke_run_writes_report(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_smoke.json"
+        assert main(["bench", "run", "--suite", "smoke", "--verify",
+                     "--output", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        assert report["schema_version"] == 1
+        assert report["suite"] == "smoke"
+        assert report["host"]["bench_n_env"] == "24"
+        assert len(report["scenarios"]) == 6
+        ids = {entry["id"] for entry in report["scenarios"]}
+        assert "blocked-cb-processes" in ids
+        for entry in report["scenarios"]:
+            assert entry["wall_seconds"] > 0
+            assert entry["phase_seconds"]
+            assert entry["metrics"]["tasks_launched"] > 0
+            assert entry["verified"] is True
+        assert "wrote" in capsys.readouterr().out
+
+    def test_n_override_flag(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_backends.json"
+        assert main(["bench", "run", "--suite", "backends", "--n", "16",
+                     "--quiet", "--output", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        assert all(e["params"]["n"] == 16 for e in report["scenarios"])
+
+
+class TestBenchCompare:
+    @pytest.fixture(scope="class")
+    def report_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("bench") / "BENCH_smoke.json"
+        # One serial-only run (suite rescaled tiny) shared by the compare tests.
+        assert main(["bench", "run", "--suite", "blocksize", "--n", "16",
+                     "--quiet", "--output", str(path)]) == 0
+        return str(path)
+
+    def test_equal_reports_exit_zero(self, report_path, capsys):
+        assert main(["bench", "compare", "--baseline", report_path,
+                     "--current", report_path]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_csv_output_keeps_summary_off_stdout(self, report_path, capsys):
+        assert main(["bench", "compare", "--baseline", report_path,
+                     "--current", report_path, "--csv"]) == 0
+        captured = capsys.readouterr()
+        assert "ok:" not in captured.out       # stdout is pure CSV
+        assert "ok:" in captured.err
+
+    def test_regression_exits_nonzero(self, report_path, tmp_path, capsys):
+        report = json.loads(open(report_path).read())
+        for entry in report["scenarios"]:
+            entry["wall_seconds"] /= 10.0
+        fast_baseline = tmp_path / "BENCH_fast.json"
+        fast_baseline.write_text(json.dumps(report))
+        assert main(["bench", "compare", "--baseline", str(fast_baseline),
+                     "--current", report_path, "--min-seconds", "0"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_threshold_override_relaxes_gate(self, report_path, tmp_path):
+        report = json.loads(open(report_path).read())
+        for entry in report["scenarios"]:
+            entry["wall_seconds"] /= 1.8
+        baseline = tmp_path / "BENCH_base.json"
+        baseline.write_text(json.dumps(report))
+        args = ["bench", "compare", "--baseline", str(baseline),
+                "--current", report_path, "--min-seconds", "0"]
+        assert main(args) == 1
+        assert main(args + ["--threshold", "3.0"]) == 0
+
+    def test_missing_baseline_errors(self, report_path):
+        from repro.common.errors import ValidationError
+        with pytest.raises(ValidationError):
+            main(["bench", "compare", "--baseline", "/nonexistent.json",
+                  "--current", report_path])

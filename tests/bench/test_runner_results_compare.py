@@ -1,0 +1,165 @@
+"""Tests for the benchmark runner, the BENCH_*.json schema, and the comparator."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (SCHEMA_VERSION, BenchScenario, BenchSuite, build_report,
+                         compare_reports, has_regressions, load_report, regressions,
+                         run_suite, summarize, write_report)
+from repro.common.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def micro_suite():
+    return BenchSuite(
+        name="micro",
+        description="two tiny scenarios for unit tests",
+        scenarios=(
+            BenchScenario(name="cb", solver="blocked-cb", n=24, block_size=8,
+                          num_executors=2, cores_per_executor=1),
+            BenchScenario(name="im", solver="blocked-im", n=24, block_size=8,
+                          num_executors=2, cores_per_executor=1),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def micro_results(micro_suite):
+    return run_suite(micro_suite, verify=True)
+
+
+@pytest.fixture(scope="module")
+def micro_report(micro_suite, micro_results):
+    return build_report(micro_suite, micro_results)
+
+
+class TestRunner:
+    def test_results_in_scenario_order(self, micro_suite, micro_results):
+        assert [r.scenario.name for r in micro_results] == ["cb", "im"]
+
+    def test_measurements_recorded(self, micro_results):
+        for result in micro_results:
+            assert result.wall_seconds > 0
+            assert result.all_seconds and min(result.all_seconds) == result.wall_seconds
+            assert result.phase_seconds            # per-stage timings
+            assert "tasks_launched" in result.metrics   # engine metric delta
+            assert result.metrics["tasks_launched"] > 0
+            assert result.solve["q"] == 3          # 24 / 8
+            assert result.verified is True
+
+    def test_repeats_override(self, micro_suite):
+        results = run_suite(micro_suite, repeats=2)
+        assert all(len(r.all_seconds) == 2 for r in results)
+        assert all(r.verified is None for r in results)
+
+    def test_invalid_repeats_rejected(self, micro_suite):
+        from repro.common.errors import ConfigurationError
+        for bad in (0, -1):
+            with pytest.raises(ConfigurationError):
+                run_suite(micro_suite, repeats=bad)
+
+    def test_progress_lines(self, micro_suite):
+        lines = []
+        run_suite(micro_suite, progress=lines.append)
+        assert len(lines) == 2 and lines[0].startswith("cb:")
+
+
+class TestReportSchema:
+    def test_report_structure(self, micro_report):
+        assert micro_report["schema_version"] == SCHEMA_VERSION
+        assert micro_report["suite"] == "micro"
+        assert {"sha", "branch", "dirty"} <= set(micro_report["git"])
+        host = micro_report["host"]
+        assert {"platform", "python", "numpy", "cpu_count", "hostname"} <= set(host)
+        entry = micro_report["scenarios"][0]
+        assert entry["id"] == "cb"
+        assert entry["wall_seconds"] > 0
+        assert entry["params"]["solver"] == "blocked-cb"
+        assert entry["verified"] is True
+        assert entry["slowdown_threshold"] == pytest.approx(1.5)
+
+    def test_spill_keys_stringified_for_json(self, micro_report):
+        spills = micro_report["scenarios"][1]["metrics"]["spilled_bytes_per_executor"]
+        assert all(isinstance(k, str) for k in spills)
+
+    def test_write_load_round_trip(self, micro_report, tmp_path):
+        path = write_report(micro_report, str(tmp_path / "BENCH_micro.json"))
+        loaded = load_report(path)
+        assert loaded["suite"] == "micro"
+        assert json.dumps(loaded, sort_keys=True) == \
+            json.dumps(json.loads(json.dumps(micro_report)), sort_keys=True)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_report(str(tmp_path / "nope.json"))
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError):
+            load_report(str(path))
+
+    def test_load_rejects_wrong_schema_version(self, micro_report, tmp_path):
+        doctored = copy.deepcopy(micro_report)
+        doctored["schema_version"] = SCHEMA_VERSION + 1
+        path = write_report(doctored, str(tmp_path / "BENCH_v2.json"))
+        with pytest.raises(ValidationError):
+            load_report(path)
+
+    def test_load_rejects_malformed_scenarios(self, micro_report, tmp_path):
+        doctored = copy.deepcopy(micro_report)
+        doctored["scenarios"] = [{"name": "missing-fields"}]
+        path = write_report(doctored, str(tmp_path / "BENCH_bad.json"))
+        with pytest.raises(ValidationError):
+            load_report(path)
+
+
+class TestCompare:
+    def _scaled(self, report, factor):
+        doctored = copy.deepcopy(report)
+        for entry in doctored["scenarios"]:
+            entry["wall_seconds"] *= factor
+        return doctored
+
+    def test_identical_reports_pass(self, micro_report):
+        rows = compare_reports(micro_report, micro_report, min_seconds=0.0)
+        assert not has_regressions(rows)
+        assert all(row.status in ("ok", "faster") for row in rows)
+        assert "ok:" in summarize(rows)
+
+    def test_slowdown_detected(self, micro_report):
+        baseline = self._scaled(micro_report, 0.1)
+        rows = compare_reports(baseline, micro_report, min_seconds=0.0)
+        assert has_regressions(rows)
+        assert {row.scenario_id for row in regressions(rows)} == {"cb", "im"}
+        assert "REGRESSION" in summarize(rows)
+
+    def test_speedup_not_a_regression(self, micro_report):
+        baseline = self._scaled(micro_report, 10.0)
+        rows = compare_reports(baseline, micro_report, min_seconds=0.0)
+        assert not has_regressions(rows)
+        assert all(row.status == "faster" for row in rows)
+
+    def test_threshold_override(self, micro_report):
+        slower = self._scaled(micro_report, 1.7)
+        assert has_regressions(compare_reports(micro_report, slower, min_seconds=0.0))
+        rows = compare_reports(micro_report, slower, threshold=2.0, min_seconds=0.0)
+        assert not has_regressions(rows)
+
+    def test_noise_floor_suppresses_micro_timings(self, micro_report):
+        slower = self._scaled(micro_report, 100.0)
+        rows = compare_reports(micro_report, slower, min_seconds=1e9)
+        assert all(row.status == "below-floor" for row in rows)
+        assert not has_regressions(rows)
+
+    def test_missing_and_new_scenarios(self, micro_report):
+        current = copy.deepcopy(micro_report)
+        removed = current["scenarios"].pop()
+        current["scenarios"].append({**removed, "id": "brand-new"})
+        rows = {row.scenario_id: row for row in
+                compare_reports(micro_report, current, min_seconds=0.0)}
+        assert rows[removed["id"]].status == "missing"
+        assert rows["brand-new"].status == "new"
+        assert not has_regressions(list(rows.values()))

@@ -1,0 +1,107 @@
+"""Tests for the benchmark scenario grids and their environment scaling."""
+
+import pytest
+
+from repro.bench import (BENCH_N_ENV, BenchScenario, BenchSuite, available_suites,
+                         bench_scale_n, get_suite)
+from repro.common.config import EngineConfig
+from repro.common.errors import ConfigurationError
+
+
+class TestBenchScaleN:
+    def test_default_when_env_unset(self, monkeypatch):
+        monkeypatch.delenv(BENCH_N_ENV, raising=False)
+        assert bench_scale_n(128) == 128
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(BENCH_N_ENV, "24")
+        assert bench_scale_n(128) == 24
+
+    def test_env_must_be_integer(self, monkeypatch):
+        monkeypatch.setenv(BENCH_N_ENV, "large")
+        with pytest.raises(ConfigurationError):
+            bench_scale_n(128)
+
+    def test_env_must_be_sane(self, monkeypatch):
+        monkeypatch.setenv(BENCH_N_ENV, "2")
+        with pytest.raises(ConfigurationError):
+            bench_scale_n(128)
+
+
+class TestScenario:
+    def test_engine_config_and_request(self):
+        scenario = BenchScenario(name="s", solver="cb", n=64, block_size=16,
+                                 backend="threads")
+        config = scenario.engine_config()
+        assert isinstance(config, EngineConfig)
+        assert config.backend == "threads"
+        request = scenario.request()
+        assert request.solver == "blocked-cb"  # alias resolved eagerly
+        assert request.tag == "s"
+
+    def test_invalid_grid_point_fails_at_definition(self):
+        with pytest.raises(ConfigurationError):
+            BenchScenario(name="bad", solver="no-such-solver")
+        with pytest.raises(ConfigurationError):
+            BenchScenario(name="bad", backend="gpu")
+        with pytest.raises(ConfigurationError):
+            BenchScenario(name="bad", slowdown_threshold=0.9)
+        with pytest.raises(ConfigurationError):
+            BenchScenario(name="")
+
+    def test_with_n_clamps_block_size(self):
+        scenario = BenchScenario(name="s", n=128, block_size=64)
+        small = scenario.with_n(16)
+        assert small.n == 16
+        assert small.block_size <= 16
+
+    def test_params_round_trip(self):
+        scenario = BenchScenario(name="s", n=64)
+        params = scenario.params()
+        assert params["n"] == 64
+        assert params["solver"] == "blocked-cb"
+
+
+class TestSuites:
+    def test_registry_names(self):
+        names = available_suites()
+        assert "smoke" in names
+        assert "backends" in names
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_suite("nope")
+
+    @pytest.mark.parametrize("name", available_suites())
+    def test_every_suite_builds_with_unique_scenarios(self, name):
+        suite = get_suite(name)
+        ids = [s.name for s in suite.scenarios]
+        assert len(ids) == len(set(ids))
+        assert suite.scenarios  # non-empty
+
+    def test_duplicate_scenario_names_rejected(self):
+        scenario = BenchScenario(name="dup", n=32)
+        with pytest.raises(ConfigurationError):
+            BenchSuite(name="x", description="", scenarios=(scenario, scenario))
+
+    def test_env_scales_suites(self, monkeypatch):
+        monkeypatch.setenv(BENCH_N_ENV, "24")
+        suite = get_suite("smoke")
+        assert all(s.n == 24 for s in suite.scenarios)
+
+    def test_with_n_rescales_whole_suite(self):
+        suite = get_suite("backends").with_n(32)
+        assert all(s.n == 32 for s in suite.scenarios)
+
+    def test_suite_scenario_lookup(self):
+        suite = get_suite("smoke")
+        assert suite.scenario("blocked-cb-serial").solver == "blocked-cb"
+        with pytest.raises(ConfigurationError):
+            suite.scenario("nope")
+
+    def test_smoke_covers_all_backends_and_solvers(self):
+        suite = get_suite("smoke")
+        backends = {s.backend for s in suite.scenarios}
+        solvers = {s.solver for s in suite.scenarios}
+        assert backends == {"serial", "threads", "processes"}
+        assert solvers == {"blocked-cb", "blocked-im", "repeated-squaring", "fw-2d"}

@@ -12,8 +12,6 @@ from repro.core.blocked_collect_broadcast import BlockedCollectBroadcastSolver
 from repro.core.blocked_inmemory import BlockedInMemorySolver
 from repro.core.floyd_warshall_2d import FloydWarshall2DSolver
 from repro.core.repeated_squaring import RepeatedSquaringSolver
-from repro.graph.generators import erdos_renyi_adjacency
-from repro.sequential.floyd_warshall import floyd_warshall_reference
 
 
 class TestRegistry:

@@ -16,7 +16,6 @@ from repro.core import (
 from repro.graph.generators import (
     complete_adjacency,
     erdos_renyi_adjacency,
-    grid_adjacency,
     path_adjacency,
     star_adjacency,
 )

@@ -1,6 +1,5 @@
 """Tests for the experiment harness (Figures 2/3, Tables 2/3, reporting)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import figure2, figure3, table2, table3_figure5

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.common.errors import ConfigurationError
-from repro.mpi.comm import CommStats, SimulatedComm, run_spmd
+from repro.mpi.comm import CommStats, run_spmd
 
 
 class TestPointToPoint:

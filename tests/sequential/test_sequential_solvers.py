@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import SolverError, ValidationError
-from repro.graph.generators import erdos_renyi_adjacency, grid_adjacency, path_adjacency, star_adjacency
+from repro.graph.generators import erdos_renyi_adjacency, path_adjacency, star_adjacency
 from repro.sequential import (
     apsp_dijkstra,
     bellman_ford,
