@@ -31,6 +31,8 @@ from repro.core.api import solve_apsp, available_solvers, APSPResult
 from repro.core.engine import APSPEngine, APSPJob
 from repro.core.registry import SolverInfo, register_solver, solver_catalog, solver_info
 from repro.core.request import SolveRequest
+from repro.linalg.algebra import (Semiring, available_algebras, get_algebra,
+                                  register_algebra)
 
 __all__ = [
     "__version__",
@@ -44,4 +46,8 @@ __all__ = [
     "register_solver",
     "solver_catalog",
     "solver_info",
+    "Semiring",
+    "available_algebras",
+    "get_algebra",
+    "register_algebra",
 ]

@@ -17,10 +17,14 @@ CLI: ``apspark bench run|compare|list``.
 """
 
 from repro.bench.compare import (ScenarioComparison, compare_reports,
-                                 has_regressions, regressions, summarize)
+                                 has_regressions, improvements, regressions,
+                                 summarize)
 from repro.bench.results import (SCHEMA_VERSION, build_report, default_report_path,
                                  load_report, validate_report, write_report)
-from repro.bench.runner import ScenarioResult, run_suite, solve_scenario
+from repro.bench.runner import (ScenarioResult, graph_for_algebra,
+                                reference_closure, run_suite, scenario_graph,
+                                scenario_reference, solve_scenario,
+                                verify_tolerances)
 from repro.bench.scenarios import (BENCH_N_ENV, BenchScenario, BenchSuite,
                                    available_suites, bench_scale_n, get_suite)
 
@@ -37,12 +41,18 @@ __all__ = [
     "compare_reports",
     "default_report_path",
     "get_suite",
+    "graph_for_algebra",
     "has_regressions",
+    "reference_closure",
+    "improvements",
     "load_report",
     "regressions",
     "run_suite",
+    "scenario_graph",
+    "scenario_reference",
     "solve_scenario",
     "summarize",
     "validate_report",
+    "verify_tolerances",
     "write_report",
 ]

@@ -110,12 +110,29 @@ def has_regressions(rows: list[ScenarioComparison]) -> bool:
     return bool(regressions(rows))
 
 
+def improvements(rows: list[ScenarioComparison]) -> list[ScenarioComparison]:
+    """The subset of rows that improved beyond the inverse gate (speedups)."""
+    return [row for row in rows if row.status == STATUS_FASTER]
+
+
 def summarize(rows: list[ScenarioComparison]) -> str:
-    """One-line verdict suitable for CI logs."""
+    """One-line verdict suitable for CI logs.
+
+    Speedups are called out alongside the regression verdict so perf wins —
+    e.g. a float32 scenario beating its float64 twin's baseline — stay
+    visible in the warn-only CI compare, not just slowdowns.
+    """
     failed = regressions(rows)
+    faster = improvements(rows)
     compared = [r for r in rows if r.ratio is not None]
+    faster_bit = ""
+    if faster:
+        best = min(faster, key=lambda r: r.ratio or 1.0)
+        faster_bit = (f"; {len(faster)} faster than baseline "
+                      f"(best: {best.scenario_id} at {best.ratio:.2f}x)")
     if failed:
         worst = max(failed, key=lambda r: r.ratio or 0.0)
         return (f"REGRESSION: {len(failed)}/{len(compared)} scenario(s) over "
-                f"threshold (worst: {worst.scenario_id} at {worst.ratio:.2f}x)")
-    return f"ok: {len(compared)} scenario(s) within threshold"
+                f"threshold (worst: {worst.scenario_id} at {worst.ratio:.2f}x)"
+                f"{faster_bit}")
+    return f"ok: {len(compared)} scenario(s) within threshold{faster_bit}"

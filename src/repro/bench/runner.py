@@ -17,6 +17,8 @@ import numpy as np
 from repro.common.errors import ConfigurationError
 from repro.core.engine import APSPEngine
 from repro.graph.generators import erdos_renyi_adjacency
+from repro.linalg.algebra import get_algebra
+from repro.linalg.kernels import semiring_closure
 from repro.sequential.floyd_warshall import floyd_warshall_reference
 
 from repro.bench.scenarios import BenchScenario, BenchSuite
@@ -60,6 +62,59 @@ class ScenarioResult:
         }
 
 
+def graph_domain(algebra) -> str:
+    """The edge-weight domain an algebra's inputs must come from.
+
+    Single source of truth for graph generation *and* the run_suite graph
+    cache key, so the two can never disagree.
+    """
+    return ("unit-interval" if get_algebra(algebra).name == "most-reliable"
+            else "weighted")
+
+
+def graph_for_algebra(n: int, seed: int, algebra="shortest-path") -> np.ndarray:
+    """Generate an Erdős–Rényi input graph respecting the algebra's domain.
+
+    Most algebras accept the standard weighted input; the (max, ×)
+    ``most-reliable`` algebra needs edge weights in ``[0, 1]``.
+    """
+    if graph_domain(algebra) == "unit-interval":
+        return erdos_renyi_adjacency(n, seed=seed, weight_low=0.05,
+                                     weight_high=0.95)
+    return erdos_renyi_adjacency(n, seed=seed)
+
+
+def reference_closure(adjacency: np.ndarray, algebra="shortest-path",
+                      dtype: str | None = None) -> np.ndarray:
+    """The sequential ground-truth closure for an (algebra, dtype) pair.
+
+    The (min, +)/float64 case uses the fast SciPy reference; everything else
+    goes through the dense generic closure.
+    """
+    if get_algebra(algebra).name == "shortest-path" and dtype in (None, "float64"):
+        return floyd_warshall_reference(adjacency)
+    return semiring_closure(adjacency, algebra, dtype=dtype)
+
+
+def verify_tolerances(dtype: str | None) -> dict:
+    """Keyword tolerances for comparing a result of ``dtype`` to its reference.
+
+    float32 accumulates rounding in a solver-dependent order and needs a
+    loose gate; float64 (and bool) keep the strict ``np.allclose`` defaults.
+    """
+    return {"rtol": 1e-4, "atol": 1e-6} if dtype == "float32" else {}
+
+
+def scenario_graph(scenario: BenchScenario) -> np.ndarray:
+    """Generate the input graph for a scenario, respecting its algebra's domain."""
+    return graph_for_algebra(scenario.n, scenario.seed, scenario.algebra)
+
+
+def scenario_reference(scenario: BenchScenario, adjacency: np.ndarray) -> np.ndarray:
+    """The sequential ground-truth closure a scenario's result must match."""
+    return reference_closure(adjacency, scenario.algebra, dtype=scenario.dtype)
+
+
 def solve_scenario(scenario: BenchScenario, engine: APSPEngine,
                    adjacency: np.ndarray | None = None):
     """Run one scenario once on an existing engine session, returning the result.
@@ -68,7 +123,7 @@ def solve_scenario(scenario: BenchScenario, engine: APSPEngine,
     JSON harness and pytest-benchmark share one definition of "one run".
     """
     if adjacency is None:
-        adjacency = erdos_renyi_adjacency(scenario.n, seed=scenario.seed)
+        adjacency = scenario_graph(scenario)
     return engine.solve(adjacency, scenario.request())
 
 
@@ -93,8 +148,8 @@ def run_suite(suite: BenchSuite, *, repeats: int | None = None,
         raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
     results: list[ScenarioResult] = []
     engines: dict[tuple, APSPEngine] = {}
-    graphs: dict[tuple[int, int], np.ndarray] = {}
-    references: dict[tuple[int, int], np.ndarray] = {}
+    graphs: dict[tuple, np.ndarray] = {}
+    references: dict[tuple, np.ndarray] = {}
     try:
         for scenario in suite.scenarios:
             config = scenario.engine_config()
@@ -104,10 +159,10 @@ def run_suite(suite: BenchSuite, *, repeats: int | None = None,
                 engine = APSPEngine(config).start()
                 engines[config_key] = engine
 
-            graph_key = (scenario.n, scenario.seed)
+            graph_key = (scenario.n, scenario.seed, graph_domain(scenario.algebra))
             adjacency = graphs.get(graph_key)
             if adjacency is None:
-                adjacency = erdos_renyi_adjacency(scenario.n, seed=scenario.seed)
+                adjacency = scenario_graph(scenario)
                 graphs[graph_key] = adjacency
 
             times: list[float] = []
@@ -119,11 +174,14 @@ def run_suite(suite: BenchSuite, *, repeats: int | None = None,
 
             verified: bool | None = None
             if verify:
-                reference = references.get(graph_key)
+                ref_key = (*graph_key, scenario.algebra, scenario.dtype)
+                reference = references.get(ref_key)
                 if reference is None:
-                    reference = floyd_warshall_reference(adjacency)
-                    references[graph_key] = reference
-                verified = bool(np.allclose(solve_result.distances, reference))
+                    reference = scenario_reference(scenario, adjacency)
+                    references[ref_key] = reference
+                verified = get_algebra(scenario.algebra).allclose(
+                    solve_result.distances, reference,
+                    **verify_tolerances(scenario.dtype))
 
             result = ScenarioResult(
                 scenario=scenario,

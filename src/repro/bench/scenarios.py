@@ -58,6 +58,8 @@ class BenchScenario:
     block_size: int | None = 32
     partitioner: str = "MD"
     partitions_per_core: int = 2
+    algebra: str = "shortest-path"
+    dtype: str | None = None
     backend: str = "serial"
     num_executors: int = 4
     cores_per_executor: int = 2
@@ -90,6 +92,7 @@ class BenchScenario:
         return SolveRequest(solver=self.solver, block_size=self.block_size,
                             partitioner=self.partitioner,
                             partitions_per_core=self.partitions_per_core,
+                            algebra=self.algebra, dtype=self.dtype,
                             tag=self.name)
 
     def params(self) -> dict:
@@ -100,6 +103,8 @@ class BenchScenario:
             "block_size": self.block_size,
             "partitioner": self.partitioner,
             "partitions_per_core": self.partitions_per_core,
+            "algebra": self.algebra,
+            "dtype": self.dtype,
             "backend": self.backend,
             "num_executors": self.num_executors,
             "cores_per_executor": self.cores_per_executor,
@@ -228,6 +233,39 @@ def _partitioner_suite() -> BenchSuite:
     )
 
 
+def _algebras_suite() -> BenchSuite:
+    """Algebra × dtype sweep on the best solver (blocked-cb).
+
+    The ``shortest-path-f64`` / ``shortest-path-f32`` pair is the dtype-policy
+    twin: identical workload, halved element size, so the comparison exposes
+    the memory-traffic win of ``float32`` in the hot product kernel.  The
+    remaining scenarios track the per-algebra cost of the generalized
+    kernels (the boolean closure should be by far the cheapest).
+    """
+    n = bench_scale_n(96)
+    shape = dict(solver="blocked-cb", n=n, block_size=min(32, n),
+                 num_executors=2, cores_per_executor=2)
+    return BenchSuite(
+        name="algebras",
+        description="algebra x dtype sweep on blocked-cb "
+                    "(incl. the float32-vs-float64 twin)",
+        scenarios=(
+            BenchScenario(name="shortest-path-f64", algebra="shortest-path",
+                          dtype="float64", **shape),
+            BenchScenario(name="shortest-path-f32", algebra="shortest-path",
+                          dtype="float32", **shape),
+            BenchScenario(name="widest-path-f64", algebra="widest-path",
+                          dtype="float64", **shape),
+            BenchScenario(name="widest-path-f32", algebra="widest-path",
+                          dtype="float32", **shape),
+            BenchScenario(name="most-reliable-f64", algebra="most-reliable",
+                          dtype="float64", **shape),
+            BenchScenario(name="reachability-bool", algebra="reachability",
+                          dtype="bool", **shape),
+        ),
+    )
+
+
 def _scaling_suite() -> BenchSuite:
     """Table 3 workload: weak scaling of the blocked solvers (n/p fixed)."""
     points = ((4, 64), (8, 128), (16, 256))
@@ -251,6 +289,7 @@ _SUITE_BUILDERS: dict[str, Callable[[], BenchSuite]] = {
     "backends": _backends_suite,
     "blocksize": _blocksize_suite,
     "partitioner": _partitioner_suite,
+    "algebras": _algebras_suite,
     "scaling": _scaling_suite,
 }
 

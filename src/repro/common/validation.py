@@ -6,6 +6,9 @@ import numpy as np
 
 from repro.common.errors import ValidationError
 
+#: Dtypes preserved (not upcast) when a caller asks for ``dtype=None``.
+_NATIVE_KINDS = ("f", "b")  # floating and boolean
+
 
 def check_positive_int(value: int, name: str) -> int:
     """Validate that ``value`` is a positive integer and return it."""
@@ -16,8 +19,19 @@ def check_positive_int(value: int, name: str) -> int:
     return int(value)
 
 
-def check_square_matrix(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
-    """Validate that ``matrix`` is a 2-D square float array and return it as float64."""
+def check_square_matrix(matrix: np.ndarray, name: str = "matrix", *,
+                        dtype: np.dtype | str | None = np.float64) -> np.ndarray:
+    """Validate that ``matrix`` is a 2-D square array and return it.
+
+    ``dtype`` controls the identity/dtype policy:
+
+    * a concrete dtype (default ``float64`` for backward compatibility)
+      casts the result to that dtype;
+    * ``None`` *preserves* floating and boolean dtypes (so ``float32``
+      pipelines keep their halved memory traffic and the boolean algebra its
+      bool blocks) and upcasts anything else — integers, object arrays — to
+      ``float64``.
+    """
     arr = np.asarray(matrix)
     if arr.ndim != 2:
         raise ValidationError(f"{name} must be 2-dimensional, got ndim={arr.ndim}")
@@ -25,21 +39,29 @@ def check_square_matrix(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
         raise ValidationError(f"{name} must be square, got shape {arr.shape}")
     if arr.size == 0:
         raise ValidationError(f"{name} must be non-empty")
-    return np.asarray(arr, dtype=np.float64)
+    if dtype is None:
+        if arr.dtype.kind in _NATIVE_KINDS:
+            return arr
+        return np.asarray(arr, dtype=np.float64)
+    return np.asarray(arr, dtype=dtype)
 
 
-def check_nonnegative_weights(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
-    """Validate that all finite entries of ``matrix`` are non-negative.
+def check_nonnegative_weights(matrix: np.ndarray, name: str = "matrix", *,
+                              algebra=None) -> np.ndarray:
+    """Validate ``matrix`` against an algebra's weight precondition.
 
-    The paper restricts attention to graphs with no negative cycles; we adopt
-    the stronger, simpler restriction to non-negative weights, which all the
-    evaluation inputs (Erdős–Rényi with unit/uniform weights) satisfy.
+    Historically this enforced non-negativity unconditionally; that is really
+    a (min, +) precondition, so the check now lives behind the algebra's
+    input-validator hook: ``most-reliable`` requires weights in ``[0, 1]``,
+    ``longest-path`` requires a DAG, and ``reachability`` needs nothing.
+    With no ``algebra`` (the default) the behaviour is unchanged — the
+    (min, +) non-negativity check on a float64 matrix.
     """
-    arr = check_square_matrix(matrix, name)
-    finite = arr[np.isfinite(arr)]
-    if finite.size and float(finite.min()) < 0.0:
-        raise ValidationError(f"{name} contains negative weights; only non-negative "
-                              "edge weights are supported")
+    from repro.linalg.algebra import get_algebra
+    resolved = get_algebra(algebra)
+    arr = check_square_matrix(matrix, name,
+                              dtype=np.float64 if algebra is None else None)
+    resolved.validate_input(arr, name)
     return arr
 
 
@@ -52,9 +74,14 @@ def check_block_size(block_size: int, n: int) -> int:
     return b
 
 
-def check_symmetric(matrix: np.ndarray, name: str = "matrix", *, atol: float = 0.0) -> np.ndarray:
+def check_symmetric(matrix: np.ndarray, name: str = "matrix", *, atol: float = 0.0,
+                    dtype: np.dtype | str | None = np.float64) -> np.ndarray:
     """Validate that ``matrix`` equals its transpose (treating inf==inf as equal)."""
-    arr = check_square_matrix(matrix, name)
+    arr = check_square_matrix(matrix, name, dtype=dtype)
+    if arr.dtype == np.bool_:
+        if not bool(np.array_equal(arr, arr.T)):
+            raise ValidationError(f"{name} must be symmetric (undirected graph)")
+        return arr
     a, at = arr, arr.T
     both_inf = np.isinf(a) & np.isinf(at) & (np.sign(a) == np.sign(at))
     close = np.isclose(a, at, atol=atol, rtol=0.0, equal_nan=True) | both_inf

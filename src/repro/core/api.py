@@ -34,6 +34,7 @@ from repro.core.request import SolveRequest
 def solve_apsp(adjacency: np.ndarray, *, solver: str = "blocked-cb",
                block_size: int | None = None, partitioner: str = "MD",
                partitions_per_core: int = 2, num_partitions: int | None = None,
+               algebra: str = "shortest-path", dtype: str | None = None,
                validate: bool = False, config: EngineConfig | None = None,
                **extra: Any) -> APSPResult:
     """Solve All-Pairs Shortest-Paths with one of the registered Spark solvers.
@@ -58,6 +59,13 @@ def solve_apsp(adjacency: np.ndarray, *, solver: str = "blocked-cb",
         ``"MD"`` (multi-diagonal, default), ``"PH"`` (portable hash) or ``"GRID"``.
     partitions_per_core / num_partitions:
         Over-decomposition factor ``B``, or an explicit partition count.
+    algebra:
+        Path algebra to close the matrix under (``"shortest-path"`` default;
+        ``"widest-path"``, ``"most-reliable"``, ``"reachability"``, or any
+        alias registered in :mod:`repro.linalg.algebra`).
+    dtype:
+        Element dtype for the solve (e.g. ``"float32"``); ``None`` selects
+        the algebra's default.
     validate:
         Run structural sanity checks on the result.
     config:
@@ -79,6 +87,6 @@ def solve_apsp(adjacency: np.ndarray, *, solver: str = "blocked-cb",
     request = SolveRequest.coerce(
         None, solver=solver, block_size=block_size, partitioner=partitioner,
         partitions_per_core=partitions_per_core, num_partitions=num_partitions,
-        validate=validate, **extra)
+        algebra=algebra, dtype=dtype, validate=validate, **extra)
     with APSPEngine(config) as engine:
         return engine.solve(adjacency, request)

@@ -13,6 +13,7 @@ from repro.common.config import EngineConfig, default_config
 from repro.common.errors import ConfigurationError, SolverError
 from repro.common.timing import Stopwatch
 from repro.graph.adjacency import validate_adjacency
+from repro.linalg.algebra import ABSORPTIVE_ALGEBRAS, Semiring, get_algebra
 from repro.linalg.blocks import matrix_to_blocks, blocks_to_matrix, num_blocks
 from repro.spark.context import SparkContext
 from repro.spark.metrics import metrics_delta
@@ -37,15 +38,22 @@ class SolverOptions:
         2 in most experiments.
     num_partitions:
         Explicit partition count override (takes precedence over ``B``).
+    algebra:
+        Path algebra (semiring) the solve closes the matrix under; name or
+        alias resolved against :mod:`repro.linalg.algebra`.
+    dtype:
+        Element dtype for the solve (``None`` = the algebra's default).
     validate:
-        When true the result is sanity-checked (zero diagonal, symmetry,
-        triangle inequality on a sample).
+        When true the result is sanity-checked (identity diagonal, symmetry,
+        closure stability on a sample).
     """
 
     block_size: int | None = None
     partitioner: str = "MD"
     partitions_per_core: int = 2
     num_partitions: int | None = None
+    algebra: str = "shortest-path"
+    dtype: str | None = None
     validate: bool = False
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -64,11 +72,18 @@ class APSPResult:
     partitioner: str
     pure: bool
     elapsed_seconds: float
+    algebra: str = "shortest-path"
+    dtype: str = "float64"
     phase_seconds: dict[str, float] = field(default_factory=dict)
     metrics: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        self.distances = np.asarray(self.distances, dtype=np.float64)
+        # Preserve the solve dtype (float32 results stay float32, boolean
+        # closures stay bool); only non-native dtypes are normalized.
+        arr = np.asarray(self.distances)
+        if arr.dtype.kind not in ("f", "b"):
+            arr = np.asarray(arr, dtype=np.float64)
+        self.distances = arr
 
     @property
     def gops(self) -> float:
@@ -79,9 +94,12 @@ class APSPResult:
 
     def summary(self) -> str:
         """One-line human-readable summary."""
+        algebra_bit = ""
+        if self.algebra != "shortest-path" or self.dtype != "float64":
+            algebra_bit = f" {self.algebra}[{self.dtype}]"
         return (f"{self.solver}: n={self.n} b={self.block_size} q={self.q} "
                 f"iters={self.iterations} partitions={self.num_partitions} "
-                f"({self.partitioner}) time={self.elapsed_seconds:.3f}s "
+                f"({self.partitioner}){algebra_bit} time={self.elapsed_seconds:.3f}s "
                 f"{'pure' if self.pure else 'impure'}")
 
 
@@ -105,6 +123,8 @@ class SolvePlan:
     num_partitions: int
     partitioner_name: str
     partitioner: Partitioner
+    algebra: str = "shortest-path"
+    dtype: str = "float64"
 
     def describe(self) -> dict:
         """Geometry summary as a plain dict (for logs, the CLI, and tests)."""
@@ -117,6 +137,8 @@ class SolvePlan:
             "num_blocks_upper": self.q * (self.q + 1) // 2,
             "num_partitions": self.num_partitions,
             "partitioner": self.partitioner_name,
+            "algebra": self.algebra,
+            "dtype": self.dtype,
         }
 
 
@@ -148,11 +170,21 @@ class SparkAPSPSolver:
     name = "abstract"
     #: Whether the implementation relies only on fault-tolerant Spark API.
     pure = True
+    #: Path algebras this solver supports.  The distributed solvers require
+    #: symmetric inputs, and any undirected graph with an edge is cyclic, so
+    #: the non-absorptive DAG-only ``longest-path`` algebra is excluded by
+    #: default; subclasses may narrow or widen the set.
+    algebras: tuple[str, ...] = ABSORPTIVE_ALGEBRAS
 
     def __init__(self, config: EngineConfig | None = None,
                  options: SolverOptions | None = None) -> None:
         self.config = config or default_config()
         self.options = options or SolverOptions()
+
+    @property
+    def algebra(self) -> Semiring:
+        """The resolved :class:`~repro.linalg.algebra.Semiring` for this solve."""
+        return get_algebra(self.options.algebra)
 
     # ------------------------------------------------------------------
     def _run(self, sc: SparkContext, rdd: RDD, n: int, block_size: int, q: int,
@@ -182,7 +214,14 @@ class SparkAPSPSolver:
         :meth:`execute` needs, and everything a caller might want to inspect
         or log before committing cluster time.
         """
-        adj = validate_adjacency(adjacency, require_symmetric=True)
+        algebra = self.algebra
+        if algebra.name not in type(self).algebras:
+            raise ConfigurationError(
+                f"solver {self.name!r} does not support algebra {algebra.name!r} "
+                f"(supported: {', '.join(type(self).algebras)})")
+        dtype = algebra.resolve_dtype(self.options.dtype)
+        adj = validate_adjacency(adjacency, require_symmetric=True,
+                                 algebra=algebra, dtype=dtype)
         n = adj.shape[0]
         block_size, q, num_partitions = self._resolve_geometry(n)
         partitioner = self._build_partitioner(q, num_partitions)
@@ -196,6 +235,8 @@ class SparkAPSPSolver:
             num_partitions=num_partitions,
             partitioner_name=self.options.partitioner.upper(),
             partitioner=partitioner,
+            algebra=algebra.name,
+            dtype=dtype.name,
         )
 
     def execute(self, plan: SolvePlan, context: SparkContext | None = None) -> APSPResult:
@@ -223,8 +264,11 @@ class SparkAPSPSolver:
             with stopwatch.section("gather"):
                 if isinstance(result_blocks, RDD):
                     result_blocks = result_blocks.collect()
+                algebra = get_algebra(plan.algebra)
                 distances = blocks_to_matrix(result_blocks, plan.n, plan.block_size,
-                                             symmetric=True)
+                                             symmetric=True,
+                                             fill=algebra.zero_like(plan.dtype),
+                                             dtype=plan.dtype)
             elapsed = time.perf_counter() - start
             metrics = metrics_delta(metrics_before, sc.metrics.as_dict())
         finally:
@@ -242,6 +286,8 @@ class SparkAPSPSolver:
             partitioner=plan.partitioner_name,
             pure=self.pure,
             elapsed_seconds=elapsed,
+            algebra=plan.algebra,
+            dtype=plan.dtype,
             phase_seconds=stopwatch.as_dict(),
             metrics=metrics,
         )
@@ -259,38 +305,71 @@ class SparkAPSPSolver:
     # ------------------------------------------------------------------
     @staticmethod
     def validate_result(result: APSPResult, *, sample: int = 64, seed: int = 0) -> None:
-        """Cheap structural checks on a distance matrix.
+        """Cheap structural checks on a closure matrix, generic over the algebra.
 
-        Checks the diagonal is zero, the matrix is symmetric, no entry exceeds
-        the direct edge weight, and the triangle inequality holds on a random
-        sample of triples.  Raises :class:`~repro.common.errors.SolverError`
-        on violation.
+        Checks the diagonal equals the algebra's ``one``, the matrix is
+        symmetric, and the closure is *stable*: relaxing through any pivot
+        ``k`` changes nothing, i.e. ``d ⊕ (d[:, k] ⊗ d[k, :]) == d`` (under
+        (min, +) this is exactly the triangle inequality).  Exhaustive for
+        small matrices, sampled for large ones.  Raises
+        :class:`~repro.common.errors.SolverError` on violation.
         """
+        algebra = get_algebra(result.algebra)
         d = result.distances
         n = d.shape[0]
-        if not np.allclose(np.diag(d), 0.0):
-            raise SolverError("distance matrix diagonal is not zero")
-        finite_mask = np.isfinite(d) & np.isfinite(d.T)
-        if not np.allclose(d[finite_mask], d.T[finite_mask]):
-            raise SolverError("distance matrix is not symmetric")
+        is_bool = d.dtype == np.bool_
+        one = algebra.one_like(d.dtype if not is_bool else None)
+        diag = np.diag(d)
+        diag_ok = bool(np.array_equal(diag, np.full(n, True))) if is_bool \
+            else bool(np.all(diag == one))
+        if not diag_ok:
+            raise SolverError(
+                f"closure diagonal is not the algebra identity ({algebra.name})")
+        if is_bool:
+            if not np.array_equal(d, d.T):
+                raise SolverError("closure matrix is not symmetric")
+        else:
+            finite_mask = np.isfinite(d) & np.isfinite(d.T)
+            if not np.allclose(d[finite_mask], d.T[finite_mask]):
+                raise SolverError("closure matrix is not symmetric")
+
+        # Float32 closures accumulate rounding in a solver-dependent order, so
+        # the stability check needs a dtype-matched tolerance.
+        rtol, atol = (1e-7, 1e-9) if d.dtype.itemsize >= 8 else (1e-4, 1e-6)
+
+        def _check_pivot(k: int) -> None:
+            candidate = algebra.mul(d[:, k, None], d[None, k, :])
+            relaxed = algebra.add(d, candidate)
+            if is_bool:
+                bad = relaxed != d
+            else:
+                bad = ~np.isclose(relaxed, d, rtol=rtol, atol=atol) \
+                    & ~(np.isinf(relaxed) & np.isinf(d) & (np.sign(relaxed) == np.sign(d)))
+            if bad.any():
+                i, j = map(int, np.argwhere(bad)[0])
+                raise SolverError(
+                    f"closure not stable under pivot {k} at ({i}, {j}): "
+                    f"{d[i, j]} vs relaxed {relaxed[i, j]} ({algebra.name})")
+
         if n <= 128:
-            # Small matrices: check the triangle inequality exhaustively.
+            # Small matrices: check closure stability exhaustively.
             for k in range(n):
-                candidate = d[:, k, None] + d[None, k, :]
-                bad = d > candidate + 1e-9
-                if bad.any():
-                    i, j = map(int, np.argwhere(bad)[0])
-                    raise SolverError(
-                        f"triangle inequality violated at ({i}, {j}, {k}): "
-                        f"{d[i, j]} > {d[i, k]} + {d[k, j]}")
+                _check_pivot(k)
             return
         rng = np.random.default_rng(seed)
-        # At most ``sample`` triples regardless of n, so validation stays O(sample)
-        # on large matrices instead of growing with the problem size.
+        # At most ``sample`` triples regardless of n, so validation stays
+        # O(sample) on large matrices instead of growing with the problem size.
         idx = rng.integers(0, n, size=(max(1, int(sample)), 3))
         for i, j, k in idx:
-            dij, dik, dkj = d[i, j], d[i, k], d[k, j]
-            if np.isfinite(dik) and np.isfinite(dkj) and dij > dik + dkj + 1e-9:
+            dij = d[i, j]
+            relaxed = algebra.add(dij, algebra.mul(d[i, k], d[k, j]))
+            if is_bool:
+                stable = bool(relaxed == dij)
+            else:
+                stable = bool(np.isclose(relaxed, dij, rtol=rtol, atol=atol)) \
+                    or bool(np.isinf(relaxed) and np.isinf(dij)
+                            and np.sign(relaxed) == np.sign(dij))
+            if not stable:
                 raise SolverError(
-                    f"triangle inequality violated at ({i}, {j}, {k}): "
-                    f"{dij} > {dik} + {dkj}")
+                    f"closure not stable at ({i}, {j}, {k}): "
+                    f"{dij} vs relaxed {relaxed} ({algebra.name})")

@@ -17,7 +17,8 @@ from repro.common.timing import Stopwatch
 from repro.core import building_blocks as bb
 from repro.core.base import SparkAPSPSolver
 from repro.core.registry import register_solver
-from repro.linalg.semiring import elementwise_min, minplus_product
+from repro.linalg.algebra import Semiring, get_algebra
+from repro.linalg.semiring import elementwise_combine, semiring_product
 from repro.spark.context import SparkContext
 from repro.spark.partitioner import Partitioner
 from repro.spark.rdd import RDD
@@ -35,12 +36,13 @@ class BlockedCollectBroadcastSolver(SparkAPSPSolver):
     def _run(self, sc: SparkContext, rdd: RDD, n: int, block_size: int, q: int,
              partitioner: Partitioner, stopwatch: Stopwatch):
         shared_fs = sc.shared_fs
+        algebra = self.algebra
         current = rdd
         for pivot in range(q):
             # ---- Phase 1: solve the pivot block and stage it ------------------
             with stopwatch.section("phase1-diagonal"):
                 diag = current.filter(bb.on_diagonal(pivot)) \
-                    .map_preserving(bb.floyd_warshall_block).cache()
+                    .map_preserving(bb.FloydWarshallBlock(algebra)).cache()
                 diag_records = diag.collect()
                 if len(diag_records) != 1:
                     raise SolverError(
@@ -51,7 +53,8 @@ class BlockedCollectBroadcastSolver(SparkAPSPSolver):
             # ---- Phase 2: update block-row/column of the pivot -----------------
             with stopwatch.section("phase2-rowcol"):
                 rowcol = current.filter(bb.off_diagonal_in_row_or_column(pivot)) \
-                    .map_preserving(_Phase2Update(pivot, shared_fs, diag_path)).cache()
+                    .map_preserving(
+                        _Phase2Update(pivot, shared_fs, diag_path, algebra)).cache()
                 rowcol_records = rowcol.collect()
                 rowcol_paths = {
                     key: shared_fs.write(f"cb-it{pivot}-rowcol-{key}", block)
@@ -61,7 +64,8 @@ class BlockedCollectBroadcastSolver(SparkAPSPSolver):
             # ---- Phase 3: update the remaining blocks ---------------------------
             with stopwatch.section("phase3-remaining"):
                 others = current.filter(bb.not_in_block_row_or_column(pivot)) \
-                    .map_preserving(_Phase3Update(pivot, shared_fs, rowcol_paths))
+                    .map_preserving(
+                        _Phase3Update(pivot, shared_fs, rowcol_paths, algebra))
 
             # ---- Reassemble A ---------------------------------------------------
             with stopwatch.section("repartition"):
@@ -75,41 +79,47 @@ class _Phase2Update:
     """Update a row/column block against the staged pivot block (``MinPlus``).
 
     A callable class rather than a closure so the ``processes`` backend can
-    pickle the update (together with the shared-filesystem handle) into a
-    worker process.
+    pickle the update (together with the shared-filesystem handle and the
+    semiring, which pickles by name) into a worker process.
     """
 
-    __slots__ = ("pivot", "shared_fs", "diag_path")
+    __slots__ = ("pivot", "shared_fs", "diag_path", "algebra")
 
-    def __init__(self, pivot: int, shared_fs, diag_path: str) -> None:
+    def __init__(self, pivot: int, shared_fs, diag_path: str,
+                 algebra: Semiring | str | None = None) -> None:
         self.pivot = pivot
         self.shared_fs = shared_fs
         self.diag_path = diag_path
+        self.algebra = get_algebra(algebra)
 
     def __call__(self, record):
         (_, j), _ = record
         diag_block = self.shared_fs.read(self.diag_path)
         if j == self.pivot:
             # Column block A_{i, pivot}: right-multiply by the pivot closure.
-            return bb.min_plus(record, diag_block, other_on_left=False)
+            return bb.min_plus(record, diag_block, other_on_left=False,
+                               algebra=self.algebra)
         # Row block A_{pivot, j}: left-multiply.
-        return bb.min_plus(record, diag_block, other_on_left=True)
+        return bb.min_plus(record, diag_block, other_on_left=True,
+                           algebra=self.algebra)
 
 
 class _Phase3Update:
-    """Update an off-pivot block with ``min(A_IJ, A_It ⊗ A_tJ)`` read from shared storage.
+    """Update an off-pivot block with ``A_IJ ⊕ (A_It ⊗ A_tJ)`` read from shared storage.
 
     Picklable for the same reason as :class:`_Phase2Update` — phase 3 is the
     O(q²) bulk of every iteration and the main beneficiary of true
     multi-core execution.
     """
 
-    __slots__ = ("pivot", "shared_fs", "rowcol_paths")
+    __slots__ = ("pivot", "shared_fs", "rowcol_paths", "algebra")
 
-    def __init__(self, pivot: int, shared_fs, rowcol_paths: dict) -> None:
+    def __init__(self, pivot: int, shared_fs, rowcol_paths: dict,
+                 algebra: Semiring | str | None = None) -> None:
         self.pivot = pivot
         self.shared_fs = shared_fs
         self.rowcol_paths = rowcol_paths
+        self.algebra = get_algebra(algebra)
 
     def _fetch_oriented(self, row: int, col: int) -> np.ndarray:
         """Return ``A_{row, col}`` where exactly one of row/col equals the pivot."""
@@ -123,4 +133,5 @@ class _Phase3Update:
         (i, j), block = record
         left = self._fetch_oriented(i, self.pivot)     # A_{i, pivot}
         right = self._fetch_oriented(self.pivot, j)    # A_{pivot, j}
-        return (i, j), elementwise_min(block, minplus_product(left, right))
+        return (i, j), elementwise_combine(
+            block, semiring_product(left, right, self.algebra), self.algebra)

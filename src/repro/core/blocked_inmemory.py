@@ -40,12 +40,13 @@ class BlockedInMemorySolver(SparkAPSPSolver):
 
     def _run(self, sc: SparkContext, rdd: RDD, n: int, block_size: int, q: int,
              partitioner: Partitioner, stopwatch: Stopwatch):
+        algebra = self.algebra
         current = rdd
         for pivot in range(q):
             # ---- Phase 1: solve the pivot diagonal block ---------------------
             with stopwatch.section("phase1-diagonal"):
                 diag = current.filter(bb.on_diagonal(pivot)) \
-                    .map_preserving(bb.floyd_warshall_block).cache()
+                    .map_preserving(bb.FloydWarshallBlock(algebra)).cache()
                 diag_copies = diag.flatMap(bb.copy_diag(q, pivot)) \
                     .partitionBy(partitioner)
 
@@ -55,7 +56,8 @@ class BlockedInMemorySolver(SparkAPSPSolver):
                     .map_preserving(bb.tag_base)
                 paired = sc.union([diag_copies, rowcol]).combineByKey(
                     bb.create_list, bb.list_append, bb.merge_lists, partitioner)
-                updated_rowcol = paired.map_preserving(bb.unpack_phase2(pivot)).cache()
+                updated_rowcol = paired.map_preserving(
+                    bb.unpack_phase2(pivot, algebra)).cache()
                 rowcol_copies = updated_rowcol.flatMap(bb.copy_col(q, pivot)) \
                     .partitionBy(partitioner)
 
@@ -65,7 +67,7 @@ class BlockedInMemorySolver(SparkAPSPSolver):
                     .map_preserving(bb.tag_base)
                 paired3 = sc.union([rowcol_copies, others]).combineByKey(
                     bb.create_list, bb.list_append, bb.merge_lists, partitioner)
-                updated_others = paired3.map_preserving(bb.unpack_phase3(pivot))
+                updated_others = paired3.map_preserving(bb.unpack_phase3(pivot, algebra))
 
             # ---- Reassemble A for the next iteration ---------------------------
             with stopwatch.section("repartition"):

@@ -6,6 +6,11 @@ transformations, so a solver body reads almost exactly like the paper's
 pseudo-code (e.g. ``A.filter(in_column(j))`` or
 ``A.map(floyd_warshall_block)``).
 
+All kernels are parameterized by a :class:`~repro.linalg.algebra.Semiring`
+(``algebra=None`` keeps the paper's (min, +)); the callables that must cross
+process boundaries under the ``processes`` scheduler backend are picklable
+classes, and semirings themselves pickle by name.
+
 Two presentational differences from Table 1, both noted per function:
 
 * With symmetric (upper-triangular) block storage, "column-block x" means
@@ -13,7 +18,7 @@ Two presentational differences from Table 1, both noted per function:
   predicates are provided alongside the literal ones.
 * Block copies produced by ``CopyDiag``/``CopyCol`` carry an orientation tag
   (``'D'``, ``'L'``, ``'R'``, ``'A'``) so that ``ListUnpack`` can pick the
-  correct operand order for the non-commutative min-plus product.  The paper
+  correct operand order for the non-commutative semiring product.  The paper
   leaves this bookkeeping implicit.
 """
 
@@ -23,9 +28,10 @@ from typing import Callable
 
 import numpy as np
 
+from repro.linalg.algebra import Semiring, get_algebra
 from repro.linalg.blocks import BlockId
 from repro.linalg.kernels import fw_rank1_update, floyd_warshall_inplace
-from repro.linalg.semiring import elementwise_min, minplus_product
+from repro.linalg.semiring import elementwise_combine, semiring_product
 
 #: Record type used by all solvers: ``((I, J), block)``.
 BlockRecord = tuple[BlockId, np.ndarray]
@@ -92,74 +98,122 @@ def extract_col(pivot_block: int, k_local: int) -> Callable[[BlockRecord], list]
     ``k = pivot_block * b + k_local``.  For a stored block ``(I, K)`` the piece
     is column ``k_local`` of the block; for a stored block ``(K, J)`` (which
     represents ``A_JK`` by transposition) the piece is row ``k_local``.
+    Slices preserve the block dtype (float32 stays float32).
     """
     def run(record: BlockRecord) -> list:
         (i, j), block = record
         pieces = []
         if j == pivot_block:
-            pieces.append((i, np.array(block[:, k_local], dtype=np.float64, copy=True)))
+            pieces.append((i, np.array(block[:, k_local], copy=True)))
         if i == pivot_block and j != pivot_block:
-            pieces.append((j, np.array(block[k_local, :], dtype=np.float64, copy=True)))
+            pieces.append((j, np.array(block[k_local, :], copy=True)))
         return pieces
     return run
 
 
-def assemble_column(pieces: list[tuple[int, np.ndarray]], n: int, block_size: int) -> np.ndarray:
-    """Assemble ``(block-row index, slice)`` pieces into the full length-``n`` column."""
-    column = np.full(n, np.inf, dtype=np.float64)
+def assemble_column(pieces: list[tuple[int, np.ndarray]], n: int, block_size: int,
+                    algebra: Semiring | str | None = None) -> np.ndarray:
+    """Assemble ``(block-row index, slice)`` pieces into the full length-``n`` column.
+
+    Cells not covered by any piece hold the algebra's ``zero`` ("no path").
+    """
+    algebra = get_algebra(algebra)
+    dtype = (np.asarray(pieces[0][1]).dtype if pieces
+             else np.dtype(algebra.default_dtype))
+    if dtype.kind not in ("f", "b"):
+        dtype = np.dtype(algebra.default_dtype)
+    column = np.full(n, algebra.zero_like(dtype), dtype=dtype)
     for block_row, piece in pieces:
         start = block_row * block_size
         column[start:start + piece.shape[0]] = piece
     return column
 
 
-def fw_update_with_column(column: np.ndarray, block_size: int) -> Callable[[BlockRecord], BlockRecord]:
+class FloydWarshallUpdateWithColumn:
     """``FloydWarshallUpdate``: rank-1 update of a block with the broadcast pivot column.
 
     Exploits symmetry: the pivot row equals the pivot column, so both operand
-    slices come from the same vector.
+    slices come from the same vector.  A picklable callable so the
+    ``processes`` backend can ship the update to worker processes.
     """
-    def run(record: BlockRecord) -> BlockRecord:
+
+    __slots__ = ("column", "block_size", "algebra")
+
+    def __init__(self, column: np.ndarray, block_size: int,
+                 algebra: Semiring | str | None = None) -> None:
+        self.column = column
+        self.block_size = block_size
+        self.algebra = get_algebra(algebra)
+
+    def __call__(self, record: BlockRecord) -> BlockRecord:
         (i, j), block = record
-        rows = column[i * block_size: i * block_size + block.shape[0]]
-        cols = column[j * block_size: j * block_size + block.shape[1]]
-        return (i, j), fw_rank1_update(block, rows, cols)
-    return run
+        rows = self.column[i * self.block_size: i * self.block_size + block.shape[0]]
+        cols = self.column[j * self.block_size: j * self.block_size + block.shape[1]]
+        return (i, j), fw_rank1_update(block, rows, cols, self.algebra)
+
+
+def fw_update_with_column(column: np.ndarray, block_size: int,
+                          algebra: Semiring | str | None = None,
+                          ) -> Callable[[BlockRecord], BlockRecord]:
+    """Factory form of :class:`FloydWarshallUpdateWithColumn` (kept for symmetry)."""
+    return FloydWarshallUpdateWithColumn(column, block_size, algebra)
 
 
 # ---------------------------------------------------------------------------
 # Block kernels
 # ---------------------------------------------------------------------------
+class FloydWarshallBlock:
+    """``FloydWarshall``: solve the path closure within a diagonal block.
+
+    A picklable callable class (rather than a closure over the algebra) so
+    the phase-1 kernel can run in worker processes under the ``processes``
+    scheduler backend.
+    """
+
+    __slots__ = ("algebra",)
+
+    def __init__(self, algebra: Semiring | str | None = None) -> None:
+        self.algebra = get_algebra(algebra)
+
+    def __call__(self, record: BlockRecord) -> BlockRecord:
+        key, block = record
+        return key, floyd_warshall_inplace(np.array(block, copy=True), self.algebra)
+
+
 def floyd_warshall_block(record: BlockRecord) -> BlockRecord:
-    """``FloydWarshall``: solve APSP within a diagonal block."""
+    """``FloydWarshall`` under (min, +) — the historical module-level kernel."""
     key, block = record
     return key, floyd_warshall_inplace(np.array(block, dtype=np.float64, copy=True))
 
 
-def mat_min(record: BlockRecord, other: np.ndarray) -> BlockRecord:
-    """``MatMin``: element-wise minimum of the record's block with ``other``."""
+def mat_min(record: BlockRecord, other: np.ndarray,
+            algebra: Semiring | str | None = None) -> BlockRecord:
+    """``MatMin``: elementwise ⊕ of the record's block with ``other``."""
     key, block = record
-    return key, elementwise_min(block, other)
+    return key, elementwise_combine(block, other, algebra)
 
 
-def mat_prod(record: BlockRecord, other: np.ndarray) -> BlockRecord:
-    """``MatProd``: min-plus product of the record's block with ``other``."""
+def mat_prod(record: BlockRecord, other: np.ndarray,
+             algebra: Semiring | str | None = None) -> BlockRecord:
+    """``MatProd``: semiring product of the record's block with ``other``."""
     key, block = record
-    return key, minplus_product(block, other)
+    return key, semiring_product(block, other, algebra)
 
 
-def min_plus(record: BlockRecord, other: np.ndarray, *, other_on_left: bool = False) -> BlockRecord:
+def min_plus(record: BlockRecord, other: np.ndarray, *, other_on_left: bool = False,
+             algebra: Semiring | str | None = None) -> BlockRecord:
     """``MinPlus``: ``MatProd`` followed by ``MatMin`` against the original block.
 
     ``other_on_left`` selects ``other ⊗ A_IJ`` instead of ``A_IJ ⊗ other``;
-    the orientation matters because min-plus products do not commute.
+    the orientation matters because semiring products do not commute in
+    general (even with a commutative ⊗, the matrix product does not).
     """
     key, block = record
     if other_on_left:
-        prod = minplus_product(other, block)
+        prod = semiring_product(other, block, algebra)
     else:
-        prod = minplus_product(block, other)
-    return key, elementwise_min(block, prod)
+        prod = semiring_product(block, other, algebra)
+    return key, elementwise_combine(block, prod, algebra)
 
 
 # ---------------------------------------------------------------------------
@@ -242,13 +296,28 @@ def merge_lists(a: list, b: list) -> list:
     return a + b
 
 
-def unpack_phase2(pivot: int) -> Callable[[tuple[BlockId, list]], BlockRecord]:
+class ElementwiseCombine:
+    """Picklable binary ⊕ for ``reduceByKey`` (``MatMin`` as a reducer)."""
+
+    __slots__ = ("algebra",)
+
+    def __init__(self, algebra: Semiring | str | None = None) -> None:
+        self.algebra = get_algebra(algebra)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return elementwise_combine(a, b, self.algebra)
+
+
+def unpack_phase2(pivot: int, algebra: Semiring | str | None = None,
+                  ) -> Callable[[tuple[BlockId, list]], BlockRecord]:
     """``ListUnpack`` for Phase 2: pair a row/column block with the pivot diagonal.
 
     For a block in block-column ``pivot`` (key ``(I, pivot)``) the update is
-    ``min(A, A ⊗ D)``; for a block in block-row ``pivot`` (key ``(pivot, J)``)
-    it is ``min(A, D ⊗ A)``.
+    ``A ⊕ (A ⊗ D)``; for a block in block-row ``pivot`` (key ``(pivot, J)``)
+    it is ``A ⊕ (D ⊗ A)``.
     """
+    algebra = get_algebra(algebra)
+
     def run(item: tuple[BlockId, list]) -> BlockRecord:
         key, entries = item
         base = _find(entries, TAG_BASE)
@@ -261,15 +330,20 @@ def unpack_phase2(pivot: int) -> Callable[[tuple[BlockId, list]], BlockRecord]:
             return key, base
         i, j = key
         if j == pivot:
-            updated = elementwise_min(base, minplus_product(base, diag))
+            updated = elementwise_combine(
+                base, semiring_product(base, diag, algebra), algebra)
         else:
-            updated = elementwise_min(base, minplus_product(diag, base))
+            updated = elementwise_combine(
+                base, semiring_product(diag, base, algebra), algebra)
         return key, updated
     return run
 
 
-def unpack_phase3(pivot: int) -> Callable[[tuple[BlockId, list]], BlockRecord]:
-    """``ListUnpack`` + ``MatMin`` for Phase 3: ``min(A_IJ, A_It ⊗ A_tJ)``."""
+def unpack_phase3(pivot: int, algebra: Semiring | str | None = None,
+                  ) -> Callable[[tuple[BlockId, list]], BlockRecord]:
+    """``ListUnpack`` + ``MatMin`` for Phase 3: ``A_IJ ⊕ (A_It ⊗ A_tJ)``."""
+    algebra = get_algebra(algebra)
+
     def run(item: tuple[BlockId, list]) -> BlockRecord:
         key, entries = item
         base = _find(entries, TAG_BASE)
@@ -279,7 +353,8 @@ def unpack_phase3(pivot: int) -> Callable[[tuple[BlockId, list]], BlockRecord]:
             raise ValueError(f"phase-3 pairing for block {key} is missing the base block")
         if left is None or right is None:
             return key, base
-        return key, elementwise_min(base, minplus_product(left, right))
+        return key, elementwise_combine(
+            base, semiring_product(left, right, algebra), algebra)
     return run
 
 
@@ -295,8 +370,9 @@ def _find(entries: list, tag: str):
 # ---------------------------------------------------------------------------
 def matprod_column_contributions(target_column: int,
                                  column_blocks: dict[int, np.ndarray] | Callable[[int], np.ndarray],
+                                 algebra: Semiring | str | None = None,
                                  ) -> Callable[[BlockRecord], list]:
-    """Emit the min-plus contributions of a stored block to output column ``J``.
+    """Emit the semiring-product contributions of a stored block to output column ``J``.
 
     A stored block ``(R, C)`` plays two roles, ``A_RC`` and ``A_CR`` (by
     transposition).  For output key ``(row, J)`` (upper triangle only) the
@@ -305,6 +381,8 @@ def matprod_column_contributions(target_column: int,
     ``column_blocks`` is either the dict of staged blocks or a callable
     fetching them lazily (e.g. from the shared file system).
     """
+    algebra = get_algebra(algebra)
+
     def fetch(inner: int) -> np.ndarray:
         if callable(column_blocks):
             return column_blocks(inner)
@@ -320,6 +398,7 @@ def matprod_column_contributions(target_column: int,
             if row > target_column:
                 continue  # covered by the symmetric output block
             other = fetch(inner)
-            out.append(((row, target_column), minplus_product(oriented, other)))
+            out.append(((row, target_column),
+                        semiring_product(oriented, other, algebra)))
         return out
     return run

@@ -36,6 +36,7 @@ class FloydWarshall2DSolver(SparkAPSPSolver):
 
     def _run(self, sc: SparkContext, rdd: RDD, n: int, block_size: int, q: int,
              partitioner: Partitioner, stopwatch: Stopwatch):
+        algebra = self.algebra
         current = rdd
         for k in range(n):
             pivot_block = k // block_size
@@ -44,12 +45,12 @@ class FloydWarshall2DSolver(SparkAPSPSolver):
             with stopwatch.section("extract-column"):
                 pieces = current.filter(bb.in_block_row_or_column(pivot_block)) \
                     .flatMap(bb.extract_col(pivot_block, k_local)).collect()
-                column = bb.assemble_column(pieces, n, block_size)
+                column = bb.assemble_column(pieces, n, block_size, algebra)
             with stopwatch.section("broadcast"):
                 broadcast = sc.broadcast(column)
             with stopwatch.section("update"):
                 current = current.map_preserving(
-                    bb.fw_update_with_column(broadcast.value, block_size))
+                    bb.fw_update_with_column(broadcast.value, block_size, algebra))
                 if (k + 1) % self.checkpoint_interval == 0 or k == n - 1:
                     current = current.cache()
                     current.count()

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.common.errors import ConfigurationError
+from repro.linalg.algebra import resolve_algebra_name
 
 
 @dataclass(frozen=True)
@@ -29,6 +30,12 @@ class SolverInfo:
     aliases: tuple[str, ...] = ()
     pure: bool = True
     description: str = ""
+    #: Canonical names of the path algebras this solver supports.
+    algebras: tuple[str, ...] = ("shortest-path",)
+
+    def supports_algebra(self, algebra: str) -> bool:
+        """True when the solver declares support for the given algebra (or alias)."""
+        return resolve_algebra_name(algebra) in self.algebras
 
     def as_dict(self) -> dict:
         """Plain-dict view used by the CLI and reports."""
@@ -36,6 +43,7 @@ class SolverInfo:
             "name": self.name,
             "aliases": ", ".join(self.aliases),
             "pure": self.pure,
+            "algebras": ", ".join(self.algebras),
             "description": self.description,
         }
 
@@ -70,12 +78,16 @@ def register_solver(cls=None, *, aliases: Iterable[str] = (),
                 "'name' attribute to be registered")
         canonical = _normalise(name)
         doc = (solver_cls.__doc__ or "").strip().splitlines()
+        # Canonicalize the class's declared algebras eagerly so a typo in a
+        # solver's `algebras` tuple fails at registration, not at solve time.
+        declared = tuple(getattr(solver_cls, "algebras", None) or ("shortest-path",))
         info = SolverInfo(
             name=canonical,
             cls=solver_cls,
             aliases=tuple(_normalise(a) for a in aliases),
             pure=bool(getattr(solver_cls, "pure", True)),
             description=description if description is not None else (doc[0] if doc else ""),
+            algebras=tuple(resolve_algebra_name(a) for a in declared),
         )
         # Validate before mutating anything, so a rejected registration
         # leaves the registry exactly as it was.
@@ -132,6 +144,11 @@ def solver_info(name: str) -> SolverInfo:
 def get_solver_class(name: str):
     """Resolve a solver name or alias to its implementing class."""
     return solver_info(name).cls
+
+
+def solver_supports_algebra(solver_name: str, algebra: str) -> bool:
+    """True when the (resolved) solver declares support for the (resolved) algebra."""
+    return solver_info(solver_name).supports_algebra(algebra)
 
 
 def available_solvers() -> list[str]:

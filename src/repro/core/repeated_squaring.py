@@ -19,7 +19,7 @@ from repro.common.timing import Stopwatch
 from repro.core import building_blocks as bb
 from repro.core.base import SparkAPSPSolver
 from repro.core.registry import register_solver
-from repro.linalg.semiring import elementwise_min, minplus_closure_iterations
+from repro.linalg.semiring import closure_iterations
 from repro.spark.context import SparkContext
 from repro.spark.partitioner import Partitioner
 from repro.spark.rdd import RDD
@@ -37,7 +37,8 @@ class RepeatedSquaringSolver(SparkAPSPSolver):
     def _run(self, sc: SparkContext, rdd: RDD, n: int, block_size: int, q: int,
              partitioner: Partitioner, stopwatch: Stopwatch):
         shared_fs = sc.shared_fs
-        squarings = max(1, minplus_closure_iterations(n))
+        algebra = self.algebra
+        squarings = max(1, closure_iterations(n))
         current = rdd
 
         for iteration in range(squarings):
@@ -58,8 +59,9 @@ class RepeatedSquaringSolver(SparkAPSPSolver):
 
                 with stopwatch.section("matvec"):
                     contributions = current.flatMap(
-                        bb.matprod_column_contributions(target_column, fetch))
-                    column_result = contributions.reduceByKey(elementwise_min, partitioner)
+                        bb.matprod_column_contributions(target_column, fetch, algebra))
+                    column_result = contributions.reduceByKey(
+                        bb.ElementwiseCombine(algebra), partitioner)
                     column_rdds.append(column_result)
             with stopwatch.section("union"):
                 current = sc.union(column_rdds).cache()
@@ -76,7 +78,7 @@ def _orient_column(column_records, target_column: int) -> dict[int, np.ndarray]:
     column_blocks: dict[int, np.ndarray] = {}
     for (i, j), block in column_records:
         if j == target_column:
-            column_blocks[i] = np.asarray(block, dtype=np.float64)
+            column_blocks[i] = np.asarray(block)
         if i == target_column and j != target_column:
-            column_blocks[j] = np.asarray(block, dtype=np.float64).T
+            column_blocks[j] = np.asarray(block).T
     return column_blocks

@@ -14,7 +14,8 @@ from typing import Any, Mapping
 
 from repro.common.errors import ConfigurationError
 from repro.core.base import SolverOptions
-from repro.core.registry import resolve_solver_name
+from repro.core.registry import resolve_solver_name, solver_info
+from repro.linalg.algebra import get_algebra, resolve_algebra_name
 from repro.spark.partitioner import canonical_partitioner_name
 
 
@@ -35,6 +36,15 @@ class SolveRequest:
         The over-decomposition factor ``B`` (the paper recommends 2-4).
     num_partitions:
         Explicit partition count override (takes precedence over ``B``).
+    algebra:
+        Path algebra (semiring) to close the adjacency matrix under —
+        ``"shortest-path"`` (default), ``"widest-path"``, ``"most-reliable"``,
+        ``"reachability"``, ... or any registered alias.  Validated against
+        the solver's declared algebra support at construction time.
+    dtype:
+        Element dtype for the solve (e.g. ``"float32"`` to halve memory
+        traffic in the hot product kernel); ``None`` selects the algebra's
+        default.  Resolved to a canonical dtype name at construction.
     validate:
         Run structural sanity checks on the result.
     tag:
@@ -49,13 +59,25 @@ class SolveRequest:
     partitioner: str = "MD"
     partitions_per_core: int = 2
     num_partitions: int | None = None
+    algebra: str = "shortest-path"
+    dtype: str | None = None
     validate: bool = False
     tag: str | None = None
     extra: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        # Canonicalise through the registry: unknown solvers raise here.
+        # Canonicalise through the registries: unknown solvers/algebras raise here.
         object.__setattr__(self, "solver", resolve_solver_name(self.solver))
+        object.__setattr__(self, "algebra", resolve_algebra_name(self.algebra))
+        info = solver_info(self.solver)
+        if not info.supports_algebra(self.algebra):
+            raise ConfigurationError(
+                f"solver {self.solver!r} does not support algebra "
+                f"{self.algebra!r} (supported: {', '.join(info.algebras)})")
+        # Resolve the dtype against the algebra's policy, storing the
+        # canonical dtype name so requests are fully explicit.
+        object.__setattr__(
+            self, "dtype", get_algebra(self.algebra).resolve_dtype(self.dtype).name)
         object.__setattr__(self, "partitioner",
                            canonical_partitioner_name(str(self.partitioner)))
         if self.block_size is not None and int(self.block_size) < 1:
@@ -96,6 +118,8 @@ class SolveRequest:
             partitioner=self.partitioner,
             partitions_per_core=self.partitions_per_core,
             num_partitions=self.num_partitions,
+            algebra=self.algebra,
+            dtype=self.dtype,
             validate=self.validate,
             extra=dict(self.extra),
         )
@@ -106,6 +130,8 @@ class SolveRequest:
                 f"b={'auto' if self.block_size is None else self.block_size}",
                 f"partitioner={self.partitioner}",
                 f"B={self.partitions_per_core}"]
+        if self.algebra != "shortest-path" or self.dtype != "float64":
+            bits.append(f"algebra={self.algebra}[{self.dtype}]")
         if self.num_partitions is not None:
             bits.append(f"partitions={self.num_partitions}")
         if self.tag:

@@ -33,14 +33,14 @@ import numpy as np
 
 from repro import bench
 from repro.common.config import BACKENDS, EngineConfig
+from repro.common.errors import ConfigurationError
 from repro.common.timing import format_seconds
 from repro.core.api import available_solvers, solver_catalog
 from repro.core.engine import APSPEngine
 from repro.core.request import SolveRequest
 from repro.experiments import figure2, figure3, table2, table3_figure5
 from repro.experiments.report import format_table, rows_to_csv
-from repro.graph.generators import erdos_renyi_adjacency
-from repro.sequential.floyd_warshall import floyd_warshall_reference
+from repro.linalg.algebra import available_algebras, get_algebra
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -73,6 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--solver", choices=available_solvers(), default="blocked-cb")
     p_solve.add_argument("--block-size", type=int, default=None)
     p_solve.add_argument("--partitioner", default="MD")
+    p_solve.add_argument("--algebra", default="shortest-path",
+                         choices=available_algebras(),
+                         help="path algebra to close the matrix under")
+    p_solve.add_argument("--dtype", default=None,
+                         help="element dtype (e.g. float32); default: the "
+                              "algebra's native dtype")
     p_solve.add_argument("--seed", type=int, default=0)
     p_solve.add_argument("--executors", type=int, default=4)
     p_solve.add_argument("--cores", type=int, default=2)
@@ -213,25 +219,38 @@ def main(argv=None) -> int:
         return 0
 
     if args.command == "solve":
-        adjacency = erdos_renyi_adjacency(args.n, seed=args.seed)
+        algebra = get_algebra(args.algebra)
         config = EngineConfig(backend=args.backend, num_executors=args.executors,
                               cores_per_executor=args.cores)
-        request = SolveRequest(solver=args.solver, block_size=args.block_size,
-                               partitioner=args.partitioner)
-        reference = floyd_warshall_reference(adjacency)
+        try:
+            # Fails fast on unsupported solver x algebra / algebra x dtype
+            # combinations (e.g. the DAG-only longest-path algebra, which no
+            # distributed solver supports).
+            request = SolveRequest(solver=args.solver, block_size=args.block_size,
+                                   partitioner=args.partitioner,
+                                   algebra=args.algebra, dtype=args.dtype)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        adjacency = bench.graph_for_algebra(args.n, args.seed, request.algebra)
+        reference = bench.reference_closure(adjacency, request.algebra,
+                                            dtype=request.dtype)
+        tolerances = bench.verify_tolerances(request.dtype)
         with APSPEngine(config) as engine:
             jobs = engine.solve_many([adjacency] * max(1, args.repeat), request)
             correct = True
             for job in jobs:
                 result = job.result()
-                correct = correct and bool(np.allclose(result.distances, reference))
+                correct = correct and algebra.allclose(result.distances, reference,
+                                                       **tolerances)
                 print(f"{job.job_id}: {result.summary()}")
                 print(f"  elapsed: {format_seconds(result.elapsed_seconds)}; "
                       f"shuffled {result.metrics['shuffle_bytes'] / 1e6:.1f} MB; "
                       f"collected {result.metrics['collect_bytes'] / 1e6:.1f} MB; "
                       f"shared-fs {result.metrics['sharedfs_bytes_written'] / 1e6:.1f} MB written")
             stats = engine.stats()
-        print(f"verified against sequential Floyd-Warshall: {'OK' if correct else 'MISMATCH'}")
+        print(f"verified against the sequential {request.algebra} closure: "
+              f"{'OK' if correct else 'MISMATCH'}")
         print(f"engine session: {stats['jobs_completed']} job(s) on one context, "
               f"{stats['tasks_launched']} tasks, "
               f"{format_seconds(stats['total_solve_seconds'])} solving")
@@ -242,7 +261,7 @@ def main(argv=None) -> int:
 
     if args.command == "solvers":
         rows = [info.as_dict() for info in solver_catalog()]
-        _emit(rows, args, columns=["name", "aliases", "pure", "description"])
+        _emit(rows, args, columns=["name", "aliases", "pure", "algebras", "description"])
         return 0
 
     return 2

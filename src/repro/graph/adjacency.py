@@ -106,20 +106,34 @@ def knn_adjacency(points: np.ndarray, k: int, *, symmetrize: bool = True) -> np.
     return adj
 
 
-def validate_adjacency(adjacency: np.ndarray, *, require_symmetric: bool = False) -> np.ndarray:
-    """Validate and normalize an adjacency matrix (float64, zero diagonal)."""
-    arr = check_square_matrix(adjacency, "adjacency")
-    finite = arr[np.isfinite(arr)]
-    if finite.size and float(finite.min()) < 0:
-        raise ValidationError("adjacency contains negative weights")
+def validate_adjacency(adjacency: np.ndarray, *, require_symmetric: bool = False,
+                       algebra=None, dtype=None) -> np.ndarray:
+    """Validate and normalize an adjacency matrix for a path algebra.
+
+    With the default ``algebra=None`` this is the historical (min, +)
+    behaviour: a float64 matrix with non-negative weights and a zero
+    diagonal.  With an algebra (name or
+    :class:`~repro.linalg.algebra.Semiring`) the input is checked against the
+    algebra's own weight precondition (its input-validator hook), mapped into
+    its domain (missing edges become the algebra's ``zero``, the diagonal its
+    ``one``) and cast to the resolved ``dtype``.
+    """
+    from repro.linalg.algebra import get_algebra
+    resolved = get_algebra(algebra)
+    arr = check_square_matrix(adjacency, "adjacency",
+                              dtype=np.float64 if algebra is None and dtype is None
+                              else None)
+    resolved.validate_input(arr, "adjacency")
     if require_symmetric:
-        a, at = arr, arr.T
-        both_inf = np.isinf(a) & np.isinf(at)
-        if not bool((np.isclose(a, at) | both_inf).all()):
+        if arr.dtype == np.bool_:
+            symmetric = bool(np.array_equal(arr, arr.T))
+        else:
+            a, at = arr, arr.T
+            both_inf = np.isinf(a) & np.isinf(at)
+            symmetric = bool((np.isclose(a, at) | both_inf).all())
+        if not symmetric:
             raise ValidationError("adjacency must be symmetric for undirected solvers")
-    out = arr.copy()
-    np.fill_diagonal(out, 0.0)
-    return out
+    return resolved.prepare_adjacency(arr, dtype=dtype)
 
 
 def num_reachable_pairs(distances: np.ndarray) -> int:

@@ -1,13 +1,33 @@
-"""Dense linear algebra over the (min, +) semiring and blocked matrices.
+"""Dense linear algebra over pluggable path algebras and blocked matrices.
 
-These are the "bare metal" kernels of the paper (Section 4.1): min-plus
-matrix product, element-wise minimum, the Floyd-Warshall block kernel and
-the rank-1 Floyd-Warshall update.  In the paper they are dispatched to
-NumPy/SciPy/Numba; here they are vectorized NumPy (BLAS-free but cache-aware,
-processed in column chunks).
+These are the "bare metal" kernels of the paper (Section 4.1): semiring
+matrix product (min-plus by default), elementwise ⊕, the Floyd-Warshall
+block kernel and the rank-1 Floyd-Warshall update.  In the paper they are
+dispatched to NumPy/SciPy/Numba; here they are vectorized NumPy (BLAS-free
+but cache-aware, processed in column chunks), parameterized by a
+:class:`~repro.linalg.algebra.Semiring` so the same kernels also compute
+widest paths, most-reliable paths, DAG longest paths and transitive closure.
 """
 
+from repro.linalg.algebra import (
+    Semiring,
+    get_algebra,
+    register_algebra,
+    resolve_algebra_name,
+    available_algebras,
+    algebra_catalog,
+    SHORTEST_PATH,
+    WIDEST_PATH,
+    MOST_RELIABLE,
+    LONGEST_PATH,
+    REACHABILITY,
+)
 from repro.linalg.semiring import (
+    semiring_product,
+    semiring_power,
+    semiring_square,
+    elementwise_combine,
+    closure_iterations,
     minplus_product,
     minplus_power,
     elementwise_min,
@@ -19,6 +39,7 @@ from repro.linalg.kernels import (
     floyd_warshall_scipy,
     fw_rank1_update,
     blocked_floyd_warshall_inplace,
+    semiring_closure,
 )
 from repro.linalg.blocks import (
     BlockId,
@@ -31,6 +52,23 @@ from repro.linalg.blocks import (
 )
 
 __all__ = [
+    "Semiring",
+    "get_algebra",
+    "register_algebra",
+    "resolve_algebra_name",
+    "available_algebras",
+    "algebra_catalog",
+    "SHORTEST_PATH",
+    "WIDEST_PATH",
+    "MOST_RELIABLE",
+    "LONGEST_PATH",
+    "REACHABILITY",
+    "semiring_product",
+    "semiring_power",
+    "semiring_square",
+    "elementwise_combine",
+    "closure_iterations",
+    "semiring_closure",
     "minplus_product",
     "minplus_power",
     "elementwise_min",

@@ -72,32 +72,44 @@ def matrix_to_blocks(matrix: np.ndarray, block_size: int, *,
 
     With ``upper_only=True`` (the paper's symmetric storage) only blocks with
     ``I <= J`` are produced; the caller is expected to reconstruct ``A_JI`` as
-    ``A_IJ.T`` when needed.
+    ``A_IJ.T`` when needed.  The input's floating/boolean dtype is preserved
+    (``float32`` pipelines stay ``float32``); anything else is upcast to
+    ``float64``.
     """
-    arr = check_square_matrix(matrix)
+    arr = check_square_matrix(matrix, dtype=None)
     n = arr.shape[0]
     b = check_block_size(block_size, n)
     q = num_blocks(n, b)
     ids = upper_triangular_block_ids(q) if upper_only else all_block_ids(q)
     for (i, j) in ids:
         yield (i, j), np.array(arr[block_range(i, b, n), block_range(j, b, n)],
-                               dtype=np.float64, copy=True)
+                               copy=True)
 
 
 def blocks_to_matrix(blocks: Iterable[tuple[BlockId, np.ndarray]], n: int,
-                     block_size: int, *, symmetric: bool = True) -> np.ndarray:
+                     block_size: int, *, symmetric: bool = True,
+                     fill: float | bool = np.inf,
+                     dtype: np.dtype | str | None = None) -> np.ndarray:
     """Assemble ``((I, J), block)`` tuples back into a dense ``n x n`` matrix.
 
     With ``symmetric=True`` missing lower-triangular blocks are filled from the
-    transpose of their upper-triangular counterpart.
+    transpose of their upper-triangular counterpart.  ``fill`` is the value
+    for never-seen cells (the algebra's "no path" element; ``inf`` matches the
+    historical (min, +) behaviour) and ``dtype`` the output dtype (``None``
+    preserves the first block's floating/boolean dtype, else ``float64``).
     """
     b = check_block_size(block_size, n)
-    out = np.full((n, n), np.inf, dtype=np.float64)
+    blocks = list(blocks)
+    if dtype is None:
+        first = blocks[0][1] if blocks else None
+        inferred = np.asarray(first).dtype if first is not None else np.dtype(np.float64)
+        dtype = inferred if inferred.kind in ("f", "b") else np.dtype(np.float64)
+    out = np.full((n, n), fill, dtype=dtype)
     seen: set[BlockId] = set()
     for (i, j), block in blocks:
         ri, rj = block_range(i, b, n), block_range(j, b, n)
         expected = (ri.stop - ri.start, rj.stop - rj.start)
-        block = np.asarray(block, dtype=np.float64)
+        block = np.asarray(block, dtype=dtype)
         if block.shape != expected:
             raise ValidationError(
                 f"block {(i, j)} has shape {block.shape}, expected {expected}")
@@ -130,7 +142,7 @@ class BlockedMatrix:
     @classmethod
     def from_matrix(cls, matrix: np.ndarray, block_size: int, *,
                     symmetric: bool = True) -> "BlockedMatrix":
-        arr = check_square_matrix(matrix)
+        arr = check_square_matrix(matrix, dtype=None)
         return cls(
             n=arr.shape[0],
             block_size=check_block_size(block_size, arr.shape[0]),
@@ -144,16 +156,26 @@ class BlockedMatrix:
         return num_blocks(self.n, self.block_size)
 
     def get_block(self, i: int, j: int) -> np.ndarray:
-        """Return block ``(i, j)``, transposing the stored ``(j, i)`` block if needed."""
+        """Return block ``(i, j)``, transposing the stored ``(j, i)`` block if needed.
+
+        Lower-triangular lookups under symmetric storage return a *read-only*
+        transposed view of the stored mirror block: the data is shared (no
+        copy), but writing through it would silently corrupt block ``(j, i)``,
+        so mutation raises instead — call :meth:`set_block` to update.
+        """
         if (i, j) in self.blocks:
             return self.blocks[(i, j)]
         if self.symmetric and (j, i) in self.blocks:
-            return self.blocks[(j, i)].T
+            mirror = self.blocks[(j, i)].T
+            mirror.flags.writeable = False
+            return mirror
         raise KeyError((i, j))
 
     def set_block(self, i: int, j: int, value: np.ndarray) -> None:
         """Store block ``(i, j)`` (normalized to the upper triangle when symmetric)."""
-        value = np.asarray(value, dtype=np.float64)
+        value = np.asarray(value)
+        if value.dtype.kind not in ("f", "b"):
+            value = np.asarray(value, dtype=np.float64)
         expected = block_shape((i, j), self.block_size, self.n)
         if value.shape != expected:
             raise ValidationError(

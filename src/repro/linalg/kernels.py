@@ -1,8 +1,11 @@
 """Floyd-Warshall kernels: full, rank-1 update, and cache-blocked variants.
 
 These functions correspond to the ``FloydWarshall`` and ``FloydWarshallUpdate``
-building blocks in Table 1 of the paper.  They operate on dense distance
-matrices where ``inf`` encodes "no path" and the diagonal is expected to be 0.
+building blocks in Table 1 of the paper, generalized over a pluggable
+:class:`~repro.linalg.algebra.Semiring`.  Under the default (min, +) algebra
+they operate on dense distance matrices where ``inf`` encodes "no path" and
+the diagonal is expected to be 0; other algebras substitute their own
+``zero``/``one``.
 """
 
 from __future__ import annotations
@@ -11,7 +14,8 @@ import numpy as np
 
 from repro.common.errors import ValidationError
 from repro.common.validation import check_square_matrix, check_block_size
-from repro.linalg.semiring import minplus_product, elementwise_min
+from repro.linalg.algebra import Semiring, get_algebra
+from repro.linalg.semiring import semiring_product, elementwise_combine
 
 try:  # SciPy is a hard dependency of the package, but keep the import local.
     from scipy.sparse.csgraph import floyd_warshall as _scipy_floyd_warshall
@@ -20,35 +24,70 @@ except Exception:  # pragma: no cover - exercised only without SciPy
     _HAVE_SCIPY = False
 
 
-def floyd_warshall_inplace(dist: np.ndarray) -> np.ndarray:
+def floyd_warshall_inplace(dist: np.ndarray,
+                           algebra: Semiring | str | None = None) -> np.ndarray:
     """Run the classic Floyd-Warshall algorithm in place and return ``dist``.
 
     The k-loop is sequential; the inner two loops are vectorized as a rank-1
-    (outer-sum) update, which is how the paper's 2D decomposition also
+    (outer-⊗) update, which is how the paper's 2D decomposition also
     parallelizes the algorithm.
+
+    ``dist`` must already be an ndarray in one of the algebra's supported
+    dtypes: a silent conversion would operate on a *copy*, leaving callers
+    that rely on in-place mutation with a stale array, so unsupported dtypes
+    raise :class:`~repro.common.errors.ValidationError` instead.  Non-array
+    inputs (nested lists) are converted — the mutated array is returned.
     """
-    dist = np.asarray(dist, dtype=np.float64)
+    algebra = get_algebra(algebra)
+    if isinstance(dist, np.ndarray):
+        if dist.dtype.name not in algebra.dtypes:
+            raise ValidationError(
+                f"floyd_warshall_inplace cannot mutate a {dist.dtype.name} array "
+                f"in place under algebra {algebra.name!r} (supported dtypes: "
+                f"{', '.join(algebra.dtypes)}); convert the input first, e.g. "
+                f"arr.astype(np.{algebra.default_dtype})")
+    else:
+        dist = np.asarray(dist, dtype=algebra.resolve_dtype(None))
     if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
         raise ValidationError(f"distance matrix must be square, got shape {dist.shape}")
     n = dist.shape[0]
     for k in range(n):
-        # dist[i, j] = min(dist[i, j], dist[i, k] + dist[k, j])
-        np.minimum(dist, dist[:, k, None] + dist[None, k, :], out=dist)
+        # dist[i, j] = dist[i, j] ⊕ (dist[i, k] ⊗ dist[k, j])
+        algebra.add(dist, algebra.mul(dist[:, k, None], dist[None, k, :]), out=dist)
     return dist
 
 
-def floyd_warshall(matrix: np.ndarray) -> np.ndarray:
-    """Return the APSP distance matrix of ``matrix`` without modifying the input."""
-    arr = check_square_matrix(matrix)
-    return floyd_warshall_inplace(arr.copy())
+def floyd_warshall(matrix: np.ndarray,
+                   algebra: Semiring | str | None = None) -> np.ndarray:
+    """Return the closure of ``matrix`` under ``algebra`` without modifying the input."""
+    algebra = get_algebra(algebra)
+    arr = check_square_matrix(matrix, dtype=None)
+    work = np.array(arr, dtype=algebra.result_dtype(arr), copy=True)
+    return floyd_warshall_inplace(work, algebra)
+
+
+def semiring_closure(weights: np.ndarray, algebra: Semiring | str | None = None, *,
+                     dtype: str | np.dtype | None = None) -> np.ndarray:
+    """Dense reference closure: validate + coerce weights, then Floyd-Warshall.
+
+    This is the ground truth the cross-solver equivalence tests and the
+    benchmark verifier compare against: canonical edge weights (non-finite =
+    missing edge) are checked against the algebra's precondition, mapped into
+    its domain (diagonal = ``one``, missing = ``zero``) and closed.
+    """
+    algebra = get_algebra(algebra)
+    algebra.validate_input(weights)
+    prepared = algebra.prepare_adjacency(weights, dtype=dtype)
+    return floyd_warshall_inplace(prepared, algebra)
 
 
 def floyd_warshall_scipy(matrix: np.ndarray) -> np.ndarray:
     """Floyd-Warshall via :func:`scipy.sparse.csgraph.floyd_warshall`.
 
     This is the paper's "bare metal" sequential solver (SciPy + MKL); it is the
-    reference ``T1`` measurement of Section 5.4.  Falls back to the NumPy
-    kernel when SciPy is unavailable.
+    reference ``T1`` measurement of Section 5.4.  (min, +)-only — SciPy has no
+    algebra parameter.  Falls back to the NumPy kernel when SciPy is
+    unavailable.
     """
     arr = check_square_matrix(matrix)
     if not _HAVE_SCIPY:  # pragma: no cover
@@ -58,42 +97,48 @@ def floyd_warshall_scipy(matrix: np.ndarray) -> np.ndarray:
     return np.asarray(_scipy_floyd_warshall(work, directed=True), dtype=np.float64)
 
 
-def fw_rank1_update(block: np.ndarray, col_i: np.ndarray, row_j: np.ndarray) -> np.ndarray:
+def fw_rank1_update(block: np.ndarray, col_i: np.ndarray, row_j: np.ndarray,
+                    algebra: Semiring | str | None = None) -> np.ndarray:
     """The ``FloydWarshallUpdate`` building block (Table 1).
 
     Given block ``A_IJ`` and the slices of the pivot column restricted to the
     block's rows (``col_i = B_Ik``, length = block rows) and columns
     (``row_j = B_Jk``, length = block cols), compute
 
-        ``C = col_i · 1^T + 1 · row_j^T``  and return  ``min(A_IJ, C)``.
+        ``C = col_i ⊗ 1^T  ⊕ ... `` i.e. the outer-⊗ ``col_i[:, None] ⊗ row_j[None, :]``
 
-    For an undirected graph the pivot row equals the pivot column, which is
-    why both arguments can be extracted from the same broadcast column.
+    and return ``A_IJ ⊕ C``.  For an undirected graph the pivot row equals
+    the pivot column, which is why both arguments can be extracted from the
+    same broadcast column.
     """
-    block = np.asarray(block, dtype=np.float64)
-    col_i = np.asarray(col_i, dtype=np.float64).reshape(-1)
-    row_j = np.asarray(row_j, dtype=np.float64).reshape(-1)
+    algebra = get_algebra(algebra)
+    dtype = algebra.result_dtype(np.asarray(block), np.asarray(col_i), np.asarray(row_j))
+    block = np.asarray(block, dtype=dtype)
+    col_i = np.asarray(col_i, dtype=dtype).reshape(-1)
+    row_j = np.asarray(row_j, dtype=dtype).reshape(-1)
     if block.ndim != 2:
         raise ValidationError("block must be 2-D")
     if col_i.shape[0] != block.shape[0] or row_j.shape[0] != block.shape[1]:
         raise ValidationError(
             f"pivot slices have lengths {col_i.shape[0]}/{row_j.shape[0]} but block is {block.shape}")
-    candidate = col_i[:, None] + row_j[None, :]
-    return np.minimum(block, candidate)
+    candidate = algebra.mul(col_i[:, None], row_j[None, :])
+    return algebra.add(block, candidate)
 
 
-def min_plus_then_min(block: np.ndarray, other: np.ndarray) -> np.ndarray:
-    """The ``MinPlus`` building block: ``min(A_IJ ⊗ B, B-fallback)``.
+def min_plus_then_min(block: np.ndarray, other: np.ndarray,
+                      algebra: Semiring | str | None = None) -> np.ndarray:
+    """The ``MinPlus`` building block: ``(A_IJ ⊗ B) ⊕ A_IJ``.
 
-    Computes the min-plus product of ``block`` with ``other`` and then the
-    element-wise minimum with ``block`` itself (keeping already-known shorter
+    Computes the semiring product of ``block`` with ``other`` and then the
+    elementwise ⊕ with ``block`` itself (keeping already-known optimal
     paths).  Used by the Blocked Collect/Broadcast solver's phase 2/3 updates.
     """
-    prod = minplus_product(block, other)
-    return elementwise_min(block, prod)
+    prod = semiring_product(block, other, algebra)
+    return elementwise_combine(block, prod, algebra)
 
 
-def blocked_floyd_warshall_inplace(dist: np.ndarray, block_size: int) -> np.ndarray:
+def blocked_floyd_warshall_inplace(dist: np.ndarray, block_size: int,
+                                   algebra: Semiring | str | None = None) -> np.ndarray:
     """Cache-blocked Floyd-Warshall (Venkataraman et al. [23]) on a single array.
 
     This is the sequential analogue of the paper's Blocked In-Memory /
@@ -103,7 +148,9 @@ def blocked_floyd_warshall_inplace(dist: np.ndarray, block_size: int) -> np.ndar
     (phase 3).  Used for ground-truth testing and the cache-behaviour
     benchmarks of Figure 2.
     """
-    dist = np.asarray(dist, dtype=np.float64)
+    algebra = get_algebra(algebra)
+    if not isinstance(dist, np.ndarray) or dist.dtype.name not in algebra.dtypes:
+        dist = np.asarray(dist, dtype=algebra.result_dtype(np.asarray(dist)))
     n = dist.shape[0]
     b = check_block_size(block_size, n)
     q = (n + b - 1) // b
@@ -114,17 +161,19 @@ def blocked_floyd_warshall_inplace(dist: np.ndarray, block_size: int) -> np.ndar
     for t in range(q):
         pivot = _rng(t)
         # Phase 1: pivot diagonal block.
-        floyd_warshall_inplace(dist[pivot, pivot])
+        floyd_warshall_inplace(dist[pivot, pivot], algebra)
         pivot_block = dist[pivot, pivot]
         # Phase 2: pivot block-row and block-column.
         for j in range(q):
             if j == t:
                 continue
             cols = _rng(j)
-            dist[pivot, cols] = elementwise_min(
-                dist[pivot, cols], minplus_product(pivot_block, dist[pivot, cols]))
-            dist[cols, pivot] = elementwise_min(
-                dist[cols, pivot], minplus_product(dist[cols, pivot], pivot_block))
+            dist[pivot, cols] = elementwise_combine(
+                dist[pivot, cols],
+                semiring_product(pivot_block, dist[pivot, cols], algebra), algebra)
+            dist[cols, pivot] = elementwise_combine(
+                dist[cols, pivot],
+                semiring_product(dist[cols, pivot], pivot_block, algebra), algebra)
         # Phase 3: remaining blocks.
         for i in range(q):
             if i == t:
@@ -135,6 +184,7 @@ def blocked_floyd_warshall_inplace(dist: np.ndarray, block_size: int) -> np.ndar
                 if j == t:
                     continue
                 cols = _rng(j)
-                dist[rows, cols] = elementwise_min(
-                    dist[rows, cols], minplus_product(left, dist[pivot, cols]))
+                dist[rows, cols] = elementwise_combine(
+                    dist[rows, cols],
+                    semiring_product(left, dist[pivot, cols], algebra), algebra)
     return dist

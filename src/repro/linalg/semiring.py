@@ -1,13 +1,19 @@
-"""Min-plus (tropical) semiring operations on dense matrices.
+"""Semiring matrix operations on dense matrices.
 
 APSP can be posed as computing the closure of the adjacency matrix under the
 (min, +) semiring: ``C[i, j] = min_k (A[i, k] + B[k, j])`` replaces the inner
 product of ordinary matrix multiplication (paper Section 2 and the ``MatProd``
-/ ``MatMin`` building blocks of Table 1).
+/ ``MatMin`` building blocks of Table 1).  The same kernels, parameterized by
+a :class:`~repro.linalg.algebra.Semiring`, compute the closure under any
+registered path algebra (widest path, most-reliable path, transitive
+closure, ...).
 
 The product kernel is vectorized over column chunks so the temporary
-``A + B[:, j]`` broadcast stays in cache instead of materializing an
-``m x k x n`` cube.
+``A ⊗ B[:, j]`` broadcast stays in cache instead of materializing an
+``m x k x n`` cube.  The algebra's operations are plain NumPy ufuncs, so the
+generic kernel runs the (min, +) case through exactly the same vectorized
+instructions as the original hand-written version — and dtype is preserved
+(``float32`` operands stay ``float32``, halving memory traffic).
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import math
 import numpy as np
 
 from repro.common.errors import ValidationError
+from repro.linalg.algebra import Semiring, get_algebra
 
 #: Default number of output columns processed per chunk in the product kernel.
 #: Chosen so the (m x k) temporary plus the chunk fits comfortably in L2/L3
@@ -24,23 +31,34 @@ from repro.common.errors import ValidationError
 DEFAULT_CHUNK = 64
 
 
-def elementwise_min(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Element-wise minimum of two equally-shaped matrices (``MatMin`` of Table 1)."""
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
+def elementwise_combine(a: np.ndarray, b: np.ndarray,
+                        algebra: Semiring | str | None = None) -> np.ndarray:
+    """Elementwise ⊕ of two equally-shaped matrices (``MatMin`` generalized)."""
+    algebra = get_algebra(algebra)
+    dtype = algebra.result_dtype(np.asarray(a), np.asarray(b))
+    a = np.asarray(a, dtype=dtype)
+    b = np.asarray(b, dtype=dtype)
     if a.shape != b.shape:
         raise ValidationError(f"MatMin requires equal shapes, got {a.shape} and {b.shape}")
-    return np.minimum(a, b)
+    return algebra.add(a, b)
 
 
-def minplus_product(a: np.ndarray, b: np.ndarray, *, chunk: int = DEFAULT_CHUNK,
-                    out: np.ndarray | None = None) -> np.ndarray:
-    """Min-plus matrix product ``C[i, j] = min_k A[i, k] + B[k, j]``.
+def elementwise_min(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise minimum of two equally-shaped matrices (``MatMin`` of Table 1)."""
+    return elementwise_combine(a, b, None)
 
-    This is the ``MatProd`` building block of Table 1.  ``a`` has shape
-    ``(m, k)``, ``b`` has shape ``(k, n)``; the result has shape ``(m, n)``.
-    ``inf`` entries represent missing edges and propagate correctly
-    (``inf + x = inf``, ``min(inf, x) = x``).
+
+def semiring_product(a: np.ndarray, b: np.ndarray,
+                     algebra: Semiring | str | None = None, *,
+                     chunk: int = DEFAULT_CHUNK,
+                     out: np.ndarray | None = None) -> np.ndarray:
+    """Semiring matrix product ``C[i, j] = ⊕_k A[i, k] ⊗ B[k, j]``.
+
+    This is the ``MatProd`` building block of Table 1, generalized over the
+    algebra.  ``a`` has shape ``(m, k)``, ``b`` has shape ``(k, n)``; the
+    result has shape ``(m, n)``.  Under (min, +), ``inf`` entries represent
+    missing edges and propagate correctly (``inf + x = inf``,
+    ``min(inf, x) = x``); other algebras use their own ``zero``.
 
     Parameters
     ----------
@@ -49,66 +67,96 @@ def minplus_product(a: np.ndarray, b: np.ndarray, *, chunk: int = DEFAULT_CHUNK,
     out:
         Optional pre-allocated output array of shape ``(m, n)``.
     """
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
+    algebra = get_algebra(algebra)
+    a = np.asarray(a)
+    b = np.asarray(b)
     if a.ndim != 2 or b.ndim != 2:
         raise ValidationError("MatProd requires 2-D operands")
     if a.shape[1] != b.shape[0]:
         raise ValidationError(
             f"MatProd inner dimensions must agree, got {a.shape} and {b.shape}")
+    dtype = algebra.result_dtype(a, b)
+    a = np.asarray(a, dtype=dtype)
+    b = np.asarray(b, dtype=dtype)
     m, k = a.shape
     n = b.shape[1]
     if chunk <= 0:
         raise ValidationError("chunk must be positive")
     if out is None:
-        out = np.empty((m, n), dtype=np.float64)
+        out = np.empty((m, n), dtype=dtype)
     elif out.shape != (m, n):
         raise ValidationError(f"out has shape {out.shape}, expected {(m, n)}")
     # Process output columns in chunks: for each chunk J we broadcast
-    # a[:, :, None] + b[None, :, J] -> (m, k, |J|) and reduce over k.
+    # a[:, :, None] ⊗ b[None, :, J] -> (m, k, |J|) and ⊕-reduce over k.
     for j0 in range(0, n, chunk):
         j1 = min(j0 + chunk, n)
         # (m, k, j1-j0)
-        summed = a[:, :, None] + b[None, :, j0:j1]
-        np.min(summed, axis=1, out=out[:, j0:j1])
+        combined = algebra.mul(a[:, :, None], b[None, :, j0:j1])
+        algebra.add_reduce(combined, axis=1, out=out[:, j0:j1])
     return out
 
 
-def minplus_square(a: np.ndarray, *, chunk: int = DEFAULT_CHUNK) -> np.ndarray:
-    """Min-plus square ``A ⊗ A`` combined with element-wise minimum against ``A``.
+def minplus_product(a: np.ndarray, b: np.ndarray, *, chunk: int = DEFAULT_CHUNK,
+                    out: np.ndarray | None = None) -> np.ndarray:
+    """Min-plus matrix product ``C[i, j] = min_k A[i, k] + B[k, j]`` (``MatProd``)."""
+    return semiring_product(a, b, None, chunk=chunk, out=out)
 
-    Squaring in APSP must keep existing (shorter-or-equal) paths, which the
-    diagonal zeros already guarantee; the explicit ``min`` with ``a`` makes the
-    kernel robust to inputs whose diagonal is not exactly zero.
+
+def semiring_square(a: np.ndarray, algebra: Semiring | str | None = None, *,
+                    chunk: int = DEFAULT_CHUNK) -> np.ndarray:
+    """Semiring square ``A ⊗ A`` combined elementwise (⊕) with ``A``.
+
+    Squaring in a path closure must keep existing (shorter-or-equal) paths,
+    which the diagonal ``one`` already guarantees; the explicit ⊕ with ``a``
+    makes the kernel robust to inputs whose diagonal is not exactly ``one``.
     """
-    return np.minimum(a, minplus_product(a, a, chunk=chunk))
+    algebra = get_algebra(algebra)
+    return algebra.add(np.asarray(a), semiring_product(a, a, algebra, chunk=chunk))
 
 
-def minplus_power(a: np.ndarray, exponent: int, *, chunk: int = DEFAULT_CHUNK) -> np.ndarray:
-    """Min-plus matrix power ``A^exponent`` computed by repeated squaring.
+def minplus_square(a: np.ndarray, *, chunk: int = DEFAULT_CHUNK) -> np.ndarray:
+    """Min-plus square ``A ⊗ A`` combined with element-wise minimum against ``A``."""
+    return semiring_square(a, None, chunk=chunk)
 
-    With ``exponent >= n - 1`` this yields the full APSP distance matrix for a
-    graph with ``n`` vertices (assuming zero diagonal).
+
+def semiring_power(a: np.ndarray, exponent: int,
+                   algebra: Semiring | str | None = None, *,
+                   chunk: int = DEFAULT_CHUNK) -> np.ndarray:
+    """Semiring matrix power ``A^exponent`` computed by repeated squaring.
+
+    With ``exponent >= n - 1`` this yields the full closure for a graph with
+    ``n`` vertices (assuming the diagonal holds the algebra's ``one``).
     """
     if exponent < 1:
         raise ValidationError("exponent must be >= 1")
-    a = np.asarray(a, dtype=np.float64)
-    result = a.copy()
+    algebra = get_algebra(algebra)
+    a = np.asarray(a)
+    result = np.array(a, dtype=algebra.result_dtype(a), copy=True)
     e = 1
     while e < exponent:
-        result = minplus_square(result, chunk=chunk)
+        result = semiring_square(result, algebra, chunk=chunk)
         e *= 2
     return result
 
 
-def minplus_closure_iterations(n: int) -> int:
+def minplus_power(a: np.ndarray, exponent: int, *, chunk: int = DEFAULT_CHUNK) -> np.ndarray:
+    """Min-plus matrix power ``A^exponent`` computed by repeated squaring."""
+    return semiring_power(a, exponent, None, chunk=chunk)
+
+
+def closure_iterations(n: int) -> int:
     """Number of squarings needed so that ``A^(2^k) = A^*`` for an n-vertex graph.
 
-    Shortest paths have at most ``n - 1`` edges, so ``ceil(log2(n - 1))``
-    squarings suffice (0 for n <= 2).
+    Optimal paths in an absorptive semiring are simple (at most ``n - 1``
+    edges), so ``ceil(log2(n - 1))`` squarings suffice (0 for n <= 2) — the
+    same bound for every registered algebra.
     """
     if n <= 0:
         raise ValidationError("n must be positive")
     if n <= 2:
         return 1 if n == 2 else 0
     return int(math.ceil(math.log2(n - 1)))
+
+
+#: Backward-compatible alias (the bound is algebra-independent).
+minplus_closure_iterations = closure_iterations

@@ -1,10 +1,11 @@
-"""Sequential Floyd-Warshall variants."""
+"""Sequential Floyd-Warshall variants (algebra-parameterized)."""
 
 from __future__ import annotations
 
 import numpy as np
 
 from repro.graph.adjacency import validate_adjacency
+from repro.linalg.algebra import Semiring, get_algebra
 from repro.linalg.kernels import (
     floyd_warshall_inplace,
     floyd_warshall_scipy,
@@ -16,24 +17,38 @@ def floyd_warshall_reference(adjacency: np.ndarray) -> np.ndarray:
     """SciPy-backed Floyd-Warshall — the paper's ``T1`` sequential baseline.
 
     This is the solver the paper calls "efficient sequential Floyd-Warshall as
-    implemented in SciPy" (Section 5.4).
+    implemented in SciPy" (Section 5.4).  (min, +)/float64 only — use
+    :func:`floyd_warshall_numpy` for other algebras.
     """
     adj = validate_adjacency(adjacency)
     return floyd_warshall_scipy(adj)
 
 
-def floyd_warshall_numpy(adjacency: np.ndarray) -> np.ndarray:
-    """Pure NumPy Floyd-Warshall (vectorized rank-1 updates per pivot)."""
-    adj = validate_adjacency(adjacency)
-    return floyd_warshall_inplace(adj.copy())
+def floyd_warshall_numpy(adjacency: np.ndarray, *,
+                         algebra: Semiring | str | None = None,
+                         dtype=None) -> np.ndarray:
+    """Pure NumPy Floyd-Warshall (vectorized rank-1 updates per pivot).
+
+    Generic over the path algebra: pass ``algebra="widest-path"`` (etc.) to
+    compute the closure under a different semiring, and ``dtype="float32"``
+    to halve memory traffic.  The DAG-only ``longest-path`` algebra is
+    supported here (inputs need not be symmetric), unlike in the distributed
+    solvers.
+    """
+    resolved = get_algebra(algebra)
+    adj = validate_adjacency(adjacency, algebra=resolved, dtype=dtype)
+    return floyd_warshall_inplace(adj, resolved)
 
 
-def floyd_warshall_blocked(adjacency: np.ndarray, block_size: int) -> np.ndarray:
+def floyd_warshall_blocked(adjacency: np.ndarray, block_size: int, *,
+                           algebra: Semiring | str | None = None,
+                           dtype=None) -> np.ndarray:
     """Cache-blocked Floyd-Warshall of Venkataraman et al. on a single machine.
 
     This is the sequential analogue of the Blocked In-Memory / Blocked
     Collect-Broadcast distributed solvers, useful both as ground truth and for
-    the single-block benchmarks of Figure 2.
+    the single-block benchmarks of Figure 2.  Generic over the path algebra.
     """
-    adj = validate_adjacency(adjacency)
-    return blocked_floyd_warshall_inplace(adj.copy(), block_size)
+    resolved = get_algebra(algebra)
+    adj = validate_adjacency(adjacency, algebra=resolved, dtype=dtype)
+    return blocked_floyd_warshall_inplace(adj, block_size, resolved)

@@ -1,26 +1,32 @@
-"""Sequential min-plus repeated squaring APSP (the non-distributed analogue of Section 4.2)."""
+"""Sequential semiring repeated squaring (the non-distributed analogue of Section 4.2)."""
 
 from __future__ import annotations
 
 import numpy as np
 
 from repro.graph.adjacency import validate_adjacency
-from repro.linalg.semiring import minplus_square, minplus_closure_iterations
+from repro.linalg.algebra import Semiring, get_algebra
+from repro.linalg.semiring import semiring_square, closure_iterations
 
 
-def repeated_squaring_apsp(adjacency: np.ndarray, *, return_iterations: bool = False):
-    """APSP by repeated min-plus squaring of the adjacency matrix.
+def repeated_squaring_apsp(adjacency: np.ndarray, *, return_iterations: bool = False,
+                           algebra: Semiring | str | None = None,
+                           dtype=None):
+    """Path closure by repeated semiring squaring of the adjacency matrix.
 
     Performs ``ceil(log2(n - 1))`` squarings, each ``O(n^3)``; asymptotically
     a ``log n`` factor worse than Floyd-Warshall, exactly the trade-off the
-    paper discusses for its distributed Repeated Squaring solver.
+    paper discusses for its distributed Repeated Squaring solver.  Under the
+    default algebra this is min-plus APSP; other registered algebras (widest
+    path, reachability, ...) use the same iteration bound.
     """
-    adj = validate_adjacency(adjacency)
+    resolved = get_algebra(algebra)
+    adj = validate_adjacency(adjacency, algebra=resolved, dtype=dtype)
     n = adj.shape[0]
-    iterations = minplus_closure_iterations(n)
+    iterations = closure_iterations(n)
     result = adj.copy()
     for _ in range(iterations):
-        result = minplus_square(result)
+        result = semiring_square(result, resolved)
     if return_iterations:
         return result, iterations
     return result

@@ -55,6 +55,27 @@ class TestCheckNonnegativeWeights:
         with pytest.raises(ValidationError):
             check_nonnegative_weights(m)
 
+    def test_algebra_conditional(self):
+        # Non-negativity is a (min, +) precondition, not a universal one:
+        # the check routes through the algebra's input-validator hook.
+        m = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        check_nonnegative_weights(m, algebra="reachability")  # no precondition
+        with pytest.raises(ValidationError):
+            check_nonnegative_weights(m, algebra="widest-path")
+        probs = np.array([[0.0, 0.5], [0.5, 0.0]])
+        check_nonnegative_weights(probs, algebra="most-reliable")
+        too_big = np.array([[0.0, 2.0], [2.0, 0.0]])
+        with pytest.raises(ValidationError):
+            check_nonnegative_weights(too_big, algebra="most-reliable")
+
+    def test_check_square_dtype_none_preserves_native(self):
+        m32 = np.zeros((2, 2), dtype=np.float32)
+        assert check_square_matrix(m32, dtype=None).dtype == np.float32
+        mb = np.zeros((2, 2), dtype=bool)
+        assert check_square_matrix(mb, dtype=None).dtype == np.bool_
+        mi = np.zeros((2, 2), dtype=np.int32)
+        assert check_square_matrix(mi, dtype=None).dtype == np.float64
+
 
 class TestCheckBlockSize:
     def test_valid(self):

@@ -107,6 +107,30 @@ class TestBlockedMatrix:
         with pytest.raises(KeyError):
             bm.get_block(0, 1)
 
+    def test_mirror_lookup_returns_readonly_view(self):
+        # Regression: the transposed view of the stored (j, i) block shares
+        # memory — writing through it used to silently corrupt block (0, 2).
+        adj = erdos_renyi_adjacency(12, seed=7)
+        bm = BlockedMatrix.from_matrix(adj, 4)
+        stored_before = bm.get_block(0, 2).copy()
+        mirror = bm.get_block(2, 0)
+        assert not mirror.flags.writeable
+        with pytest.raises(ValueError):
+            mirror[0, 0] = -99.0
+        assert np.array_equal(bm.get_block(0, 2), stored_before)
+
+    def test_direct_lookup_stays_writable(self):
+        adj = erdos_renyi_adjacency(12, seed=7)
+        bm = BlockedMatrix.from_matrix(adj, 4)
+        block = bm.get_block(0, 2)
+        assert block.flags.writeable  # mutating the stored block is intended
+
+    def test_float32_blocks_preserved(self):
+        adj = erdos_renyi_adjacency(8, seed=13).astype(np.float32)
+        bm = BlockedMatrix.from_matrix(adj, 4)
+        assert all(b.dtype == np.float32 for b in bm.blocks.values())
+        assert bm.to_matrix().dtype == np.float32
+
     def test_set_block_normalizes_to_upper(self):
         adj = erdos_renyi_adjacency(8, seed=8)
         bm = BlockedMatrix.from_matrix(adj, 4)

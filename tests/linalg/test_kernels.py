@@ -57,6 +57,29 @@ class TestFloydWarshall:
         assert out is adj
         assert adj[0, 4] == 4.0
 
+    def test_inplace_rejects_non_native_dtype(self):
+        # Regression: np.asarray(int_array, float64) re-allocates, so the
+        # caller's array was left stale while a hidden copy got mutated.
+        adj = np.zeros((4, 4), dtype=np.int32)
+        with pytest.raises(ValidationError):
+            floyd_warshall_inplace(adj)
+
+    def test_inplace_mutates_float32_in_place(self):
+        adj = path_adjacency(5).astype(np.float32)
+        out = floyd_warshall_inplace(adj)
+        assert out is adj
+        assert adj.dtype == np.float32
+        assert adj[0, 4] == 4.0
+
+    def test_inplace_mutates_noncontiguous_view_in_place(self):
+        big = np.full((8, 8), np.inf)
+        np.fill_diagonal(big, 0.0)
+        big[1:6, 1:6] = path_adjacency(5)
+        view = big[1:6, 1:6]
+        out = floyd_warshall_inplace(view)
+        assert out.base is big
+        assert big[1, 5] == 4.0
+
     def test_non_square_rejected(self):
         with pytest.raises(ValidationError):
             floyd_warshall_inplace(np.zeros((2, 3)))
