@@ -26,6 +26,7 @@ from repro.cluster.costmodel import (
     IterationEstimate,
     ProjectionResult,
     SOLVER_NAMES,
+    element_bytes,
 )
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "small_test_cluster",
     "KernelCalibration",
     "measure_kernel_times",
+    "element_bytes",
     "CostModel",
     "IterationEstimate",
     "ProjectionResult",

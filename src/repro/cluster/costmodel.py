@@ -47,6 +47,28 @@ DEFAULT_SHAREDFS_WRITE_BANDWIDTH = 1 * GIB
 DEFAULT_SHAREDFS_READ_BANDWIDTH_PER_NODE = 2 * GIB
 
 
+def element_bytes(algebra=None, dtype: str | None = None,
+                  storage: str | None = None) -> float:
+    """Bytes per matrix element implied by an (algebra, dtype, storage) triple.
+
+    The data-volume terms of the cost model historically hardcoded 8 bytes —
+    a float64 assumption.  A float32 solve moves half that, a boolean
+    ``reachability`` solve one byte per cell, and a *packed-bitset*
+    reachability solve one **bit** per cell (0.125 bytes).  ``storage=None``
+    or ``"auto"`` resolves to the algebra's default storage, matching what a
+    :class:`~repro.core.request.SolveRequest` would actually run.
+    """
+    from repro.linalg.algebra import get_algebra
+    resolved = get_algebra(algebra)
+    # resolve_storage validates the policy against the algebra (typos and
+    # unsupported combinations like packed shortest-path raise, exactly as a
+    # SolveRequest would, instead of silently mis-sizing the model 64x).
+    if resolved.resolve_storage(storage) == "packed":
+        return 1.0 / 8.0
+    import numpy as np
+    return float(np.dtype(resolved.resolve_dtype(dtype)).itemsize)
+
+
 @dataclass
 class IterationEstimate:
     """Breakdown of one outer iteration of a solver."""
@@ -144,8 +166,8 @@ class CostModel:
         return max(1, math.ceil(p / self.cluster.node.cores))
 
     @staticmethod
-    def _block_bytes(b: int) -> float:
-        return 8.0 * b * b
+    def _block_bytes(b: int, element_size: float = 8.0) -> float:
+        return element_size * b * b
 
     def iteration_count(self, solver: str, n: int, block_size: int) -> int:
         """Outer iterations as counted in Table 2."""
@@ -195,15 +217,24 @@ class CostModel:
     # ------------------------------------------------------------------ Spark solvers
     def estimate_iteration(self, solver: str, n: int, block_size: int, p: int, *,
                            partitioner: str = "MD",
-                           partitions_per_core: int = 2) -> IterationEstimate:
-        """Estimate one outer iteration of a Spark solver at cluster scale."""
+                           partitions_per_core: int = 2,
+                           algebra=None, dtype: str | None = None,
+                           storage: str | None = None) -> IterationEstimate:
+        """Estimate one outer iteration of a Spark solver at cluster scale.
+
+        ``algebra``/``dtype``/``storage`` size the data-volume terms: the
+        defaults keep the historical float64 (8 bytes/element) projection,
+        ``dtype="float32"`` halves every transfer, and a packed-bitset
+        reachability solve moves 1/64th of the float64 volume.
+        """
         if solver not in SOLVER_NAMES:
             raise ConfigurationError(f"unknown solver {solver!r}")
         q = num_blocks(n, block_size)
         b = block_size
         nodes = self._nodes_for(p)
         partitions = max(1, p * partitions_per_core)
-        block_bytes = self._block_bytes(b)
+        element_size = element_bytes(algebra, dtype, storage)
+        block_bytes = self._block_bytes(b, element_size)
         stored_blocks = q * (q + 1) / 2.0
         role_factor = 2.0 if self.duplicate_transpose_work else 1.0
         imbalance = self.imbalance_factor(partitioner, n, block_size, p, partitions_per_core)
@@ -227,7 +258,9 @@ class CostModel:
             # Rank-1 update of every stored block: b^2 work per block.
             update_ops = stored_blocks * role_factor * float(b) ** 2
             compute = update_ops / mp_rate / p * imbalance
-            column_bytes = 8.0 * n
+            # The broadcast pivot column is a dense vector even under packed
+            # block storage, so it is sized by the element dtype alone.
+            column_bytes = max(element_size, 1.0) * n
             driver = column_bytes / self.collect_bandwidth \
                 + column_bytes * nodes / self.cluster.spark.broadcast_bandwidth
             overhead = sched(stages=2, tasks=2 * partitions)
@@ -282,33 +315,43 @@ class CostModel:
             imbalance_factor=imbalance,
         )
 
-    def spill_per_node_bytes(self, solver: str, n: int, block_size: int, p: int) -> float:
+    def spill_per_node_bytes(self, solver: str, n: int, block_size: int, p: int, *,
+                             algebra=None, dtype: str | None = None,
+                             storage: str | None = None) -> float:
         """Cumulative local-storage spill per node over the whole run (Blocked-IM only)."""
         if solver != "blocked-im":
             return 0.0
         q = num_blocks(n, block_size)
-        block_bytes = self._block_bytes(block_size)
+        block_bytes = self._block_bytes(block_size,
+                                        element_bytes(algebra, dtype, storage))
         stored_blocks = q * (q + 1) / 2.0
         phase3_blocks = max(0.0, stored_blocks - 2 * (q - 1) - 1)
         per_iter = ((q - 1) + 2.0 * phase3_blocks + stored_blocks) * block_bytes
         return per_iter * q / self._nodes_for(p)
 
     def project(self, solver: str, n: int, block_size: int, p: int, *,
-                partitioner: str = "MD", partitions_per_core: int = 2) -> ProjectionResult:
+                partitioner: str = "MD", partitions_per_core: int = 2,
+                algebra=None, dtype: str | None = None,
+                storage: str | None = None) -> ProjectionResult:
         """Project the full runtime of a Spark solver configuration."""
         iteration = self.estimate_iteration(solver, n, block_size, p,
                                             partitioner=partitioner,
-                                            partitions_per_core=partitions_per_core)
+                                            partitions_per_core=partitions_per_core,
+                                            algebra=algebra, dtype=dtype,
+                                            storage=storage)
         feasible = True
         reason = None
         if solver == "blocked-im":
-            spill = self.spill_per_node_bytes(solver, n, block_size, p)
+            spill = self.spill_per_node_bytes(solver, n, block_size, p,
+                                              algebra=algebra, dtype=dtype,
+                                              storage=storage)
             capacity = self.cluster.node.local_storage_bytes
             if spill > capacity:
                 feasible = False
                 reason = (f"local storage exhausted: {spill / GIB:.0f} GiB spilled per node "
                           f"> {capacity / GIB:.0f} GiB available")
-        memory_needed = 3.0 * 8.0 * float(n) * n / self._nodes_for(p)
+        memory_needed = (3.0 * element_bytes(algebra, dtype, storage)
+                         * float(n) * n / self._nodes_for(p))
         if memory_needed > self.cluster.node.memory_bytes:
             feasible = feasible and True  # memory pressure is absorbed by spilling in Spark
         return ProjectionResult(
@@ -320,14 +363,17 @@ class CostModel:
     def best_block_size(self, solver: str, n: int, p: int, *,
                         candidates=(256, 512, 768, 1024, 1280, 1536, 2048, 2560, 4096),
                         partitioner: str = "MD",
-                        partitions_per_core: int = 2) -> ProjectionResult:
+                        partitions_per_core: int = 2,
+                        algebra=None, dtype: str | None = None,
+                        storage: str | None = None) -> ProjectionResult:
         """Pick the feasible block size with the smallest projected total (Table 3 tuning)."""
         best: ProjectionResult | None = None
         for b in candidates:
             if b > n:
                 continue
             result = self.project(solver, n, b, p, partitioner=partitioner,
-                                  partitions_per_core=partitions_per_core)
+                                  partitions_per_core=partitions_per_core,
+                                  algebra=algebra, dtype=dtype, storage=storage)
             if not result.feasible:
                 continue
             if best is None or result.projected_total_seconds < best.projected_total_seconds:
@@ -336,7 +382,8 @@ class CostModel:
             # Return the least-bad infeasible configuration so callers can report it.
             return self.project(solver, n, min(max(candidates), n), p,
                                 partitioner=partitioner,
-                                partitions_per_core=partitions_per_core)
+                                partitions_per_core=partitions_per_core,
+                                algebra=algebra, dtype=dtype, storage=storage)
         return best
 
     # ------------------------------------------------------------------ baselines

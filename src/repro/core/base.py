@@ -12,6 +12,7 @@ import numpy as np
 from repro.common.config import EngineConfig, default_config
 from repro.common.errors import ConfigurationError, SolverError
 from repro.common.timing import Stopwatch
+from repro.graph import sparse as sparse_mod
 from repro.graph.adjacency import validate_adjacency
 from repro.linalg.algebra import ABSORPTIVE_ALGEBRAS, Semiring, get_algebra
 from repro.linalg.blocks import matrix_to_blocks, blocks_to_matrix, num_blocks
@@ -43,6 +44,11 @@ class SolverOptions:
         alias resolved against :mod:`repro.linalg.algebra`.
     dtype:
         Element dtype for the solve (``None`` = the algebra's default).
+    storage:
+        Block storage layout: ``"dense"`` (plain ndarray blocks),
+        ``"packed"`` (uint64 packed-bitset blocks, boolean algebras only), or
+        ``None``/``"auto"`` for the algebra's default (packed for
+        ``reachability``).
     validate:
         When true the result is sanity-checked (identity diagonal, symmetry,
         closure stability on a sample).
@@ -54,6 +60,7 @@ class SolverOptions:
     num_partitions: int | None = None
     algebra: str = "shortest-path"
     dtype: str | None = None
+    storage: str | None = None
     validate: bool = False
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -74,6 +81,7 @@ class APSPResult:
     elapsed_seconds: float
     algebra: str = "shortest-path"
     dtype: str = "float64"
+    storage: str = "dense"
     phase_seconds: dict[str, float] = field(default_factory=dict)
     metrics: dict[str, Any] = field(default_factory=dict)
 
@@ -97,6 +105,8 @@ class APSPResult:
         algebra_bit = ""
         if self.algebra != "shortest-path" or self.dtype != "float64":
             algebra_bit = f" {self.algebra}[{self.dtype}]"
+        if self.storage != "dense":
+            algebra_bit += f" {self.storage}"
         return (f"{self.solver}: n={self.n} b={self.block_size} q={self.q} "
                 f"iters={self.iterations} partitions={self.num_partitions} "
                 f"({self.partitioner}){algebra_bit} time={self.elapsed_seconds:.3f}s "
@@ -116,7 +126,10 @@ class SolvePlan:
 
     solver: str
     pure: bool
-    adjacency: np.ndarray
+    #: Validated input: a prepared dense ndarray, or a canonical CSR matrix
+    #: when the caller handed in a SciPy sparse adjacency (kept sparse so the
+    #: block cutter never materializes an ``n x n`` array).
+    adjacency: Any
     n: int
     block_size: int
     q: int
@@ -125,6 +138,29 @@ class SolvePlan:
     partitioner: Partitioner
     algebra: str = "shortest-path"
     dtype: str = "float64"
+    storage: str = "dense"
+
+    @property
+    def sparse_input(self) -> bool:
+        """True when the plan carries a CSR adjacency (sparse ingestion path)."""
+        return sparse_mod.is_sparse(self.adjacency)
+
+    def block_records(self):
+        """Cut the plan's adjacency into ``((I, J), block)`` records.
+
+        Dense inputs go through
+        :func:`~repro.linalg.blocks.matrix_to_blocks`; CSR inputs are sliced
+        straight from the sparse buffers
+        (:func:`~repro.graph.sparse.sparse_to_blocks`), so block construction
+        allocates O(nnz + b²), never a dense ``n x n`` array.  Either path
+        emits packed-bitset blocks under the ``"packed"`` storage policy.
+        """
+        if self.sparse_input:
+            return sparse_mod.sparse_to_blocks(
+                self.adjacency, self.block_size, algebra=self.algebra,
+                dtype=self.dtype, storage=self.storage, upper_only=True)
+        return matrix_to_blocks(self.adjacency, self.block_size,
+                                upper_only=True, storage=self.storage)
 
     def describe(self) -> dict:
         """Geometry summary as a plain dict (for logs, the CLI, and tests)."""
@@ -139,6 +175,8 @@ class SolvePlan:
             "partitioner": self.partitioner_name,
             "algebra": self.algebra,
             "dtype": self.dtype,
+            "storage": self.storage,
+            "sparse_input": self.sparse_input,
         }
 
 
@@ -220,8 +258,9 @@ class SparkAPSPSolver:
                 f"solver {self.name!r} does not support algebra {algebra.name!r} "
                 f"(supported: {', '.join(type(self).algebras)})")
         dtype = algebra.resolve_dtype(self.options.dtype)
+        storage = algebra.resolve_storage(self.options.storage)
         adj = validate_adjacency(adjacency, require_symmetric=True,
-                                 algebra=algebra, dtype=dtype)
+                                 algebra=algebra, dtype=dtype, allow_sparse=True)
         n = adj.shape[0]
         block_size, q, num_partitions = self._resolve_geometry(n)
         partitioner = self._build_partitioner(q, num_partitions)
@@ -237,6 +276,7 @@ class SparkAPSPSolver:
             partitioner=partitioner,
             algebra=algebra.name,
             dtype=dtype.name,
+            storage=storage,
         )
 
     def execute(self, plan: SolvePlan, context: SparkContext | None = None) -> APSPResult:
@@ -256,8 +296,7 @@ class SparkAPSPSolver:
         try:
             metrics_before = sc.metrics.as_dict()
             with stopwatch.section("setup"):
-                records = list(matrix_to_blocks(plan.adjacency, plan.block_size,
-                                                upper_only=True))
+                records = list(plan.block_records())
                 rdd = sc.parallelize(records, partitioner=plan.partitioner).cache()
             result_blocks, iterations = self._run(
                 sc, rdd, plan.n, plan.block_size, plan.q, plan.partitioner, stopwatch)
@@ -288,6 +327,7 @@ class SparkAPSPSolver:
             elapsed_seconds=elapsed,
             algebra=plan.algebra,
             dtype=plan.dtype,
+            storage=plan.storage,
             phase_seconds=stopwatch.as_dict(),
             metrics=metrics,
         )

@@ -28,10 +28,18 @@ from typing import Callable
 
 import numpy as np
 
+from repro.linalg import bitset
 from repro.linalg.algebra import Semiring, get_algebra
 from repro.linalg.blocks import BlockId
 from repro.linalg.kernels import fw_rank1_update, floyd_warshall_inplace
 from repro.linalg.semiring import elementwise_combine, semiring_product
+
+
+def copy_block(block):
+    """Copy a block record's payload, dense ndarray or packed bitset alike."""
+    if bitset.is_packed(block):
+        return block.copy()
+    return np.array(block, copy=True)
 
 #: Record type used by all solvers: ``((I, J), block)``.
 BlockRecord = tuple[BlockId, np.ndarray]
@@ -98,11 +106,19 @@ def extract_col(pivot_block: int, k_local: int) -> Callable[[BlockRecord], list]
     ``k = pivot_block * b + k_local``.  For a stored block ``(I, K)`` the piece
     is column ``k_local`` of the block; for a stored block ``(K, J)`` (which
     represents ``A_JK`` by transposition) the piece is row ``k_local``.
-    Slices preserve the block dtype (float32 stays float32).
+    Slices preserve the block dtype (float32 stays float32); packed-bitset
+    blocks emit dense boolean slices (the broadcast column is a length-``n``
+    vector either way — packing it would save nothing).
     """
     def run(record: BlockRecord) -> list:
         (i, j), block = record
         pieces = []
+        if bitset.is_packed(block):
+            if j == pivot_block:
+                pieces.append((i, block.bit_column(k_local)))
+            if i == pivot_block and j != pivot_block:
+                pieces.append((j, block.bit_row(k_local)))
+            return pieces
         if j == pivot_block:
             pieces.append((i, np.array(block[:, k_local], copy=True)))
         if i == pivot_block and j != pivot_block:
@@ -177,7 +193,7 @@ class FloydWarshallBlock:
 
     def __call__(self, record: BlockRecord) -> BlockRecord:
         key, block = record
-        return key, floyd_warshall_inplace(np.array(block, copy=True), self.algebra)
+        return key, floyd_warshall_inplace(copy_block(block), self.algebra)
 
 
 def floyd_warshall_block(record: BlockRecord) -> BlockRecord:

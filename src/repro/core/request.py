@@ -45,6 +45,11 @@ class SolveRequest:
         Element dtype for the solve (e.g. ``"float32"`` to halve memory
         traffic in the hot product kernel); ``None`` selects the algebra's
         default.  Resolved to a canonical dtype name at construction.
+    storage:
+        Block-storage layout: ``"dense"``, ``"packed"`` (uint64
+        packed-bitset blocks — boolean algebras only, 64x denser), or
+        ``"auto"``/``None`` for the algebra's default (packed for
+        ``reachability``).  Resolved to a concrete policy at construction.
     validate:
         Run structural sanity checks on the result.
     tag:
@@ -61,6 +66,7 @@ class SolveRequest:
     num_partitions: int | None = None
     algebra: str = "shortest-path"
     dtype: str | None = None
+    storage: str | None = None
     validate: bool = False
     tag: str | None = None
     extra: Mapping[str, Any] = field(default_factory=dict)
@@ -74,10 +80,13 @@ class SolveRequest:
             raise ConfigurationError(
                 f"solver {self.solver!r} does not support algebra "
                 f"{self.algebra!r} (supported: {', '.join(info.algebras)})")
-        # Resolve the dtype against the algebra's policy, storing the
-        # canonical dtype name so requests are fully explicit.
+        # Resolve the dtype and block storage against the algebra's policy,
+        # storing canonical names so requests are fully explicit.
+        resolved_algebra = get_algebra(self.algebra)
         object.__setattr__(
-            self, "dtype", get_algebra(self.algebra).resolve_dtype(self.dtype).name)
+            self, "dtype", resolved_algebra.resolve_dtype(self.dtype).name)
+        object.__setattr__(
+            self, "storage", resolved_algebra.resolve_storage(self.storage))
         object.__setattr__(self, "partitioner",
                            canonical_partitioner_name(str(self.partitioner)))
         if self.block_size is not None and int(self.block_size) < 1:
@@ -120,6 +129,7 @@ class SolveRequest:
             num_partitions=self.num_partitions,
             algebra=self.algebra,
             dtype=self.dtype,
+            storage=self.storage,
             validate=self.validate,
             extra=dict(self.extra),
         )
@@ -132,6 +142,8 @@ class SolveRequest:
                 f"B={self.partitions_per_core}"]
         if self.algebra != "shortest-path" or self.dtype != "float64":
             bits.append(f"algebra={self.algebra}[{self.dtype}]")
+        if self.storage != "dense":
+            bits.append(f"storage={self.storage}")
         if self.num_partitions is not None:
             bits.append(f"partitions={self.num_partitions}")
         if self.tag:

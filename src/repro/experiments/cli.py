@@ -29,8 +29,6 @@ import argparse
 import os
 import sys
 
-import numpy as np
-
 from repro import bench
 from repro.common.config import BACKENDS, EngineConfig
 from repro.common.errors import ConfigurationError
@@ -40,7 +38,20 @@ from repro.core.engine import APSPEngine
 from repro.core.request import SolveRequest
 from repro.experiments import figure2, figure3, table2, table3_figure5
 from repro.experiments.report import format_table, rows_to_csv
+from repro.graph import io as graph_io
+from repro.graph import sparse as sparse_graph
 from repro.linalg.algebra import available_algebras, get_algebra
+
+
+def _load_input_graph(path: str):
+    """Load a ``--input`` graph: ``.npz`` sparse CSR or ``.npy`` dense."""
+    if path.endswith(".npz"):
+        return graph_io.load_sparse_npz(path)
+    if path.endswith(".npy"):
+        return graph_io.load_matrix(path)
+    raise ConfigurationError(
+        f"unsupported --input extension for {path!r} "
+        "(expected .npz sparse CSR or .npy dense)")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -70,6 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_solve = sub.add_parser("solve", help="solve a synthetic instance and verify it")
     p_solve.add_argument("--n", type=int, default=128)
+    p_solve.add_argument("--input", default=None, metavar="PATH",
+                         help="solve this graph instead of generating one: "
+                              "a .npz CSR adjacency (scipy.sparse, ingested "
+                              "without densifying) or a .npy dense matrix")
     p_solve.add_argument("--solver", choices=available_solvers(), default="blocked-cb")
     p_solve.add_argument("--block-size", type=int, default=None)
     p_solve.add_argument("--partitioner", default="MD")
@@ -79,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--dtype", default=None,
                          help="element dtype (e.g. float32); default: the "
                               "algebra's native dtype")
+    p_solve.add_argument("--storage", default=None,
+                         choices=("auto", "dense", "packed"),
+                         help="block storage layout; auto = the algebra's "
+                              "default (packed bitsets for reachability)")
+    p_solve.add_argument("--no-verify", action="store_true",
+                         help="skip the sequential reference check "
+                              "(recommended for large sparse inputs: the "
+                              "reference densifies the graph)")
     p_solve.add_argument("--seed", type=int, default=0)
     p_solve.add_argument("--executors", type=int, default=4)
     p_solve.add_argument("--cores", type=int, default=2)
@@ -223,34 +246,57 @@ def main(argv=None) -> int:
         config = EngineConfig(backend=args.backend, num_executors=args.executors,
                               cores_per_executor=args.cores)
         try:
-            # Fails fast on unsupported solver x algebra / algebra x dtype
-            # combinations (e.g. the DAG-only longest-path algebra, which no
-            # distributed solver supports).
+            # Fails fast on unsupported solver x algebra / algebra x dtype /
+            # algebra x storage combinations (e.g. the DAG-only longest-path
+            # algebra, which no distributed solver supports, or packed
+            # storage on a numeric algebra).
             request = SolveRequest(solver=args.solver, block_size=args.block_size,
                                    partitioner=args.partitioner,
-                                   algebra=args.algebra, dtype=args.dtype)
+                                   algebra=args.algebra, dtype=args.dtype,
+                                   storage=args.storage)
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        adjacency = bench.graph_for_algebra(args.n, args.seed, request.algebra)
-        reference = bench.reference_closure(adjacency, request.algebra,
-                                            dtype=request.dtype)
+        if args.input is not None:
+            try:
+                adjacency = _load_input_graph(args.input)
+            except ConfigurationError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            n = adjacency.shape[0]
+            kind = "sparse CSR" if sparse_graph.is_sparse(adjacency) else "dense"
+            nnz = adjacency.nnz if sparse_graph.is_sparse(adjacency) else None
+            print(f"loaded {kind} adjacency from {args.input}: n={n}"
+                  + (f", nnz={nnz}" if nnz is not None else ""))
+        else:
+            adjacency = bench.graph_for_algebra(args.n, args.seed, request.algebra)
+        verify = not args.no_verify
+        reference = None
+        if verify:
+            dense_input = (sparse_graph.sparse_to_dense(adjacency, algebra=algebra)
+                           if sparse_graph.is_sparse(adjacency) else adjacency)
+            reference = bench.reference_closure(dense_input, request.algebra,
+                                                dtype=request.dtype)
         tolerances = bench.verify_tolerances(request.dtype)
         with APSPEngine(config) as engine:
             jobs = engine.solve_many([adjacency] * max(1, args.repeat), request)
             correct = True
             for job in jobs:
                 result = job.result()
-                correct = correct and algebra.allclose(result.distances, reference,
-                                                       **tolerances)
+                if verify:
+                    correct = correct and algebra.allclose(result.distances, reference,
+                                                           **tolerances)
                 print(f"{job.job_id}: {result.summary()}")
                 print(f"  elapsed: {format_seconds(result.elapsed_seconds)}; "
                       f"shuffled {result.metrics['shuffle_bytes'] / 1e6:.1f} MB; "
                       f"collected {result.metrics['collect_bytes'] / 1e6:.1f} MB; "
                       f"shared-fs {result.metrics['sharedfs_bytes_written'] / 1e6:.1f} MB written")
             stats = engine.stats()
-        print(f"verified against the sequential {request.algebra} closure: "
-              f"{'OK' if correct else 'MISMATCH'}")
+        if verify:
+            print(f"verified against the sequential {request.algebra} closure: "
+                  f"{'OK' if correct else 'MISMATCH'}")
+        else:
+            print("verification skipped (--no-verify)")
         print(f"engine session: {stats['jobs_completed']} job(s) on one context, "
               f"{stats['tasks_launched']} tasks, "
               f"{format_seconds(stats['total_solve_seconds'])} solving")

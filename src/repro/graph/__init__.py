@@ -26,9 +26,20 @@ from repro.graph.adjacency import (
     validate_adjacency,
     num_reachable_pairs,
 )
-from repro.graph.io import save_edge_list, load_edge_list, save_matrix, load_matrix
+from repro.graph.io import (save_edge_list, load_edge_list, save_matrix,
+                            load_matrix, save_sparse_npz, load_sparse_npz)
+from repro.graph.sparse import (erdos_renyi_sparse, is_sparse,
+                                sparse_to_blocks, sparse_to_dense,
+                                validate_sparse_adjacency)
 
 __all__ = [
+    "erdos_renyi_sparse",
+    "is_sparse",
+    "sparse_to_blocks",
+    "sparse_to_dense",
+    "validate_sparse_adjacency",
+    "save_sparse_npz",
+    "load_sparse_npz",
     "erdos_renyi_adjacency",
     "paper_edge_probability",
     "erdos_renyi_graph",

@@ -107,7 +107,8 @@ def knn_adjacency(points: np.ndarray, k: int, *, symmetrize: bool = True) -> np.
 
 
 def validate_adjacency(adjacency: np.ndarray, *, require_symmetric: bool = False,
-                       algebra=None, dtype=None) -> np.ndarray:
+                       algebra=None, dtype=None,
+                       allow_sparse: bool = False) -> np.ndarray:
     """Validate and normalize an adjacency matrix for a path algebra.
 
     With the default ``algebra=None`` this is the historical (min, +)
@@ -117,8 +118,26 @@ def validate_adjacency(adjacency: np.ndarray, *, require_symmetric: bool = False
     algebra's own weight precondition (its input-validator hook), mapped into
     its domain (missing edges become the algebra's ``zero``, the diagonal its
     ``one``) and cast to the resolved ``dtype``.
+
+    With ``allow_sparse=True`` (the distributed solvers' ``prepare`` path —
+    the callers whose block construction understands CSR) SciPy sparse
+    inputs are validated *without densifying* and returned as a canonical
+    CSR matrix (see :func:`repro.graph.sparse.validate_sparse_adjacency`).
+    Callers that need a dense matrix keep the default and get a fail-fast
+    :class:`~repro.common.errors.ValidationError` for sparse input instead
+    of an obscure crash downstream.
     """
     from repro.linalg.algebra import get_algebra
+    from repro.graph import sparse as sparse_mod
+    if sparse_mod.is_sparse(adjacency):
+        if not allow_sparse:
+            raise ValidationError(
+                "this solver requires a dense adjacency matrix; densify the "
+                "sparse input with repro.graph.sparse_to_dense(...) or solve "
+                "it with a distributed solver via APSPEngine/solve_apsp")
+        return sparse_mod.validate_sparse_adjacency(
+            adjacency, require_symmetric=require_symmetric,
+            algebra=algebra, dtype=dtype)
     resolved = get_algebra(algebra)
     arr = check_square_matrix(adjacency, "adjacency",
                               dtype=np.float64 if algebra is None and dtype is None

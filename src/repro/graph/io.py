@@ -72,3 +72,23 @@ def save_matrix(matrix: np.ndarray, path: str | os.PathLike) -> None:
 def load_matrix(path: str | os.PathLike) -> np.ndarray:
     """Load a dense matrix saved by :func:`save_matrix`."""
     return np.asarray(np.load(path), dtype=np.float64)
+
+
+def save_sparse_npz(adjacency, path: str | os.PathLike) -> None:
+    """Save a SciPy sparse adjacency matrix to ``.npz`` (CSR on disk).
+
+    The on-disk format is :func:`scipy.sparse.save_npz`'s, so files
+    round-trip with plain SciPy too; stored entries are edges, unstored
+    cells "no edge" (see :mod:`repro.graph.sparse`).
+    """
+    import scipy.sparse as sp
+    if not sp.issparse(adjacency):
+        raise ValidationError("save_sparse_npz expects a scipy.sparse matrix")
+    sp.save_npz(os.fspath(path), adjacency.tocsr())
+
+
+def load_sparse_npz(path: str | os.PathLike):
+    """Load a ``.npz`` CSR adjacency saved by :func:`save_sparse_npz` (or SciPy)."""
+    import scipy.sparse as sp
+    matrix = sp.load_npz(os.fspath(path))
+    return matrix.tocsr()

@@ -22,7 +22,18 @@ from repro.linalg.algebra import (
     LONGEST_PATH,
     REACHABILITY,
 )
+from repro.linalg.bitset import (
+    PackedBlock,
+    pack_bits,
+    unpack_bits,
+    packed_closure,
+    packed_product,
+    packed_or,
+    packed_floyd_warshall_inplace,
+)
 from repro.linalg.semiring import (
+    chunk_for_dtype,
+    auto_chunk,
     semiring_product,
     semiring_power,
     semiring_square,
@@ -52,6 +63,15 @@ from repro.linalg.blocks import (
 )
 
 __all__ = [
+    "PackedBlock",
+    "pack_bits",
+    "unpack_bits",
+    "packed_closure",
+    "packed_product",
+    "packed_or",
+    "packed_floyd_warshall_inplace",
+    "chunk_for_dtype",
+    "auto_chunk",
     "Semiring",
     "get_algebra",
     "register_algebra",

@@ -124,6 +124,11 @@ class Semiring:
     default_dtype: str = "float64"
     input_validator: Callable[[np.ndarray], None] | None = None
     absorptive: bool = True                # one ⊕ x == one: cycles never help
+    #: Block storage policies this algebra's kernels can run on, first is the
+    #: default.  ``"dense"`` is a plain ndarray block; ``"packed"`` is the
+    #: uint64 packed-bitset layout of :mod:`repro.linalg.bitset` (64 cells
+    #: per word — only meaningful for one-bit-per-cell boolean algebras).
+    storages: tuple[str, ...] = ("dense",)
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -131,6 +136,10 @@ class Semiring:
             raise ConfigurationError(
                 f"algebra {self.name!r}: default dtype {self.default_dtype!r} "
                 f"not among supported dtypes {self.dtypes}")
+        unknown = set(self.storages) - {"dense", "packed"}
+        if not self.storages or unknown:
+            raise ConfigurationError(
+                f"algebra {self.name!r}: invalid storage policies {self.storages}")
 
     # -- pickling ----------------------------------------------------------
     def __reduce__(self):
@@ -155,6 +164,30 @@ class Semiring:
                 f"algebra {self.name!r} supports dtypes {', '.join(self.dtypes)}; "
                 f"got {resolved.name!r}")
         return resolved
+
+    # -- storage policy ----------------------------------------------------
+    @property
+    def default_storage(self) -> str:
+        """The block-storage layout this algebra's solves use by default."""
+        return self.storages[0]
+
+    def resolve_storage(self, storage: str | None = None) -> str:
+        """Resolve a requested block-storage policy against this algebra.
+
+        ``None`` or ``"auto"`` selects the algebra's default (``"packed"``
+        for the boolean reachability algebra, ``"dense"`` otherwise);
+        anything else must be one of the supported policies.
+        """
+        if storage is None:
+            return self.default_storage
+        requested = str(storage).strip().lower()
+        if requested == "auto":
+            return self.default_storage
+        if requested not in self.storages:
+            raise ConfigurationError(
+                f"algebra {self.name!r} supports block storage "
+                f"{', '.join(self.storages)}; got {requested!r}")
+        return requested
 
     def result_dtype(self, *operands: np.ndarray) -> np.dtype:
         """Dtype the kernels should compute in for the given operands.
@@ -347,6 +380,7 @@ REACHABILITY = register_algebra(Semiring(
     add_op=np.logical_or, mul_op=np.logical_and,
     zero=False, one=True,
     dtypes=("bool",), default_dtype="bool",
+    storages=("packed", "dense"),
     description="(or, and) boolean semiring — transitive closure",
 ), aliases=("boolean", "or-and", "transitive-closure"))
 

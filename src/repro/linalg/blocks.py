@@ -17,9 +17,33 @@ import numpy as np
 
 from repro.common.errors import ValidationError
 from repro.common.validation import check_block_size, check_square_matrix
+from repro.linalg import bitset
 
 #: A block key: (block-row index I, block-column index J).
 BlockId = tuple[int, int]
+
+#: Valid block-storage policies for the decomposition helpers.
+STORAGES = ("dense", "packed")
+
+
+def check_storage(storage: str) -> str:
+    """Validate a block-storage policy name."""
+    if storage not in STORAGES:
+        raise ValidationError(
+            f"unknown block storage {storage!r}; expected one of {', '.join(STORAGES)}")
+    return storage
+
+
+def encode_block(block: np.ndarray, storage: str):
+    """Encode a dense block into the requested storage representation."""
+    if check_storage(storage) == "packed":
+        return bitset.as_packed(block)
+    return block
+
+
+def block_payload_shape(block) -> tuple[int, int]:
+    """Logical (rows, cols) of a block payload, dense or packed."""
+    return tuple(block.shape)
 
 
 def num_blocks(n: int, block_size: int) -> int:
@@ -67,23 +91,28 @@ def all_block_ids(q: int) -> Iterator[BlockId]:
 
 
 def matrix_to_blocks(matrix: np.ndarray, block_size: int, *,
-                     upper_only: bool = True) -> Iterator[tuple[BlockId, np.ndarray]]:
+                     upper_only: bool = True,
+                     storage: str = "dense") -> Iterator[tuple[BlockId, np.ndarray]]:
     """Decompose a square matrix into ``((I, J), block)`` tuples.
 
     With ``upper_only=True`` (the paper's symmetric storage) only blocks with
     ``I <= J`` are produced; the caller is expected to reconstruct ``A_JI`` as
     ``A_IJ.T`` when needed.  The input's floating/boolean dtype is preserved
     (``float32`` pipelines stay ``float32``); anything else is upcast to
-    ``float64``.
+    ``float64``.  With ``storage="packed"`` each (boolean) block is emitted
+    as a :class:`~repro.linalg.bitset.PackedBlock` — 64 cells per word.
     """
+    check_storage(storage)
     arr = check_square_matrix(matrix, dtype=None)
     n = arr.shape[0]
     b = check_block_size(block_size, n)
     q = num_blocks(n, b)
     ids = upper_triangular_block_ids(q) if upper_only else all_block_ids(q)
     for (i, j) in ids:
-        yield (i, j), np.array(arr[block_range(i, b, n), block_range(j, b, n)],
-                               copy=True)
+        view = arr[block_range(i, b, n), block_range(j, b, n)]
+        # Packing copies implicitly; the dense path must not alias the input.
+        block = view if storage == "packed" else np.array(view, copy=True)
+        yield (i, j), encode_block(block, storage)
 
 
 def blocks_to_matrix(blocks: Iterable[tuple[BlockId, np.ndarray]], n: int,
@@ -99,7 +128,8 @@ def blocks_to_matrix(blocks: Iterable[tuple[BlockId, np.ndarray]], n: int,
     preserves the first block's floating/boolean dtype, else ``float64``).
     """
     b = check_block_size(block_size, n)
-    blocks = list(blocks)
+    blocks = [(key, bitset.as_dense_bool(blk) if bitset.is_packed(blk) else blk)
+              for key, blk in blocks]
     if dtype is None:
         first = blocks[0][1] if blocks else None
         inferred = np.asarray(first).dtype if first is not None else np.dtype(np.float64)
@@ -138,16 +168,20 @@ class BlockedMatrix:
     block_size: int
     blocks: dict[BlockId, np.ndarray]
     symmetric: bool = True
+    storage: str = "dense"
 
     @classmethod
     def from_matrix(cls, matrix: np.ndarray, block_size: int, *,
-                    symmetric: bool = True) -> "BlockedMatrix":
+                    symmetric: bool = True,
+                    storage: str = "dense") -> "BlockedMatrix":
         arr = check_square_matrix(matrix, dtype=None)
         return cls(
             n=arr.shape[0],
             block_size=check_block_size(block_size, arr.shape[0]),
-            blocks=dict(matrix_to_blocks(arr, block_size, upper_only=symmetric)),
+            blocks=dict(matrix_to_blocks(arr, block_size, upper_only=symmetric,
+                                         storage=storage)),
             symmetric=symmetric,
+            storage=check_storage(storage),
         )
 
     @property
@@ -166,22 +200,37 @@ class BlockedMatrix:
         if (i, j) in self.blocks:
             return self.blocks[(i, j)]
         if self.symmetric and (j, i) in self.blocks:
-            mirror = self.blocks[(j, i)].T
+            stored = self.blocks[(j, i)]
+            if bitset.is_packed(stored):
+                # Packed transposes are fresh repacks, not views: no aliasing.
+                return stored.T
+            mirror = stored.T
             mirror.flags.writeable = False
             return mirror
         raise KeyError((i, j))
 
     def set_block(self, i: int, j: int, value: np.ndarray) -> None:
-        """Store block ``(i, j)`` (normalized to the upper triangle when symmetric)."""
-        value = np.asarray(value)
-        if value.dtype.kind not in ("f", "b"):
-            value = np.asarray(value, dtype=np.float64)
+        """Store block ``(i, j)`` (normalized to the upper triangle when symmetric).
+
+        Dense values are stored as-is under dense storage and packed under
+        packed storage; :class:`~repro.linalg.bitset.PackedBlock` values are
+        accepted directly.
+        """
         expected = block_shape((i, j), self.block_size, self.n)
-        if value.shape != expected:
+        if not bitset.is_packed(value):
+            value = np.asarray(value)
+            if value.dtype.kind not in ("f", "b"):
+                value = np.asarray(value, dtype=np.float64)
+        if block_payload_shape(value) != expected:
             raise ValidationError(
-                f"block {(i, j)} has shape {value.shape}, expected {expected}")
+                f"block {(i, j)} has shape {block_payload_shape(value)}, "
+                f"expected {expected}")
+        if self.storage == "packed":
+            value = bitset.as_packed(value)
+        elif bitset.is_packed(value):
+            value = value.to_dense()
         if self.symmetric and i > j:
-            self.blocks[(j, i)] = value.T.copy()
+            self.blocks[(j, i)] = value.T.copy() if not bitset.is_packed(value) else value.T
         else:
             self.blocks[(i, j)] = value.copy()
 
@@ -205,4 +254,11 @@ class BlockedMatrix:
             return False
         if set(self.blocks) != set(other.blocks):
             return False
-        return all(np.array_equal(self.blocks[k], other.blocks[k]) for k in self.blocks)
+
+        def block_equal(a, b) -> bool:
+            if bitset.is_packed(a) or bitset.is_packed(b):
+                return bool(np.array_equal(bitset.as_dense_bool(a),
+                                           bitset.as_dense_bool(b)))
+            return bool(np.array_equal(a, b))
+
+        return all(block_equal(self.blocks[k], other.blocks[k]) for k in self.blocks)

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.common.errors import ValidationError
 from repro.common.validation import check_square_matrix, check_block_size
+from repro.linalg import bitset
 from repro.linalg.algebra import Semiring, get_algebra
 from repro.linalg.semiring import semiring_product, elementwise_combine
 
@@ -39,6 +40,11 @@ def floyd_warshall_inplace(dist: np.ndarray,
     inputs (nested lists) are converted — the mutated array is returned.
     """
     algebra = get_algebra(algebra)
+    if bitset.is_packed(dist):
+        if "packed" not in algebra.storages:
+            raise ValidationError(
+                f"algebra {algebra.name!r} has no packed Floyd-Warshall kernel")
+        return bitset.packed_floyd_warshall_inplace(dist)
     if isinstance(dist, np.ndarray):
         if dist.dtype.name not in algebra.dtypes:
             raise ValidationError(
@@ -112,6 +118,11 @@ def fw_rank1_update(block: np.ndarray, col_i: np.ndarray, row_j: np.ndarray,
     same broadcast column.
     """
     algebra = get_algebra(algebra)
+    if bitset.is_packed(block):
+        if "packed" not in algebra.storages:
+            raise ValidationError(
+                f"algebra {algebra.name!r} has no packed rank-1 update kernel")
+        return bitset.packed_rank1_update(block, col_i, row_j)
     dtype = algebra.result_dtype(np.asarray(block), np.asarray(col_i), np.asarray(row_j))
     block = np.asarray(block, dtype=dtype)
     col_i = np.asarray(col_i, dtype=dtype).reshape(-1)

@@ -23,18 +23,70 @@ import math
 import numpy as np
 
 from repro.common.errors import ValidationError
+from repro.linalg import bitset
 from repro.linalg.algebra import Semiring, get_algebra
 
-#: Default number of output columns processed per chunk in the product kernel.
-#: Chosen so the (m x k) temporary plus the chunk fits comfortably in L2/L3
-#: for the block sizes the paper sweeps (256-4096).
+#: Default number of output columns processed per chunk in the product kernel
+#: for 8-byte elements.  Chosen so the (m x k x chunk) temporary plus the
+#: chunk fits comfortably in L2/L3 for the block sizes the paper sweeps
+#: (256-4096).  Narrower dtypes scale the chunk up so the temporary keeps the
+#: same *byte* footprint — see :func:`chunk_for_dtype`.
 DEFAULT_CHUNK = 64
 
+#: Element width the historical chunk constant was sized for.
+_CHUNK_REFERENCE_ITEMSIZE = 8
 
-def elementwise_combine(a: np.ndarray, b: np.ndarray,
-                        algebra: Semiring | str | None = None) -> np.ndarray:
-    """Elementwise ⊕ of two equally-shaped matrices (``MatMin`` generalized)."""
+#: Ceiling for the ``(m, k, chunk)`` product temporary when the chunk is
+#: chosen automatically.  Measured sweet spot on the reference machine: the
+#: broadcast temporary degrades sharply past a couple hundred MiB (it stops
+#: being re-streamable from LLC), and 128 MiB is at or near the optimum for
+#: every (dtype, block-size) pair benchmarked (64-4096, bool-float64).
+_AUTO_CHUNK_TEMP_BYTES = 128 * 1024 * 1024
+
+
+def chunk_for_dtype(dtype: np.dtype | str) -> int:
+    """Column-chunk size keeping the product temporary's byte footprint constant.
+
+    ``DEFAULT_CHUNK`` (64) was tuned for float64 temporaries; a float32 solve
+    gets 128 columns per chunk and a boolean one 512, so every dtype streams
+    the same number of *bytes* through cache per vectorized step rather than
+    the same number of elements.
+    """
+    itemsize = max(1, np.dtype(dtype).itemsize)
+    return max(1, DEFAULT_CHUNK * _CHUNK_REFERENCE_ITEMSIZE // itemsize)
+
+
+def auto_chunk(dtype: np.dtype | str, m: int, k: int) -> int:
+    """Resolve the automatic column chunk for an ``(m, k) ⊗ (k, n)`` product.
+
+    The dtype-scaled chunk (:func:`chunk_for_dtype`) is additionally capped
+    so the ``(m, k, chunk)`` broadcast temporary stays under
+    :data:`_AUTO_CHUNK_TEMP_BYTES` — for float64 the cap only binds for
+    blocks larger than 512 (where it is a measured improvement over the
+    historical fixed 64), so the paper-scale defaults are unchanged.
+    """
+    itemsize = max(1, np.dtype(dtype).itemsize)
+    cap = max(1, _AUTO_CHUNK_TEMP_BYTES // max(1, m * k * itemsize))
+    return max(1, min(chunk_for_dtype(dtype), cap))
+
+
+def _require_reachability(algebra: Semiring, op: str) -> None:
+    if "packed" not in algebra.storages:
+        raise ValidationError(
+            f"{op} received packed-bitset operands but algebra {algebra.name!r} "
+            "has no packed kernels (only the boolean reachability algebra does)")
+
+
+def elementwise_combine(a, b, algebra: Semiring | str | None = None):
+    """Elementwise ⊕ of two equally-shaped matrices (``MatMin`` generalized).
+
+    Packed-bitset operands (:class:`~repro.linalg.bitset.PackedBlock`) take
+    the word-parallel OR kernel — 64 cells per machine word.
+    """
     algebra = get_algebra(algebra)
+    if bitset.is_packed(a) or bitset.is_packed(b):
+        _require_reachability(algebra, "MatMin")
+        return bitset.packed_or(bitset.as_packed(a), bitset.as_packed(b))
     dtype = algebra.result_dtype(np.asarray(a), np.asarray(b))
     a = np.asarray(a, dtype=dtype)
     b = np.asarray(b, dtype=dtype)
@@ -48,26 +100,37 @@ def elementwise_min(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return elementwise_combine(a, b, None)
 
 
-def semiring_product(a: np.ndarray, b: np.ndarray,
+def semiring_product(a, b,
                      algebra: Semiring | str | None = None, *,
-                     chunk: int = DEFAULT_CHUNK,
-                     out: np.ndarray | None = None) -> np.ndarray:
+                     chunk: int | None = None,
+                     out: np.ndarray | None = None):
     """Semiring matrix product ``C[i, j] = ⊕_k A[i, k] ⊗ B[k, j]``.
 
     This is the ``MatProd`` building block of Table 1, generalized over the
     algebra.  ``a`` has shape ``(m, k)``, ``b`` has shape ``(k, n)``; the
     result has shape ``(m, n)``.  Under (min, +), ``inf`` entries represent
     missing edges and propagate correctly (``inf + x = inf``,
-    ``min(inf, x) = x``); other algebras use their own ``zero``.
+    ``min(inf, x) = x``); other algebras use their own ``zero``.  Packed
+    boolean operands are routed to the word-parallel bitset product.
 
     Parameters
     ----------
     chunk:
-        Number of output columns computed per vectorized step.
+        Number of output columns computed per vectorized step; ``None``
+        scales :data:`DEFAULT_CHUNK` by the dtype width and caps the
+        broadcast temporary (see :func:`auto_chunk`).
     out:
         Optional pre-allocated output array of shape ``(m, n)``.
     """
     algebra = get_algebra(algebra)
+    if bitset.is_packed(a) or bitset.is_packed(b):
+        _require_reachability(algebra, "MatProd")
+        if out is not None:
+            # Match the dense kernel's out= contract (overwrite, don't
+            # accumulate): packed_product itself ORs into out.
+            out.words[:] = 0
+        return bitset.packed_product(bitset.as_packed(a), bitset.as_packed(b),
+                                     out=out)
     a = np.asarray(a)
     b = np.asarray(b)
     if a.ndim != 2 or b.ndim != 2:
@@ -80,6 +143,8 @@ def semiring_product(a: np.ndarray, b: np.ndarray,
     b = np.asarray(b, dtype=dtype)
     m, k = a.shape
     n = b.shape[1]
+    if chunk is None:
+        chunk = auto_chunk(dtype, m, k)
     if chunk <= 0:
         raise ValidationError("chunk must be positive")
     if out is None:
@@ -96,14 +161,14 @@ def semiring_product(a: np.ndarray, b: np.ndarray,
     return out
 
 
-def minplus_product(a: np.ndarray, b: np.ndarray, *, chunk: int = DEFAULT_CHUNK,
+def minplus_product(a: np.ndarray, b: np.ndarray, *, chunk: int | None = None,
                     out: np.ndarray | None = None) -> np.ndarray:
     """Min-plus matrix product ``C[i, j] = min_k A[i, k] + B[k, j]`` (``MatProd``)."""
     return semiring_product(a, b, None, chunk=chunk, out=out)
 
 
 def semiring_square(a: np.ndarray, algebra: Semiring | str | None = None, *,
-                    chunk: int = DEFAULT_CHUNK) -> np.ndarray:
+                    chunk: int | None = None) -> np.ndarray:
     """Semiring square ``A ⊗ A`` combined elementwise (⊕) with ``A``.
 
     Squaring in a path closure must keep existing (shorter-or-equal) paths,
@@ -114,14 +179,14 @@ def semiring_square(a: np.ndarray, algebra: Semiring | str | None = None, *,
     return algebra.add(np.asarray(a), semiring_product(a, a, algebra, chunk=chunk))
 
 
-def minplus_square(a: np.ndarray, *, chunk: int = DEFAULT_CHUNK) -> np.ndarray:
+def minplus_square(a: np.ndarray, *, chunk: int | None = None) -> np.ndarray:
     """Min-plus square ``A ⊗ A`` combined with element-wise minimum against ``A``."""
     return semiring_square(a, None, chunk=chunk)
 
 
 def semiring_power(a: np.ndarray, exponent: int,
                    algebra: Semiring | str | None = None, *,
-                   chunk: int = DEFAULT_CHUNK) -> np.ndarray:
+                   chunk: int | None = None) -> np.ndarray:
     """Semiring matrix power ``A^exponent`` computed by repeated squaring.
 
     With ``exponent >= n - 1`` this yields the full closure for a graph with
@@ -139,7 +204,7 @@ def semiring_power(a: np.ndarray, exponent: int,
     return result
 
 
-def minplus_power(a: np.ndarray, exponent: int, *, chunk: int = DEFAULT_CHUNK) -> np.ndarray:
+def minplus_power(a: np.ndarray, exponent: int, *, chunk: int | None = None) -> np.ndarray:
     """Min-plus matrix power ``A^exponent`` computed by repeated squaring."""
     return semiring_power(a, exponent, None, chunk=chunk)
 

@@ -1,0 +1,78 @@
+"""Dtype/storage-aware element sizing of the cluster cost model."""
+
+import pytest
+
+from repro.cluster.costmodel import CostModel, element_bytes
+from repro.common.errors import ConfigurationError
+
+
+def test_element_bytes_matrix():
+    assert element_bytes() == 8.0                                   # float64
+    assert element_bytes(dtype="float32") == 4.0
+    assert element_bytes("reachability", storage="dense") == 1.0    # bool
+    assert element_bytes("reachability") == 0.125                   # packed default
+    assert element_bytes("reachability", storage="auto") == 0.125
+    assert element_bytes("widest-path", dtype="float32") == 4.0
+    with pytest.raises(ConfigurationError):
+        element_bytes("shortest-path", dtype="bool")
+    with pytest.raises(ConfigurationError):   # packed needs a boolean algebra
+        element_bytes("shortest-path", storage="packed")
+    with pytest.raises(ConfigurationError):   # typos raise, never mis-size
+        element_bytes("reachability", storage="pakced")
+
+
+def test_default_projection_unchanged():
+    """With no algebra/dtype the model keeps its historical float64 terms."""
+    model = CostModel()
+    base = model.project("blocked-cb", 65536, 2048, 256)
+    explicit = model.project("blocked-cb", 65536, 2048, 256,
+                             algebra="shortest-path", dtype="float64",
+                             storage="dense")
+    assert base.projected_total_seconds == explicit.projected_total_seconds
+
+
+@pytest.mark.parametrize("solver", ["repeated-squaring", "blocked-im", "blocked-cb"])
+def test_narrower_elements_shrink_data_terms(solver):
+    model = CostModel()
+    f64 = model.estimate_iteration(solver, 65536, 2048, 256)
+    f32 = model.estimate_iteration(solver, 65536, 2048, 256, dtype="float32")
+    packed = model.estimate_iteration(solver, 65536, 2048, 256,
+                                      algebra="reachability", storage="packed")
+    data = lambda e: (e.shuffle_seconds + e.driver_seconds + e.sharedfs_seconds)  # noqa: E731
+    assert data(f32) == pytest.approx(data(f64) / 2.0)
+    assert data(packed) == pytest.approx(data(f64) / 64.0)
+    # Compute terms are element-size independent in the model.
+    assert f32.compute_seconds == f64.compute_seconds
+
+
+def test_fw2d_broadcast_column_scales_with_dtype():
+    model = CostModel()
+    f64 = model.estimate_iteration("fw-2d", 65536, 2048, 256)
+    f32 = model.estimate_iteration("fw-2d", 65536, 2048, 256, dtype="float32")
+    packed = model.estimate_iteration("fw-2d", 65536, 2048, 256,
+                                      algebra="reachability", storage="packed")
+    assert f32.driver_seconds == pytest.approx(f64.driver_seconds / 2.0)
+    # The broadcast column stays a dense vector under packed block storage:
+    # it is floored at one byte per element, not 1/8.
+    assert packed.driver_seconds == pytest.approx(f64.driver_seconds / 8.0)
+
+
+def test_packed_spill_defers_blocked_im_infeasibility():
+    """The Blocked-IM spill wall moves out by ~64x for packed reachability."""
+    model = CostModel()
+    f64 = model.project("blocked-im", 262144, 2048, 1024)
+    packed = model.project("blocked-im", 262144, 2048, 1024,
+                           algebra="reachability", storage="packed")
+    spill_f64 = model.spill_per_node_bytes("blocked-im", 262144, 2048, 1024)
+    spill_packed = model.spill_per_node_bytes("blocked-im", 262144, 2048, 1024,
+                                              algebra="reachability",
+                                              storage="packed")
+    assert spill_packed == pytest.approx(spill_f64 / 64.0)
+    assert (not f64.feasible) and packed.feasible
+
+
+def test_best_block_size_threads_element_size():
+    model = CostModel()
+    result = model.best_block_size("blocked-cb", 65536, 256,
+                                   algebra="reachability", storage="packed")
+    assert result.feasible

@@ -1,0 +1,102 @@
+"""Cross-solver / cross-backend equivalence of the packed reachability path.
+
+Acceptance gate of the packed-bitset storage: every distributed solver, on
+every scheduler backend, must produce a closure *bit-identical* to the dense
+boolean ``semiring_closure`` reference — packing is a storage change, not an
+algorithm change.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.config import EngineConfig
+from repro.common.errors import ConfigurationError
+from repro.core.engine import APSPEngine
+from repro.core.request import SolveRequest
+from repro.graph.generators import erdos_renyi_adjacency
+from repro.linalg.algebra import get_algebra
+from repro.linalg.bitset import is_packed
+from repro.linalg.kernels import semiring_closure
+
+SOLVERS = ("blocked-cb", "blocked-im", "repeated-squaring", "fw-2d")
+
+N = 72
+BLOCK = 20  # ragged: 72 % 20 != 0 and 20 % 64 != 0 exercise edge blocks
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi_adjacency(N, seed=1234)
+
+
+@pytest.fixture(scope="module")
+def reference(graph):
+    return semiring_closure(graph, "reachability")
+
+
+@pytest.fixture(scope="module")
+def engine():
+    with APSPEngine(EngineConfig(backend="serial", num_executors=2,
+                                 cores_per_executor=2)) as eng:
+        yield eng
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+def test_packed_closure_bit_identical_per_solver(engine, graph, reference, solver):
+    packed = engine.solve(graph, SolveRequest(
+        solver=solver, block_size=BLOCK, algebra="reachability", storage="packed"))
+    dense = engine.solve(graph, SolveRequest(
+        solver=solver, block_size=BLOCK, algebra="reachability", storage="dense"))
+    assert packed.storage == "packed" and dense.storage == "dense"
+    assert packed.distances.dtype == np.bool_
+    assert np.array_equal(packed.distances, reference)
+    assert np.array_equal(dense.distances, reference)
+
+
+@pytest.mark.parametrize("backend", ("threads", "processes"))
+def test_packed_closure_across_backends(graph, reference, backend):
+    config = EngineConfig(backend=backend, num_executors=2, cores_per_executor=2)
+    with APSPEngine(config) as eng:
+        result = eng.solve(graph, SolveRequest(
+            solver="blocked-cb", block_size=BLOCK, algebra="reachability",
+            storage="packed"))
+    assert np.array_equal(result.distances, reference)
+
+
+def test_reachability_defaults_to_packed_storage(engine, graph, reference):
+    request = SolveRequest(solver="blocked-cb", algebra="reachability")
+    assert request.storage == "packed"  # resolved from the algebra's default
+    result = engine.solve(graph, SolveRequest(
+        solver="blocked-cb", block_size=BLOCK, algebra="reachability"))
+    assert result.storage == "packed"
+    assert np.array_equal(result.distances, reference)
+
+
+def test_plan_carries_packed_records(engine, graph):
+    plan = engine.plan(graph, SolveRequest(
+        solver="blocked-cb", block_size=BLOCK, algebra="reachability"))
+    assert plan.storage == "packed"
+    assert plan.describe()["storage"] == "packed"
+    records = list(plan.block_records())
+    assert records and all(is_packed(block) for _, block in records)
+    # ~8x denser than the bool blocks (modulo word padding on ragged blocks).
+    packed_bytes = sum(block.nbytes for _, block in records)
+    dense_bytes = sum(block.shape[0] * block.shape[1] for _, block in records)
+    assert packed_bytes < dense_bytes / 2
+
+
+def test_validate_result_accepts_packed_run(engine, graph):
+    result = engine.solve(graph, SolveRequest(
+        solver="blocked-im", block_size=BLOCK, algebra="reachability",
+        storage="packed", validate=True))
+    assert result.storage == "packed"
+
+
+def test_packed_storage_rejected_for_numeric_algebras():
+    with pytest.raises(ConfigurationError):
+        SolveRequest(solver="blocked-cb", algebra="shortest-path", storage="packed")
+    with pytest.raises(ConfigurationError):
+        get_algebra("widest-path").resolve_storage("packed")
+    assert get_algebra("shortest-path").resolve_storage(None) == "dense"
+    assert get_algebra("reachability").resolve_storage("auto") == "packed"
+    assert get_algebra("reachability").resolve_storage("dense") == "dense"

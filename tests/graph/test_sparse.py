@@ -1,0 +1,242 @@
+"""Sparse (CSR) ingestion: generation, validation, block cutting, memory."""
+
+import os
+import tracemalloc
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.common.config import EngineConfig
+from repro.common.errors import ValidationError
+from repro.core.engine import APSPEngine
+from repro.core.request import SolveRequest
+from repro.graph.generators import paper_edge_probability
+from repro.graph.io import load_sparse_npz, save_sparse_npz
+from repro.graph.sparse import (erdos_renyi_sparse, is_sparse, sparse_to_blocks,
+                                sparse_to_dense, validate_sparse_adjacency)
+from repro.linalg.algebra import get_algebra
+from repro.linalg.bitset import is_packed
+from repro.linalg.blocks import matrix_to_blocks
+from repro.linalg.kernels import semiring_closure
+
+
+# ---------------------------------------------------------------------------
+# Generation
+# ---------------------------------------------------------------------------
+def test_erdos_renyi_sparse_structure():
+    n = 300
+    csr = erdos_renyi_sparse(n, seed=7)
+    assert is_sparse(csr) and csr.shape == (n, n)
+    assert (csr != csr.T).nnz == 0                      # symmetric
+    assert csr.diagonal().sum() == 0                    # no self loops
+    assert csr.data.min() >= 1.0 and csr.data.max() < 10.0
+    # nnz concentrates around 2 * p * n(n-1)/2.
+    expected = paper_edge_probability(n) * n * (n - 1)
+    assert 0.5 * expected < csr.nnz < 1.7 * expected
+
+
+def test_erdos_renyi_sparse_options():
+    assert erdos_renyi_sparse(50, p=0.0, seed=0).nnz == 0
+    full = erdos_renyi_sparse(20, p=1.0, seed=0, weighted=False)
+    assert full.nnz == 20 * 19
+    assert set(np.unique(full.data)) == {1.0}
+    boolean = erdos_renyi_sparse(60, seed=1, dtype="bool")
+    assert boolean.dtype == np.bool_
+    # Same seed => same edge structure regardless of weighting.
+    a = erdos_renyi_sparse(80, seed=5)
+    b = erdos_renyi_sparse(80, seed=5, weighted=False)
+    assert (a != a.T).nnz == 0
+    assert np.array_equal(a.indices, b.indices) and np.array_equal(a.indptr, b.indptr)
+    with pytest.raises(ValidationError):
+        erdos_renyi_sparse(10, p=1.5)
+    with pytest.raises(ValidationError):
+        erdos_renyi_sparse(10, weight_low=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+def test_validate_sparse_adjacency_basics():
+    csr = erdos_renyi_sparse(120, seed=3)
+    out = validate_sparse_adjacency(csr, require_symmetric=True,
+                                    algebra="shortest-path")
+    assert is_sparse(out) and out.dtype == np.float64
+
+    asym = csr.tolil()
+    asym[0, 1] = 99.0
+    asym[1, 0] = 0.0
+    with pytest.raises(ValidationError):
+        validate_sparse_adjacency(asym.tocsr(), require_symmetric=True)
+
+    negative = csr.copy()
+    negative.data[0] = -1.0
+    with pytest.raises(ValidationError):
+        validate_sparse_adjacency(negative, algebra="shortest-path")
+
+    with pytest.raises(ValidationError):
+        validate_sparse_adjacency(sp.csr_matrix((3, 4)))
+    with pytest.raises(ValidationError):
+        validate_sparse_adjacency(np.eye(3))
+    with pytest.raises(ValidationError):  # DAG check needs the dense structure
+        validate_sparse_adjacency(csr, algebra="longest-path")
+
+
+def test_validate_sparse_prunes_nonfinite_but_keeps_zero_weights():
+    m = sp.csr_matrix(
+        # (0, 1) is an explicitly stored "no edge"; (2, 3) a legitimate
+        # zero-weight edge (the COO constructor keeps explicit zeros).
+        (np.array([np.inf, np.inf, 0.0, 0.0]),
+         (np.array([0, 1, 2, 3]), np.array([1, 0, 3, 2]))),
+        shape=(4, 4))
+    assert m.nnz == 4
+    out = validate_sparse_adjacency(m, require_symmetric=True,
+                                    algebra="shortest-path")
+    dense = sparse_to_dense(out)
+    assert np.isinf(dense[0, 1])         # pruned
+    assert dense[2, 3] == 0.0            # kept: 0-weight edge, not "missing"
+
+
+def test_validate_adjacency_dispatches_sparse():
+    from repro.graph.adjacency import validate_adjacency
+    csr = erdos_renyi_sparse(64, seed=9)
+    out = validate_adjacency(csr, require_symmetric=True,
+                             algebra="shortest-path", dtype="float64",
+                             allow_sparse=True)
+    assert is_sparse(out)
+    # Without the opt-in (dense-only callers), sparse input fails fast ...
+    with pytest.raises(ValidationError, match="dense adjacency"):
+        validate_adjacency(csr)
+    # ... which keeps the sequential solvers' contract honest.
+    from repro.sequential.floyd_warshall import floyd_warshall_numpy
+    with pytest.raises(ValidationError, match="dense adjacency"):
+        floyd_warshall_numpy(csr)
+
+
+def test_cli_rejects_unknown_input_extension(tmp_path, capsys):
+    from repro.experiments.cli import main
+    path = os.path.join(tmp_path, "graph.txt")
+    open(path, "w").write("nope")
+    assert main(["solve", "--input", path]) == 2
+    assert "unsupported --input extension" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Block cutting
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("algebra,dtype", [("shortest-path", "float64"),
+                                           ("shortest-path", "float32"),
+                                           ("widest-path", "float64"),
+                                           ("reachability", "bool")])
+@pytest.mark.parametrize("block_size", [17, 48])   # ragged and even
+def test_sparse_blocks_match_dense_blocks(algebra, dtype, block_size):
+    csr = erdos_renyi_sparse(100, seed=11)
+    valid = validate_sparse_adjacency(csr, require_symmetric=True,
+                                      algebra=algebra, dtype=dtype)
+    resolved = get_algebra(algebra)
+    prepared = resolved.prepare_adjacency(sparse_to_dense(valid, algebra=resolved),
+                                          dtype=dtype)
+    ref = dict(matrix_to_blocks(prepared, block_size))
+    got = dict(sparse_to_blocks(valid, block_size, algebra=algebra, dtype=dtype))
+    assert set(ref) == set(got)
+    for key in ref:
+        assert got[key].dtype == ref[key].dtype
+        assert np.array_equal(got[key], ref[key]), key
+
+
+def test_sparse_blocks_packed_storage():
+    csr = erdos_renyi_sparse(90, seed=2, dtype="bool")
+    valid = validate_sparse_adjacency(csr, require_symmetric=True,
+                                      algebra="reachability")
+    blocks = dict(sparse_to_blocks(valid, 25, algebra="reachability",
+                                   storage="packed"))
+    assert all(is_packed(b) for b in blocks.values())
+    dense_ref = get_algebra("reachability").prepare_adjacency(
+        sparse_to_dense(valid, algebra="reachability"))
+    ref = dict(matrix_to_blocks(dense_ref, 25))
+    for key in ref:
+        assert np.array_equal(blocks[key].to_dense(), ref[key]), key
+
+
+# ---------------------------------------------------------------------------
+# End to end
+# ---------------------------------------------------------------------------
+def test_sparse_solve_matches_dense_solve():
+    csr = erdos_renyi_sparse(130, seed=21)
+    dense = sparse_to_dense(csr)
+    with APSPEngine(EngineConfig()) as eng:
+        for solver in ("blocked-cb", "blocked-im", "repeated-squaring", "fw-2d"):
+            request = SolveRequest(solver=solver, block_size=40)
+            from_sparse = eng.solve(csr, request)
+            from_dense = eng.solve(dense, request)
+            assert np.array_equal(from_sparse.distances, from_dense.distances)
+
+
+def test_sparse_reachability_solve_is_packed_and_exact():
+    csr = erdos_renyi_sparse(110, seed=23, dtype="bool")
+    reference = semiring_closure(sparse_to_dense(csr, algebra="reachability"),
+                                 "reachability")
+    with APSPEngine(EngineConfig()) as eng:
+        result = eng.solve(csr, SolveRequest(solver="blocked-cb", block_size=30,
+                                             algebra="reachability"))
+    assert result.storage == "packed"
+    assert np.array_equal(result.distances, reference)
+
+
+def test_npz_round_trip(tmp_path):
+    csr = erdos_renyi_sparse(70, seed=4)
+    path = os.path.join(tmp_path, "graph.npz")
+    save_sparse_npz(csr, path)
+    loaded = load_sparse_npz(path)
+    assert (loaded != csr).nnz == 0
+    with pytest.raises(ValidationError):
+        save_sparse_npz(np.eye(3), path)
+
+
+def test_cli_accepts_npz_input(tmp_path, capsys):
+    from repro.experiments.cli import main
+    path = os.path.join(tmp_path, "graph.npz")
+    save_sparse_npz(erdos_renyi_sparse(72, seed=6), path)
+    assert main(["solve", "--input", path, "--solver", "blocked-cb",
+                 "--block-size", "24"]) == 0
+    out = capsys.readouterr().out
+    assert "sparse CSR" in out and "verified" in out
+    assert main(["solve", "--input", path, "--no-verify"]) == 0
+    assert "verification skipped" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# The memory gate: ingestion never materializes a dense n x n array
+# ---------------------------------------------------------------------------
+def test_sparse_ingestion_peak_allocation():
+    """Prepare + block-cut a CSR input and bound the peak allocation.
+
+    With n = 1024 a dense float64 staging array would be 8 MiB (and even a
+    bool one 1 MiB); the sparse path must stay well under that — O(nnz + b²)
+    per step plus the O(n²/64) packed output blocks themselves.
+    """
+    n, b = 1024, 128
+    csr = erdos_renyi_sparse(n, seed=31, dtype="bool")
+    with APSPEngine(EngineConfig()) as eng:
+        request = SolveRequest(solver="blocked-cb", block_size=b,
+                               algebra="reachability")
+        tracemalloc.start()
+        plan = eng.plan(csr, request)
+        records = list(plan.block_records())
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    assert plan.sparse_input
+    assert all(is_packed(block) for _, block in records)
+    dense_n2 = n * n          # bytes of a bool n x n; float64 would be 8x
+    # Packed blocks total ~n^2/16 bytes (upper triangle, 64 bits/word, with
+    # per-solve overheads); the gate is that nothing n^2-sized was staged.
+    assert peak < dense_n2 // 2, f"peak {peak} suggests a dense staging array"
+
+
+def test_sparse_plan_keeps_csr_not_dense():
+    csr = erdos_renyi_sparse(256, seed=33)
+    with APSPEngine(EngineConfig()) as eng:
+        plan = eng.plan(csr, SolveRequest(solver="blocked-cb", block_size=64))
+    assert plan.sparse_input
+    assert is_sparse(plan.adjacency)
+    assert plan.describe()["sparse_input"] is True

@@ -1,0 +1,41 @@
+"""Dtype-scaled column chunking of the semiring product kernel."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.semiring import (DEFAULT_CHUNK, auto_chunk, chunk_for_dtype,
+                                   semiring_product)
+
+
+def test_chunk_scales_inversely_with_itemsize():
+    assert chunk_for_dtype("float64") == DEFAULT_CHUNK          # 64: unchanged
+    assert chunk_for_dtype("float32") == 2 * DEFAULT_CHUNK      # 128
+    assert chunk_for_dtype("bool") == 8 * DEFAULT_CHUNK         # 512
+    # Same byte footprint per chunk column across dtypes.
+    assert chunk_for_dtype("float32") * 4 == chunk_for_dtype("float64") * 8
+    assert chunk_for_dtype("bool") * 1 == chunk_for_dtype("float64") * 8
+
+
+def test_auto_chunk_caps_large_temporaries():
+    # Small blocks: pure dtype scaling, the cap never binds.
+    assert auto_chunk("float64", 512, 512) == DEFAULT_CHUNK
+    assert auto_chunk("bool", 96, 96) == 8 * DEFAULT_CHUNK
+    # Big blocks: the (m, k, chunk) temporary is capped (measured sweet spot).
+    assert auto_chunk("float64", 1024, 1024) < DEFAULT_CHUNK
+    assert auto_chunk("bool", 1024, 1024) < 8 * DEFAULT_CHUNK
+    assert auto_chunk("float64", 1 << 20, 1 << 20) >= 1        # never zero
+
+
+@pytest.mark.parametrize("dtype", ["float64", "float32", "bool"])
+def test_auto_chunk_product_matches_explicit(dtype):
+    rng = np.random.default_rng(8)
+    if dtype == "bool":
+        a = rng.random((40, 40)) < 0.2
+        algebra = "reachability"
+    else:
+        a = rng.random((40, 40)).astype(dtype)
+        algebra = "shortest-path"
+    auto = semiring_product(a, a, algebra)                      # chunk=None
+    explicit = semiring_product(a, a, algebra, chunk=1)
+    assert auto.dtype == np.dtype(dtype)
+    assert np.array_equal(auto, explicit)
