@@ -37,9 +37,11 @@ class ScenarioComparison:
 
     @property
     def regressed(self) -> bool:
+        """True when this scenario exceeded its slowdown gate."""
         return self.status == STATUS_SLOWER
 
     def as_dict(self) -> dict:
+        """Plain-dict view for CSV/table emission."""
         return {
             "scenario": self.scenario_id,
             "baseline_s": (f"{self.baseline_seconds:.4f}"
@@ -107,6 +109,7 @@ def regressions(rows: list[ScenarioComparison]) -> list[ScenarioComparison]:
 
 
 def has_regressions(rows: list[ScenarioComparison]) -> bool:
+    """True when any compared scenario exceeded its slowdown gate."""
     return bool(regressions(rows))
 
 

@@ -38,6 +38,7 @@ class ScenarioResult:
 
     @property
     def mean_seconds(self) -> float:
+        """Arithmetic mean wall time across repeats."""
         return sum(self.all_seconds) / len(self.all_seconds)
 
     def as_dict(self) -> dict:

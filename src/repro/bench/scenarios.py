@@ -61,6 +61,7 @@ class BenchScenario:
     algebra: str = "shortest-path"
     dtype: str | None = None
     storage: str | None = None
+    paths: bool = False
     backend: str = "serial"
     num_executors: int = 4
     cores_per_executor: int = 2
@@ -94,7 +95,8 @@ class BenchScenario:
                             partitioner=self.partitioner,
                             partitions_per_core=self.partitions_per_core,
                             algebra=self.algebra, dtype=self.dtype,
-                            storage=self.storage, tag=self.name)
+                            storage=self.storage, paths=self.paths,
+                            tag=self.name)
 
     def params(self) -> dict:
         """Scenario parameters as a plain dict (for reports)."""
@@ -107,6 +109,7 @@ class BenchScenario:
             "algebra": self.algebra,
             "dtype": self.dtype,
             "storage": self.storage,
+            "paths": self.paths,
             "backend": self.backend,
             "num_executors": self.num_executors,
             "cores_per_executor": self.cores_per_executor,
@@ -142,6 +145,7 @@ class BenchSuite:
                 f"suite {self.name!r} has duplicate scenario names: {dupes}")
 
     def scenario(self, name: str) -> BenchScenario:
+        """Look up one scenario by name; unknown names raise."""
         for s in self.scenarios:
             if s.name == name:
                 return s
@@ -160,16 +164,22 @@ def _smoke_suite() -> BenchSuite:
 
     Small enough for a CI job (seconds, not minutes) while still touching the
     min-plus/Floyd-Warshall hot paths of all four solvers and all three
-    scheduler backends.
+    scheduler backends.  The ``blocked-cb-serial`` / ``blocked-cb-paths``
+    pair is the witness-tracking twin: identical workload with and without
+    parent-pointer planes, so the diff quantifies the ~2x traffic (and
+    paired-kernel compute) overhead of ``SolveRequest(paths=True)``.
     """
     n = bench_scale_n(48)
     shape = dict(n=n, block_size=16, num_executors=2, cores_per_executor=2)
     return BenchSuite(
         name="smoke",
-        description="tiny grid: all solvers serial, blocked-cb across backends",
+        description="tiny grid: all solvers serial, blocked-cb across "
+                    "backends, plus the paths=True twin",
         scenarios=(
             BenchScenario(name="blocked-cb-serial", solver="blocked-cb",
                           backend="serial", **shape),
+            BenchScenario(name="blocked-cb-paths", solver="blocked-cb",
+                          backend="serial", paths=True, **shape),
             BenchScenario(name="blocked-cb-threads", solver="blocked-cb",
                           backend="threads", **shape),
             BenchScenario(name="blocked-cb-processes", solver="blocked-cb",

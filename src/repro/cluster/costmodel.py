@@ -86,11 +86,13 @@ class IterationEstimate:
 
     @property
     def single_iteration_seconds(self) -> float:
+        """Sum of all per-iteration cost terms."""
         return (self.compute_seconds + self.sequential_seconds + self.shuffle_seconds
                 + self.driver_seconds + self.sharedfs_seconds + self.overhead_seconds)
 
     @property
     def projected_total_seconds(self) -> float:
+        """Single-iteration time scaled by the iteration count."""
         return self.single_iteration_seconds * self.iterations
 
 
@@ -110,14 +112,17 @@ class ProjectionResult:
 
     @property
     def iterations(self) -> int:
+        """Outer-iteration count of the projected run."""
         return self.iteration.iterations
 
     @property
     def single_iteration_seconds(self) -> float:
+        """Projected seconds for one outer iteration."""
         return self.iteration.single_iteration_seconds
 
     @property
     def projected_total_seconds(self) -> float:
+        """Projected end-to-end runtime in seconds."""
         return self.iteration.projected_total_seconds
 
     @property
@@ -244,6 +249,7 @@ class CostModel:
         mp_rate = self.calibration.minplus_rate
         fw_rate = self.calibration.floyd_warshall_rate
         def sched(stages, tasks):
+            """Driver scheduling overhead for a stage/task mix."""
             return (stages * self.stage_overhead_seconds
                     + tasks * self.task_dispatch_seconds)
 
@@ -391,32 +397,46 @@ class CostModel:
         """T1: single-core SciPy Floyd-Warshall."""
         return self.calibration.sequential_apsp_seconds(n)
 
-    def mpi_fw2d_seconds(self, n: int, p: int) -> float:
+    def mpi_fw2d_seconds(self, n: int, p: int, *,
+                         algebra=None, dtype: str | None = None,
+                         storage: str | None = None) -> float:
         """FW-2D-GbE: n iterations of (2 grid broadcasts + rank-1 update of the local block).
 
         The broadcast follows the straightforward implementation the paper
         describes as "naive": the segment owner sends to each of the ``g - 1``
         peers in its grid row/column point-to-point, so the latency term grows
         linearly in the grid dimension — the behaviour the paper blames for
-        the solver's poor scaling (Section 5.5).
+        the solver's poor scaling (Section 5.5).  Like the Spark-solver
+        estimates, the broadcast volume is sized by
+        :func:`element_bytes` — the defaults keep the historical 8-byte
+        float64 projection; narrower dtypes shrink the bandwidth term
+        proportionally (latency and compute are element-size independent).
         """
         g = max(1, int(round(math.sqrt(p))))
         local = n / g
         net = self.cluster.network
-        bcast = (g - 1) * (net.latency + 8.0 * local / net.bandwidth_per_node)
+        element_size = element_bytes(algebra, dtype, storage)
+        bcast = (g - 1) * (net.latency
+                           + element_size * local / net.bandwidth_per_node)
         update = local * local / self.calibration.floyd_warshall_rate
         return n * (2.0 * bcast + update)
 
-    def mpi_dc_seconds(self, n: int, p: int) -> float:
+    def mpi_dc_seconds(self, n: int, p: int, *,
+                       algebra=None, dtype: str | None = None,
+                       storage: str | None = None) -> float:
         """DC-GbE: communication-avoiding divide & conquer (Solomonik et al.).
 
         Compute is ``~n^3 / p`` at the optimized kernel rate; communication is
         the 2D lower bound ``O(n^2 / sqrt(p))`` words plus ``O(sqrt(p) log^2 p)``
-        messages.
+        messages.  The bandwidth term is sized by :func:`element_bytes`
+        (historically a hardcoded 8 bytes/word); latency and compute are
+        element-size independent.
         """
         net = self.cluster.network
+        element_size = element_bytes(algebra, dtype, storage)
         compute = float(n) ** 3 / p / self.calibration.dc_optimized_rate
-        bandwidth_term = 8.0 * float(n) ** 2 / math.sqrt(p) / net.bandwidth_per_node
+        bandwidth_term = (element_size * float(n) ** 2 / math.sqrt(p)
+                          / net.bandwidth_per_node)
         latency_term = math.sqrt(p) * (math.log2(max(2, p)) ** 2) * net.latency
         return compute + bandwidth_term + latency_term
 

@@ -83,14 +83,17 @@ class ClusterSpec:
 
     @property
     def total_cores(self) -> int:
+        """Cores across all nodes."""
         return self.num_nodes * self.node.cores
 
     @property
     def total_memory_bytes(self) -> int:
+        """Aggregate RAM across all nodes."""
         return self.num_nodes * self.node.memory_bytes
 
     @property
     def total_local_storage_bytes(self) -> int:
+        """Aggregate local (spill) storage across all nodes."""
         return self.num_nodes * self.node.local_storage_bytes
 
     def with_cores(self, total_cores: int) -> "ClusterSpec":

@@ -25,12 +25,14 @@ class Timer:
     _started: float | None = field(default=None, repr=False)
 
     def start(self) -> "Timer":
+        """Start (or restart) the timer and return self."""
         if self._started is not None:
             raise RuntimeError("timer already running")
         self._started = time.perf_counter()
         return self
 
     def stop(self) -> float:
+        """Stop the timer and return the elapsed seconds."""
         if self._started is None:
             raise RuntimeError("timer not running")
         delta = time.perf_counter() - self._started
@@ -51,6 +53,7 @@ class Timer:
         return self.elapsed / self.count if self.count else 0.0
 
     def reset(self) -> None:
+        """Clear any recorded interval."""
         self.elapsed = 0.0
         self.count = 0
         self._started = None
@@ -64,6 +67,7 @@ class Stopwatch:
 
     @contextmanager
     def section(self, name: str):
+        """Context manager timing one named section (accumulates on reuse)."""
         timer = self._timers.setdefault(name, Timer())
         timer.start()
         try:
@@ -72,12 +76,15 @@ class Stopwatch:
             timer.stop()
 
     def elapsed(self, name: str) -> float:
+        """Seconds accumulated by one named section."""
         return self._timers[name].elapsed if name in self._timers else 0.0
 
     def as_dict(self) -> dict[str, float]:
+        """Section-name to seconds mapping (a copy)."""
         return {name: t.elapsed for name, t in self._timers.items()}
 
     def total(self) -> float:
+        """Seconds across all sections."""
         return sum(t.elapsed for t in self._timers.values())
 
 

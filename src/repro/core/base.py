@@ -14,6 +14,7 @@ from repro.common.errors import ConfigurationError, SolverError
 from repro.common.timing import Stopwatch
 from repro.graph import sparse as sparse_mod
 from repro.graph.adjacency import validate_adjacency
+from repro.linalg import witness as witness_mod
 from repro.linalg.algebra import ABSORPTIVE_ALGEBRAS, Semiring, get_algebra
 from repro.linalg.blocks import matrix_to_blocks, blocks_to_matrix, num_blocks
 from repro.spark.context import SparkContext
@@ -49,6 +50,12 @@ class SolverOptions:
         ``"packed"`` (uint64 packed-bitset blocks, boolean algebras only), or
         ``None``/``"auto"`` for the algebra's default (packed for
         ``reachability``).
+    paths:
+        When true every block carries witness (parent-pointer) planes
+        through the whole solve and the result exposes a predecessor matrix
+        plus :meth:`APSPResult.reconstruct_path` — at roughly double the
+        data traffic.  Requires an algebra with a witness policy and dense
+        block storage.
     validate:
         When true the result is sanity-checked (identity diagonal, symmetry,
         closure stability on a sample).
@@ -61,13 +68,21 @@ class SolverOptions:
     algebra: str = "shortest-path"
     dtype: str | None = None
     storage: str | None = None
+    paths: bool = False
     validate: bool = False
     extra: dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
 class APSPResult:
-    """Result of an APSP solve: the distance matrix plus execution metadata."""
+    """Result of an APSP solve: the distance matrix plus execution metadata.
+
+    Under ``paths=True`` the result additionally carries :attr:`parents`,
+    the full ``n x n`` predecessor matrix (``parents[i, j]`` is the global
+    predecessor of ``j`` on an optimal ``i -> j`` path, ``-1`` for
+    unreachable pairs and the diagonal), walkable via
+    :meth:`reconstruct_path`.
+    """
 
     distances: np.ndarray
     solver: str
@@ -82,6 +97,7 @@ class APSPResult:
     algebra: str = "shortest-path"
     dtype: str = "float64"
     storage: str = "dense"
+    parents: np.ndarray | None = None
     phase_seconds: dict[str, float] = field(default_factory=dict)
     metrics: dict[str, Any] = field(default_factory=dict)
 
@@ -92,6 +108,26 @@ class APSPResult:
         if arr.dtype.kind not in ("f", "b"):
             arr = np.asarray(arr, dtype=np.float64)
         self.distances = arr
+        if self.parents is not None:
+            self.parents = np.asarray(self.parents, dtype=np.int32)
+
+    @property
+    def has_paths(self) -> bool:
+        """True when this result carries a predecessor matrix."""
+        return self.parents is not None
+
+    def reconstruct_path(self, src: int, dst: int) -> list[int]:
+        """Walk the predecessor matrix into the vertex list ``[src, ..., dst]``.
+
+        Only available for ``paths=True`` solves; raises
+        :class:`~repro.common.errors.SolverError` when the result has no
+        parent matrix or no path exists between the endpoints.
+        """
+        if self.parents is None:
+            raise SolverError(
+                "this result has no predecessor matrix; solve with "
+                "SolveRequest(paths=True) to enable path reconstruction")
+        return witness_mod.reconstruct_path(self.parents, src, dst)
 
     @property
     def gops(self) -> float:
@@ -107,6 +143,8 @@ class APSPResult:
             algebra_bit = f" {self.algebra}[{self.dtype}]"
         if self.storage != "dense":
             algebra_bit += f" {self.storage}"
+        if self.has_paths:
+            algebra_bit += " +paths"
         return (f"{self.solver}: n={self.n} b={self.block_size} q={self.q} "
                 f"iters={self.iterations} partitions={self.num_partitions} "
                 f"({self.partitioner}){algebra_bit} time={self.elapsed_seconds:.3f}s "
@@ -139,6 +177,7 @@ class SolvePlan:
     algebra: str = "shortest-path"
     dtype: str = "float64"
     storage: str = "dense"
+    paths: bool = False
 
     @property
     def sparse_input(self) -> bool:
@@ -153,14 +192,18 @@ class SolvePlan:
         straight from the sparse buffers
         (:func:`~repro.graph.sparse.sparse_to_blocks`), so block construction
         allocates O(nnz + b²), never a dense ``n x n`` array.  Either path
-        emits packed-bitset blocks under the ``"packed"`` storage policy.
+        emits packed-bitset blocks under the ``"packed"`` storage policy and
+        witnessed blocks (value + parent planes, global ids stamped) under
+        ``paths=True``.
         """
         if self.sparse_input:
             return sparse_mod.sparse_to_blocks(
                 self.adjacency, self.block_size, algebra=self.algebra,
-                dtype=self.dtype, storage=self.storage, upper_only=True)
+                dtype=self.dtype, storage=self.storage, upper_only=True,
+                witness=self.paths)
         return matrix_to_blocks(self.adjacency, self.block_size,
-                                upper_only=True, storage=self.storage)
+                                upper_only=True, storage=self.storage,
+                                witness=self.paths, algebra=self.algebra)
 
     def describe(self) -> dict:
         """Geometry summary as a plain dict (for logs, the CLI, and tests)."""
@@ -176,6 +219,7 @@ class SolvePlan:
             "algebra": self.algebra,
             "dtype": self.dtype,
             "storage": self.storage,
+            "paths": self.paths,
             "sparse_input": self.sparse_input,
         }
 
@@ -258,7 +302,8 @@ class SparkAPSPSolver:
                 f"solver {self.name!r} does not support algebra {algebra.name!r} "
                 f"(supported: {', '.join(type(self).algebras)})")
         dtype = algebra.resolve_dtype(self.options.dtype)
-        storage = algebra.resolve_storage(self.options.storage)
+        paths = bool(self.options.paths)
+        storage = algebra.resolve_storage(self.options.storage, paths=paths)
         adj = validate_adjacency(adjacency, require_symmetric=True,
                                  algebra=algebra, dtype=dtype, allow_sparse=True)
         n = adj.shape[0]
@@ -277,6 +322,7 @@ class SparkAPSPSolver:
             algebra=algebra.name,
             dtype=dtype.name,
             storage=storage,
+            paths=paths,
         )
 
     def execute(self, plan: SolvePlan, context: SparkContext | None = None) -> APSPResult:
@@ -304,12 +350,28 @@ class SparkAPSPSolver:
                 if isinstance(result_blocks, RDD):
                     result_blocks = result_blocks.collect()
                 algebra = get_algebra(plan.algebra)
-                distances = blocks_to_matrix(result_blocks, plan.n, plan.block_size,
-                                             symmetric=True,
-                                             fill=algebra.zero_like(plan.dtype),
-                                             dtype=plan.dtype)
+                parents = None
+                paths_repaired = 0
+                if plan.paths:
+                    distances, parents = witness_mod.witness_blocks_to_matrices(
+                        result_blocks, plan.n, plan.block_size, symmetric=True,
+                        fill=algebra.zero_like(plan.dtype), dtype=plan.dtype)
+                    # Per-cell witnesses are locally valid but can disagree
+                    # across cells on equal-value plateaus; rebuild exactly
+                    # the source rows whose pointer chains do not walk back
+                    # to the source (see repro.linalg.witness).
+                    parents, paths_repaired = witness_mod.repair_parents(
+                        distances, parents, plan.adjacency, algebra)
+                else:
+                    distances = blocks_to_matrix(result_blocks, plan.n,
+                                                 plan.block_size,
+                                                 symmetric=True,
+                                                 fill=algebra.zero_like(plan.dtype),
+                                                 dtype=plan.dtype)
             elapsed = time.perf_counter() - start
             metrics = metrics_delta(metrics_before, sc.metrics.as_dict())
+            if plan.paths:
+                metrics["path_rows_repaired"] = paths_repaired
         finally:
             if owns_context:
                 sc.stop()
@@ -328,6 +390,7 @@ class SparkAPSPSolver:
             algebra=plan.algebra,
             dtype=plan.dtype,
             storage=plan.storage,
+            parents=parents,
             phase_seconds=stopwatch.as_dict(),
             metrics=metrics,
         )

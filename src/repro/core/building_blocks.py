@@ -28,7 +28,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.linalg import bitset
+from repro.linalg import bitset, witness
 from repro.linalg.algebra import Semiring, get_algebra
 from repro.linalg.blocks import BlockId
 from repro.linalg.kernels import fw_rank1_update, floyd_warshall_inplace
@@ -36,8 +36,8 @@ from repro.linalg.semiring import elementwise_combine, semiring_product
 
 
 def copy_block(block):
-    """Copy a block record's payload, dense ndarray or packed bitset alike."""
-    if bitset.is_packed(block):
+    """Copy a block record's payload — dense ndarray, packed bitset or witnessed."""
+    if bitset.is_packed(block) or witness.is_witnessed(block):
         return block.copy()
     return np.array(block, copy=True)
 
@@ -57,6 +57,7 @@ TAG_RIGHT = "R"     # right operand A_tJ  of the phase-3 product
 def in_column(x: int) -> Callable[[BlockRecord], bool]:
     """``InColumn``: true when the record's block-column index ``J`` equals ``x``."""
     def predicate(record: BlockRecord) -> bool:
+        """Test one block record against the column filter."""
         (_, j), _ = record
         return j == x
     return predicate
@@ -70,6 +71,7 @@ def in_block_row_or_column(x: int) -> Callable[[BlockRecord], bool]:
     ``x`` (the latter provide the transposed part).
     """
     def predicate(record: BlockRecord) -> bool:
+        """Test a record against the symmetric row/column filter."""
         (i, j), _ = record
         return i == x or j == x
     return predicate
@@ -84,6 +86,7 @@ def not_in_block_row_or_column(x: int) -> Callable[[BlockRecord], bool]:
 def on_diagonal(x: int) -> Callable[[BlockRecord], bool]:
     """``OnDiagonal``: true for the block ``(x, x)``."""
     def predicate(record: BlockRecord) -> bool:
+        """Test whether a record is the pivot diagonal block."""
         (i, j), _ = record
         return i == x and j == x
     return predicate
@@ -92,6 +95,7 @@ def on_diagonal(x: int) -> Callable[[BlockRecord], bool]:
 def off_diagonal_in_row_or_column(x: int) -> Callable[[BlockRecord], bool]:
     """Stored blocks of block-row/column ``x`` excluding the diagonal block itself."""
     def predicate(record: BlockRecord) -> bool:
+        """Test for off-diagonal blocks of the pivot row/column."""
         (i, j), _ = record
         return (i == x) ^ (j == x)
     return predicate
@@ -108,11 +112,27 @@ def extract_col(pivot_block: int, k_local: int) -> Callable[[BlockRecord], list]
     represents ``A_JK`` by transposition) the piece is row ``k_local``.
     Slices preserve the block dtype (float32 stays float32); packed-bitset
     blocks emit dense boolean slices (the broadcast column is a length-``n``
-    vector either way — packing it would save nothing).
+    vector either way — packing it would save nothing).  Witnessed blocks
+    emit :class:`~repro.linalg.witness.WitnessVector` pieces whose single
+    ``toward`` plane is each vertex's neighbour on its optimal path to the
+    pivot vertex: the *successor* column for a column slice, the *parent* row
+    for a row slice — the same quantity by symmetry, which is what lets one
+    broadcast vector serve both operand roles of the rank-1 update.
     """
     def run(record: BlockRecord) -> list:
+        """Emit this record's pieces of the pivot column."""
         (i, j), block = record
         pieces = []
+        if witness.is_witnessed(block):
+            if j == pivot_block:
+                pieces.append((i, witness.WitnessVector(
+                    np.array(block.values[:, k_local], copy=True),
+                    np.array(block.succs[:, k_local], copy=True))))
+            if i == pivot_block and j != pivot_block:
+                pieces.append((j, witness.WitnessVector(
+                    np.array(block.values[k_local, :], copy=True),
+                    np.array(block.parents[k_local, :], copy=True))))
+            return pieces
         if bitset.is_packed(block):
             if j == pivot_block:
                 pieces.append((i, block.bit_column(k_local)))
@@ -132,8 +152,20 @@ def assemble_column(pieces: list[tuple[int, np.ndarray]], n: int, block_size: in
     """Assemble ``(block-row index, slice)`` pieces into the full length-``n`` column.
 
     Cells not covered by any piece hold the algebra's ``zero`` ("no path").
+    Witnessed pieces assemble into a full
+    :class:`~repro.linalg.witness.WitnessVector` (uncovered ``toward`` cells
+    hold :data:`~repro.linalg.witness.NO_VERTEX`).
     """
     algebra = get_algebra(algebra)
+    if pieces and witness.is_witness_vector(pieces[0][1]):
+        dtype = pieces[0][1].dtype
+        values = np.full(n, algebra.zero_like(dtype), dtype=dtype)
+        toward = np.full(n, witness.NO_VERTEX, dtype=np.int32)
+        for block_row, piece in pieces:
+            start = block_row * block_size
+            values[start:start + piece.shape[0]] = piece.values
+            toward[start:start + piece.shape[0]] = piece.toward
+        return witness.WitnessVector(values, toward)
     dtype = (np.asarray(pieces[0][1]).dtype if pieces
              else np.dtype(algebra.default_dtype))
     if dtype.kind not in ("f", "b"):
@@ -249,6 +281,7 @@ def copy_diag(q: int, pivot: int) -> Callable[[BlockRecord], list]:
     subsequent ``combineByKey`` pairs it with the block it must update.
     """
     def run(record: BlockRecord) -> list:
+        """Emit the q-1 keyed copies of the pivot diagonal block."""
         (_, _), block = record
         out = []
         for x in range(q):
@@ -272,6 +305,7 @@ def copy_col(q: int, pivot: int) -> Callable[[BlockRecord], list]:
     (upper-triangular) keys outside block-row/column ``pivot``.
     """
     def run(record: BlockRecord) -> list:
+        """Emit the oriented operand copies for the phase-3 targets."""
         (i, j), block = record
         out = []
         if j == pivot and i != pivot:
@@ -335,6 +369,7 @@ def unpack_phase2(pivot: int, algebra: Semiring | str | None = None,
     algebra = get_algebra(algebra)
 
     def run(item: tuple[BlockId, list]) -> BlockRecord:
+        """Apply the phase-2 update to one paired record."""
         key, entries = item
         base = _find(entries, TAG_BASE)
         diag = _find(entries, TAG_DIAG)
@@ -361,6 +396,7 @@ def unpack_phase3(pivot: int, algebra: Semiring | str | None = None,
     algebra = get_algebra(algebra)
 
     def run(item: tuple[BlockId, list]) -> BlockRecord:
+        """Apply the phase-3 update to one paired record."""
         key, entries = item
         base = _find(entries, TAG_BASE)
         left = _find(entries, TAG_LEFT)
@@ -400,11 +436,13 @@ def matprod_column_contributions(target_column: int,
     algebra = get_algebra(algebra)
 
     def fetch(inner: int) -> np.ndarray:
+        """Resolve a staged column block by block-row index."""
         if callable(column_blocks):
             return column_blocks(inner)
         return column_blocks[inner]
 
     def run(record: BlockRecord) -> list:
+        """Emit this record's products into the target column."""
         (r, c), block = record
         roles = [(r, c, block)]
         if r != c:

@@ -66,6 +66,7 @@ class APSPJob:
 
     @property
     def done(self) -> bool:
+        """True once the job has a result (or failed)."""
         return self.status in (JOB_DONE, JOB_FAILED)
 
     def result(self) -> APSPResult:
@@ -128,6 +129,7 @@ class APSPEngine:
 
     @property
     def running(self) -> bool:
+        """True while the session owns a live Spark context."""
         return self._context is not None
 
     @property

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.common.timing import Stopwatch
 from repro.core import building_blocks as bb
-from repro.linalg import bitset
+from repro.linalg import bitset, witness
 from repro.core.base import SparkAPSPSolver
 from repro.core.registry import register_solver
 from repro.linalg.semiring import closure_iterations
@@ -56,6 +56,7 @@ class RepeatedSquaringSolver(SparkAPSPSolver):
                         f"sq-it{iteration}-col{target_column}", column_blocks)
 
                 def fetch(inner: int, _paths=dict(paths)) -> np.ndarray:
+                    """Read one staged column block from the shared file system."""
                     return shared_fs.read(_paths[inner])
 
                 with stopwatch.section("matvec"):
@@ -79,11 +80,12 @@ def _orient_column(column_records, target_column: int) -> dict[int, np.ndarray]:
 
     Blocks pass through in their stored representation — packed-bitset blocks
     stay packed (their ``.T`` is a packed transpose), so the staged column of
-    a reachability solve ships at 1/8th the bytes of ``bool`` blocks.
+    a reachability solve ships at 1/8th the bytes of ``bool`` blocks, and
+    witnessed blocks keep their planes (their ``.T`` swaps parents/succs).
     """
     column_blocks: dict[int, np.ndarray] = {}
     for (i, j), block in column_records:
-        if not bitset.is_packed(block):
+        if not (bitset.is_packed(block) or witness.is_witnessed(block)):
             block = np.asarray(block)
         if j == target_column:
             column_blocks[i] = block

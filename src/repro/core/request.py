@@ -50,6 +50,13 @@ class SolveRequest:
         packed-bitset blocks — boolean algebras only, 64x denser), or
         ``"auto"``/``None`` for the algebra's default (packed for
         ``reachability``).  Resolved to a concrete policy at construction.
+    paths:
+        Track path witnesses through the solve: the result carries a
+        predecessor matrix and supports
+        :meth:`~repro.core.base.APSPResult.reconstruct_path`, at ~2x the
+        data traffic.  Needs an algebra with a witness policy and dense
+        block storage (``"auto"`` storage resolves to dense; an explicit
+        ``"packed"`` request is rejected at construction).
     validate:
         Run structural sanity checks on the result.
     tag:
@@ -67,6 +74,7 @@ class SolveRequest:
     algebra: str = "shortest-path"
     dtype: str | None = None
     storage: str | None = None
+    paths: bool = False
     validate: bool = False
     tag: str | None = None
     extra: Mapping[str, Any] = field(default_factory=dict)
@@ -85,8 +93,10 @@ class SolveRequest:
         resolved_algebra = get_algebra(self.algebra)
         object.__setattr__(
             self, "dtype", resolved_algebra.resolve_dtype(self.dtype).name)
+        object.__setattr__(self, "paths", bool(self.paths))
         object.__setattr__(
-            self, "storage", resolved_algebra.resolve_storage(self.storage))
+            self, "storage",
+            resolved_algebra.resolve_storage(self.storage, paths=self.paths))
         object.__setattr__(self, "partitioner",
                            canonical_partitioner_name(str(self.partitioner)))
         if self.block_size is not None and int(self.block_size) < 1:
@@ -130,6 +140,7 @@ class SolveRequest:
             algebra=self.algebra,
             dtype=self.dtype,
             storage=self.storage,
+            paths=self.paths,
             validate=self.validate,
             extra=dict(self.extra),
         )
@@ -144,6 +155,8 @@ class SolveRequest:
             bits.append(f"algebra={self.algebra}[{self.dtype}]")
         if self.storage != "dense":
             bits.append(f"storage={self.storage}")
+        if self.paths:
+            bits.append("paths")
         if self.num_partitions is not None:
             bits.append(f"partitions={self.num_partitions}")
         if self.tag:

@@ -54,6 +54,82 @@ def _load_input_graph(path: str):
         "(expected .npz sparse CSR or .npy dense)")
 
 
+def _route_fold(adjacency, path, algebra):
+    """Fold a route's edge weights under the algebra's ⊗ (CSR or dense input).
+
+    Works on the *canonical* adjacency (non-finite = missing edge for
+    numeric algebras), indexing only the route's edges so large sparse
+    inputs are never densified.
+    """
+    import numpy as np
+    from repro.common.errors import SolverError
+    dtype = algebra.resolve_dtype(None)
+    fold = algebra.one_like(dtype)
+    sparse = sparse_graph.is_sparse(adjacency)
+    for u, v in zip(path[:-1], path[1:]):
+        if sparse:
+            # CSR membership check: an absent entry reads as numeric 0,
+            # which must not be mistaken for a zero-weight edge.
+            lo, hi = adjacency.indptr[u], adjacency.indptr[u + 1]
+            hit = np.nonzero(adjacency.indices[lo:hi] == v)[0]
+            if hit.size == 0:
+                raise SolverError(f"route step {u} -> {v} is not an edge")
+            raw = adjacency.data[lo:hi][hit[0]]
+        else:
+            raw = adjacency[u, v]
+        if dtype == np.bool_:
+            if not bool(raw):
+                raise SolverError(f"route step {u} -> {v} is not an edge")
+            continue
+        value = float(raw)
+        if not np.isfinite(value):
+            raise SolverError(f"route step {u} -> {v} is not an edge")
+        fold = algebra.mul(fold, dtype.type(value))
+    return fold
+
+
+def _print_route(result, adjacency, algebra, route, tolerances) -> bool:
+    """Reconstruct, fold and print one ``--route SRC DST`` query.
+
+    Returns False (driving a non-zero exit) when the folded weight does not
+    match the closure entry; an unreachable pair is reported but is not an
+    error.
+    """
+    import numpy as np
+    from repro.common.errors import SolverError, ValidationError
+    from repro.linalg.witness import NO_VERTEX
+    src, dst = route
+    try:
+        path = result.reconstruct_path(src, dst)
+    except ValidationError as exc:
+        print(f"route {src} -> {dst}: error: {exc}", file=sys.stderr)
+        return False
+    except SolverError as exc:
+        if src != dst and result.parents[src, dst] == NO_VERTEX:
+            # Genuinely unreachable: valid output, not an error.
+            print(f"route {src} -> {dst}: no path")
+            return True
+        # A walk that started but failed means the parent matrix is corrupt.
+        print(f"route {src} -> {dst}: error: {exc}", file=sys.stderr)
+        return False
+    closure = result.distances[src, dst]
+    try:
+        fold = _route_fold(adjacency, path, algebra)
+    except SolverError as exc:
+        print(f"route {src} -> {dst}: error: {exc}", file=sys.stderr)
+        return False
+    if result.distances.dtype == np.bool_:
+        match = bool(fold) == bool(closure)
+        weight_bit = "reachable"
+    else:
+        match = bool(np.isclose(float(fold), float(closure), **(tolerances or {})))
+        weight_bit = f"weight={float(fold):g} closure={float(closure):g}"
+    print(f"route {src} -> {dst}: {' -> '.join(str(v) for v in path)} "
+          f"({len(path) - 1} edge(s), {weight_bit}, "
+          f"{'match' if match else 'MISMATCH'})")
+    return match
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--mode", choices=("projected", "measured"), default="projected",
                         help="projected: cost model at paper scale; measured: run the engine here")
@@ -61,6 +137,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the apspark argument parser (all subcommands)."""
     parser = argparse.ArgumentParser(prog="apspark",
                                      description="APSP-on-Spark reproduction harness")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -98,6 +175,14 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("auto", "dense", "packed"),
                          help="block storage layout; auto = the algebra's "
                               "default (packed bitsets for reachability)")
+    p_solve.add_argument("--paths", action="store_true",
+                         help="track path witnesses: the result carries a "
+                              "predecessor matrix (parent pointers) at ~2x "
+                              "the data traffic")
+    p_solve.add_argument("--route", nargs=2, type=int, default=None,
+                         metavar=("SRC", "DST"),
+                         help="reconstruct and print the optimal route "
+                              "between two vertices (implies --paths)")
     p_solve.add_argument("--no-verify", action="store_true",
                          help="skip the sequential reference check "
                               "(recommended for large sparse inputs: the "
@@ -213,6 +298,7 @@ def _emit(rows, args, columns=None) -> None:
 
 
 def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
 
     if args.command == "figure2":
@@ -245,15 +331,16 @@ def main(argv=None) -> int:
         algebra = get_algebra(args.algebra)
         config = EngineConfig(backend=args.backend, num_executors=args.executors,
                               cores_per_executor=args.cores)
+        want_paths = bool(args.paths or args.route is not None)
         try:
             # Fails fast on unsupported solver x algebra / algebra x dtype /
             # algebra x storage combinations (e.g. the DAG-only longest-path
             # algebra, which no distributed solver supports, or packed
-            # storage on a numeric algebra).
+            # storage on a numeric algebra — incl. packed + --paths).
             request = SolveRequest(solver=args.solver, block_size=args.block_size,
                                    partitioner=args.partitioner,
                                    algebra=args.algebra, dtype=args.dtype,
-                                   storage=args.storage)
+                                   storage=args.storage, paths=want_paths)
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -281,6 +368,7 @@ def main(argv=None) -> int:
         with APSPEngine(config) as engine:
             jobs = engine.solve_many([adjacency] * max(1, args.repeat), request)
             correct = True
+            result = None
             for job in jobs:
                 result = job.result()
                 if verify:
@@ -292,6 +380,9 @@ def main(argv=None) -> int:
                       f"collected {result.metrics['collect_bytes'] / 1e6:.1f} MB; "
                       f"shared-fs {result.metrics['sharedfs_bytes_written'] / 1e6:.1f} MB written")
             stats = engine.stats()
+        if args.route is not None and result is not None:
+            correct = _print_route(result, adjacency, algebra, args.route,
+                                   tolerances) and correct
         if verify:
             print(f"verified against the sequential {request.algebra} closure: "
                   f"{'OK' if correct else 'MISMATCH'}")

@@ -17,6 +17,7 @@ def format_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None,
         columns = list(rows[0].keys())
 
     def fmt(value) -> str:
+        """Render one cell as a string."""
         if isinstance(value, bool):
             return "yes" if value else "no"
         if isinstance(value, float):

@@ -125,6 +125,7 @@ def grid_adjacency(rows: int, cols: int, *, weight: float = 1.0) -> np.ndarray:
     adj = _empty_adjacency(n)
 
     def vid(r: int, c: int) -> int:
+        """Map 2-D grid coordinates to a vertex id."""
         return r * cols + c
 
     for r in range(rows):

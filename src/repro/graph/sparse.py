@@ -213,7 +213,8 @@ def sparse_to_blocks(csr, block_size: int, *,
                      algebra: Semiring | str | None = None,
                      dtype: str | np.dtype | None = None,
                      storage: str = "dense",
-                     upper_only: bool = True) -> Iterator[tuple[BlockId, object]]:
+                     upper_only: bool = True,
+                     witness: bool = False) -> Iterator[tuple[BlockId, object]]:
     """Cut a validated CSR adjacency into ``((I, J), block)`` records.
 
     The sparse counterpart of
@@ -223,11 +224,19 @@ def sparse_to_blocks(csr, block_size: int, *,
     ``zero``, diagonal blocks get ``one`` on the diagonal.  Entries are
     grouped by block id in a single O(nnz) pass; each block is materialized
     (and, under ``storage="packed"``, packed) one at a time, so no dense
-    ``n x n`` array ever exists — peak extra memory is O(nnz + b²).
+    ``n x n`` array ever exists — peak extra memory is O(nnz + b²).  With
+    ``witness=True`` each block is emitted as a
+    :class:`~repro.linalg.witness.WitnessBlock` stamped with global vertex
+    ids (the ``paths=True`` ingestion path; incompatible with packed storage).
     """
+    from repro.linalg import witness as witness_mod
     _require_scipy()
     algebra = get_algebra(algebra)
     check_storage(storage)
+    if witness and storage == "packed":
+        raise ValidationError(
+            "witness tracking has no packed-bitset kernels; "
+            "use storage='dense' for paths=True solves")
     n = csr.shape[0]
     b = check_block_size(block_size, n)
     q = num_blocks(n, b)
@@ -266,7 +275,10 @@ def sparse_to_blocks(csr, block_size: int, *,
                 block[local_r, local_c] = data[lo:hi].astype(dt, copy=False)
         if i == j:
             np.fill_diagonal(block, one)
-        yield (i, j), encode_block(block, storage)
+        if witness:
+            yield (i, j), witness_mod.witness_block(block, i * b, j * b, algebra)
+        else:
+            yield (i, j), encode_block(block, storage)
 
 
 def sparse_to_dense(csr, *, algebra: Semiring | str | None = None) -> np.ndarray:

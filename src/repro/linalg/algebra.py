@@ -14,19 +14,32 @@ A :class:`Semiring` bundles
 * ``one``   — the ⊗ identity (the self-distance on the diagonal),
 * a dtype policy (which NumPy dtypes the algebra supports and its default),
 * an optional input validator encoding the algebra's precondition on edge
-  weights (e.g. non-negativity for shortest paths).
+  weights (e.g. non-negativity for shortest paths),
+* a *witness* policy (``witness_select``): the arg-reduction matching ⊕, so
+  the kernels can remember **which** operand won and emit parent pointers
+  for path reconstruction (see :mod:`repro.linalg.witness`).
 
 Registered instances:
 
-=================  =========  =========  ========  ========  ==================
-name               ⊕          ⊗          zero      one       weights
-=================  =========  =========  ========  ========  ==================
-``shortest-path``  min        ``+``      ``+inf``  ``0``     non-negative
-``widest-path``    max        min        ``0``     ``+inf``  non-negative
-``most-reliable``  max        ``×``      ``0``     ``1``     in ``[0, 1]``
-``longest-path``   max        ``+``      ``-inf``  ``0``     DAG inputs only
-``reachability``   or         and        ``False`` ``True``  none (bool)
-=================  =========  =========  ========  ========  ==================
+=================  =========  =========  ========  ========  =======  ==================
+name               ⊕          ⊗          zero      one       witness  weights
+=================  =========  =========  ========  ========  =======  ==================
+``shortest-path``  min        ``+``      ``+inf``  ``0``     argmin   non-negative
+``widest-path``    max        min        ``0``     ``+inf``  argmax   non-negative
+``most-reliable``  max        ``×``      ``0``     ``1``     argmax   in ``[0, 1]``
+``longest-path``   max        ``+``      ``-inf``  ``0``     argmax   DAG inputs only
+``reachability``   or         and        ``False`` ``True``  argmax   none (bool)
+=================  =========  =========  ========  ========  =======  ==================
+
+The witness-composition rule the paired kernels implement: elementwise ⊕
+keeps the winning operand's pointers (ties keep the first operand), and the
+product ``C = A ⊗ B`` composes tails via ``parent_C[i, j] = parent_B[k*, j]``
+where ``k*`` is the ``witness_select`` winner of the inner reduction — the
+predecessor of ``j`` depends only on the final leg of the combined path.
+Every ⊕ here is *selective* (min/max/or: the result **is** one of the
+operands), which is what makes a per-cell argmin/argmax witness exact rather
+than approximate; a non-selective ⊕ (e.g. counting paths with ``+``) would
+have ``witness_select = None`` and simply opt out of ``paths=True``.
 
 All registered algebras except ``longest-path`` are *absorptive*
 (``one ⊕ x = one``): cycles never improve a path, so Floyd-Warshall and
@@ -129,6 +142,11 @@ class Semiring:
     #: uint64 packed-bitset layout of :mod:`repro.linalg.bitset` (64 cells
     #: per word — only meaningful for one-bit-per-cell boolean algebras).
     storages: tuple[str, ...] = ("dense",)
+    #: Witness policy: the arg-reduction matching ⊕ (``"min"`` for a min-⊕,
+    #: ``"max"`` for max/or), or ``None`` when the algebra cannot track
+    #: "which operand won" and therefore cannot reconstruct paths.  Only
+    #: meaningful for selective ⊕ operations (the result is one operand).
+    witness_select: str | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -140,6 +158,10 @@ class Semiring:
         if not self.storages or unknown:
             raise ConfigurationError(
                 f"algebra {self.name!r}: invalid storage policies {self.storages}")
+        if self.witness_select not in (None, "min", "max"):
+            raise ConfigurationError(
+                f"algebra {self.name!r}: witness_select must be None, 'min' "
+                f"or 'max', got {self.witness_select!r}")
 
     # -- pickling ----------------------------------------------------------
     def __reduce__(self):
@@ -171,22 +193,37 @@ class Semiring:
         """The block-storage layout this algebra's solves use by default."""
         return self.storages[0]
 
-    def resolve_storage(self, storage: str | None = None) -> str:
+    def resolve_storage(self, storage: str | None = None, *,
+                        paths: bool = False) -> str:
         """Resolve a requested block-storage policy against this algebra.
 
         ``None`` or ``"auto"`` selects the algebra's default (``"packed"``
         for the boolean reachability algebra, ``"dense"`` otherwise);
-        anything else must be one of the supported policies.
+        anything else must be one of the supported policies.  With
+        ``paths=True`` (witness tracking) the algebra must have a witness
+        policy and the blocks must be dense — there are no packed-bitset
+        witness kernels — so ``auto`` resolves to ``"dense"`` and an
+        explicit ``"packed"`` request is rejected.
         """
+        if paths and not self.supports_witness:
+            raise ConfigurationError(
+                f"algebra {self.name!r} declares no witness policy "
+                "(witness_select is None); path reconstruction is "
+                "unavailable for it")
         if storage is None:
-            return self.default_storage
-        requested = str(storage).strip().lower()
+            requested = "auto"
+        else:
+            requested = str(storage).strip().lower()
         if requested == "auto":
-            return self.default_storage
+            return "dense" if paths else self.default_storage
         if requested not in self.storages:
             raise ConfigurationError(
                 f"algebra {self.name!r} supports block storage "
                 f"{', '.join(self.storages)}; got {requested!r}")
+        if paths and requested == "packed":
+            raise ConfigurationError(
+                "witness tracking has no packed-bitset kernels; "
+                "request storage='dense' (or 'auto') with paths=True")
         return requested
 
     def result_dtype(self, *operands: np.ndarray) -> np.dtype:
@@ -214,6 +251,28 @@ class Semiring:
                    out: np.ndarray | None = None) -> np.ndarray:
         """⊕-reduction along ``axis`` (the outer operation of ``MatProd``)."""
         return self.add_op.reduce(array, axis=axis, out=out)
+
+    # -- witness policy ----------------------------------------------------
+    @property
+    def supports_witness(self) -> bool:
+        """True when this algebra can track argmin/argmax path witnesses."""
+        return self.witness_select is not None
+
+    def arg_select(self, array: np.ndarray, axis: int) -> np.ndarray:
+        """Indices of the ⊕-winning elements along ``axis``.
+
+        The witness companion of :meth:`add_reduce`: for every reduced lane
+        it returns the index of the element the ⊕-reduction selected (first
+        winner on ties, matching NumPy's argmin/argmax).  Raises for
+        algebras without a witness policy.
+        """
+        if self.witness_select == "min":
+            return np.argmin(array, axis=axis)
+        if self.witness_select == "max":
+            return np.argmax(array, axis=axis)
+        raise ConfigurationError(
+            f"algebra {self.name!r} declares no witness policy; path "
+            "reconstruction is unavailable for it")
 
     # -- scalars and identities -------------------------------------------
     def zero_like(self, dtype: str | np.dtype | None = None):
@@ -347,6 +406,7 @@ SHORTEST_PATH = register_algebra(Semiring(
     add_op=np.minimum, mul_op=np.add,
     zero=float("inf"), one=0.0,
     input_validator=validate_nonnegative_weights,
+    witness_select="min",
     description="(min, +) tropical semiring — the paper's APSP closure",
 ), aliases=("minplus", "min-plus", "apsp", "tropical"))
 
@@ -355,6 +415,7 @@ WIDEST_PATH = register_algebra(Semiring(
     add_op=np.maximum, mul_op=np.minimum,
     zero=0.0, one=float("inf"),
     input_validator=validate_nonnegative_weights,
+    witness_select="max",
     description="(max, min) bottleneck semiring — maximum-capacity paths",
 ), aliases=("maxmin", "max-min", "bottleneck"))
 
@@ -363,6 +424,7 @@ MOST_RELIABLE = register_algebra(Semiring(
     add_op=np.maximum, mul_op=np.multiply,
     zero=0.0, one=1.0,
     input_validator=validate_probability_weights,
+    witness_select="max",
     description="(max, ×) Viterbi semiring — most-probable paths over [0, 1]",
 ), aliases=("maxtimes", "max-times", "reliability", "viterbi"))
 
@@ -372,6 +434,7 @@ LONGEST_PATH = register_algebra(Semiring(
     zero=float("-inf"), one=0.0,
     input_validator=validate_dag_weights,
     absorptive=False,
+    witness_select="max",
     description="(max, +) semiring — critical paths; DAG inputs only",
 ), aliases=("maxplus", "max-plus", "critical-path"))
 
@@ -381,6 +444,7 @@ REACHABILITY = register_algebra(Semiring(
     zero=False, one=True,
     dtypes=("bool",), default_dtype="bool",
     storages=("packed", "dense"),
+    witness_select="max",
     description="(or, and) boolean semiring — transitive closure",
 ), aliases=("boolean", "or-and", "transitive-closure"))
 

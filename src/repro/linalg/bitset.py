@@ -13,11 +13,22 @@ blocks as word-parallel bitwise kernels:
   output rows (the per-bit column expansion of ``C |= A[:, k] & bcast(B[k])``),
 * the Floyd-Warshall pivot loop becomes ``rows with bit k set |= row k``.
 
-Bit layout: a block of shape ``(r, c)`` is stored as ``(r, ceil(c / 64))``
-``uint64`` words; bit ``b`` of word ``w`` in row ``i`` is cell
-``(i, 64 * w + b)``.  Padding bits past column ``c`` are **always zero** —
-every kernel preserves that invariant (OR/AND of zeros is zero), so equality
-and round-trips are exact even for ragged edge blocks with ``c % 64 != 0``.
+Bit layout — the zero-padding invariant
+---------------------------------------
+A block of shape ``(r, c)`` is stored as ``(r, ceil(c / 64))`` ``uint64``
+words; bit ``b`` of word ``w`` in row ``i`` is cell ``(i, 64 * w + b)``.
+When ``c % 64 != 0`` (the ragged edge blocks of a decomposition whose
+``n % 64 != 0``), the last word of every row has ``64 - c % 64`` padding
+bits past column ``c`` that are **always zero**.  This is a *global
+invariant*, not a per-call cleanup: :func:`pack_bits` establishes it, and
+every kernel preserves it *for free* because each one only combines words
+with OR/AND against other invariant-respecting words (``0 | 0 = 0``,
+``x & 0 = 0``) — no kernel ever needs to re-mask.  The invariant is what
+makes word-level ``np.array_equal`` a correct block-equality test, lets
+:func:`packed_product` OR whole rows without clipping, and keeps
+``unpack_bits`` round-trips exact.  Anything that writes raw words (a new
+kernel, a deserializer) must uphold it or every downstream kernel silently
+corrupts the ragged edge.
 
 :class:`PackedBlock` is deliberately *not* an ndarray subclass: the blocked
 solvers only ever transpose, copy, pickle and combine blocks, and keeping the
@@ -49,8 +60,10 @@ def packed_width(n_cols: int) -> int:
 def pack_bits(bits: np.ndarray) -> np.ndarray:
     """Pack a boolean ``(r, c)`` array into ``(r, ceil(c/64))`` uint64 words.
 
-    Padding bits beyond column ``c`` are zero.  Accepts 1-D input as a single
-    row (returned as ``(1, w)``).
+    Establishes the zero-padding invariant (see the module docstring): the
+    padded byte buffer is zero-initialized, so bits beyond column ``c`` are
+    zero in every word.  Accepts 1-D input as a single row (returned as
+    ``(1, w)``).
     """
     arr = np.asarray(bits)
     if arr.ndim == 1:
@@ -126,6 +139,7 @@ class PackedBlock:
         return unpack_bits(self.words, self.shape[1])
 
     def copy(self) -> "PackedBlock":
+        """Deep copy (fresh word array, same logical shape)."""
         return PackedBlock(self.words.copy(), self.shape)
 
     # -- ndarray-flavoured surface the solvers rely on ---------------------
@@ -136,6 +150,7 @@ class PackedBlock:
 
     @property
     def nbytes(self) -> int:
+        """Bytes held by the packed word array."""
         return int(self.words.nbytes)
 
     @property

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.common.errors import ValidationError
 from repro.common.validation import check_block_size, check_square_matrix
-from repro.linalg import bitset
+from repro.linalg import bitset, witness as witness_mod
 
 #: A block key: (block-row index I, block-column index J).
 BlockId = tuple[int, int]
@@ -92,7 +92,9 @@ def all_block_ids(q: int) -> Iterator[BlockId]:
 
 def matrix_to_blocks(matrix: np.ndarray, block_size: int, *,
                      upper_only: bool = True,
-                     storage: str = "dense") -> Iterator[tuple[BlockId, np.ndarray]]:
+                     storage: str = "dense",
+                     witness: bool = False,
+                     algebra=None) -> Iterator[tuple[BlockId, np.ndarray]]:
     """Decompose a square matrix into ``((I, J), block)`` tuples.
 
     With ``upper_only=True`` (the paper's symmetric storage) only blocks with
@@ -101,8 +103,16 @@ def matrix_to_blocks(matrix: np.ndarray, block_size: int, *,
     (``float32`` pipelines stay ``float32``); anything else is upcast to
     ``float64``.  With ``storage="packed"`` each (boolean) block is emitted
     as a :class:`~repro.linalg.bitset.PackedBlock` — 64 cells per word.
+    With ``witness=True`` (a ``paths=True`` solve) each block is emitted as
+    a :class:`~repro.linalg.witness.WitnessBlock` whose planes are stamped
+    with the block's *global* vertex ids under ``algebra``; the matrix must
+    then already be in the algebra's domain.
     """
     check_storage(storage)
+    if witness and storage == "packed":
+        raise ValidationError(
+            "witness tracking has no packed-bitset kernels; "
+            "use storage='dense' for paths=True solves")
     arr = check_square_matrix(matrix, dtype=None)
     n = arr.shape[0]
     b = check_block_size(block_size, n)
@@ -110,6 +120,10 @@ def matrix_to_blocks(matrix: np.ndarray, block_size: int, *,
     ids = upper_triangular_block_ids(q) if upper_only else all_block_ids(q)
     for (i, j) in ids:
         view = arr[block_range(i, b, n), block_range(j, b, n)]
+        if witness:
+            # witness_block copies, so the record never aliases the input.
+            yield (i, j), witness_mod.witness_block(view, i * b, j * b, algebra)
+            continue
         # Packing copies implicitly; the dense path must not alias the input.
         block = view if storage == "packed" else np.array(view, copy=True)
         yield (i, j), encode_block(block, storage)
@@ -126,8 +140,13 @@ def blocks_to_matrix(blocks: Iterable[tuple[BlockId, np.ndarray]], n: int,
     for never-seen cells (the algebra's "no path" element; ``inf`` matches the
     historical (min, +) behaviour) and ``dtype`` the output dtype (``None``
     preserves the first block's floating/boolean dtype, else ``float64``).
+    Witnessed blocks contribute their *values* plane only — use
+    :func:`repro.linalg.witness.witness_blocks_to_matrices` to assemble the
+    parent matrix alongside.
     """
     b = check_block_size(block_size, n)
+    blocks = [(key, blk.values if witness_mod.is_witnessed(blk) else blk)
+              for key, blk in blocks]
     blocks = [(key, bitset.as_dense_bool(blk) if bitset.is_packed(blk) else blk)
               for key, blk in blocks]
     if dtype is None:
@@ -169,19 +188,32 @@ class BlockedMatrix:
     blocks: dict[BlockId, np.ndarray]
     symmetric: bool = True
     storage: str = "dense"
+    #: True when the stored payloads are witnessed (value + parent planes).
+    witness: bool = False
 
     @classmethod
     def from_matrix(cls, matrix: np.ndarray, block_size: int, *,
                     symmetric: bool = True,
-                    storage: str = "dense") -> "BlockedMatrix":
+                    storage: str = "dense",
+                    witness: bool = False,
+                    algebra=None) -> "BlockedMatrix":
+        """Cut a dense matrix into a dictionary-backed blocked matrix.
+
+        With ``witness=True`` every stored payload is a
+        :class:`~repro.linalg.witness.WitnessBlock` carrying parent/successor
+        planes alongside the values (the matrix must already be in the
+        algebra's domain).
+        """
         arr = check_square_matrix(matrix, dtype=None)
         return cls(
             n=arr.shape[0],
             block_size=check_block_size(block_size, arr.shape[0]),
             blocks=dict(matrix_to_blocks(arr, block_size, upper_only=symmetric,
-                                         storage=storage)),
+                                         storage=storage, witness=witness,
+                                         algebra=algebra)),
             symmetric=symmetric,
             storage=check_storage(storage),
+            witness=witness,
         )
 
     @property
@@ -204,6 +236,13 @@ class BlockedMatrix:
             if bitset.is_packed(stored):
                 # Packed transposes are fresh repacks, not views: no aliasing.
                 return stored.T
+            if witness_mod.is_witnessed(stored):
+                # Witnessed transpose swaps the parent/successor planes and
+                # returns views; freeze them like the dense mirror below.
+                mirror = stored.T
+                for plane in (mirror.values, mirror.parents, mirror.succs):
+                    plane.flags.writeable = False
+                return mirror
             mirror = stored.T
             mirror.flags.writeable = False
             return mirror
@@ -217,6 +256,22 @@ class BlockedMatrix:
         accepted directly.
         """
         expected = block_shape((i, j), self.block_size, self.n)
+        if witness_mod.is_witnessed(value):
+            if not self.witness:
+                raise ValidationError(
+                    "cannot store a witnessed block in a non-witnessed "
+                    "BlockedMatrix")
+            if value.shape != expected:
+                raise ValidationError(
+                    f"block {(i, j)} has shape {value.shape}, expected {expected}")
+            if self.symmetric and i > j:
+                self.blocks[(j, i)] = value.T.copy()
+            else:
+                self.blocks[(i, j)] = value.copy()
+            return
+        if self.witness:
+            raise ValidationError(
+                "witnessed BlockedMatrix requires WitnessBlock payloads")
         if not bitset.is_packed(value):
             value = np.asarray(value)
             if value.dtype.kind not in ("f", "b"):
@@ -235,9 +290,19 @@ class BlockedMatrix:
             self.blocks[(i, j)] = value.copy()
 
     def to_matrix(self) -> np.ndarray:
-        """Assemble the dense matrix."""
+        """Assemble the dense (values) matrix."""
         return blocks_to_matrix(self.blocks.items(), self.n, self.block_size,
                                 symmetric=self.symmetric)
+
+    def to_matrices(self, *, fill, dtype=None):
+        """Assemble ``(values, parents)`` from a witnessed blocked matrix."""
+        if not self.witness:
+            raise ValidationError(
+                "to_matrices requires a witnessed BlockedMatrix; "
+                "use to_matrix for plain blocks")
+        return witness_mod.witness_blocks_to_matrices(
+            self.blocks.items(), self.n, self.block_size,
+            symmetric=self.symmetric, fill=fill, dtype=dtype)
 
     def block_ids(self) -> list[BlockId]:
         """Return the stored block keys, sorted row-major."""
@@ -256,6 +321,9 @@ class BlockedMatrix:
             return False
 
         def block_equal(a, b) -> bool:
+            """Compare two block payloads across representations."""
+            if witness_mod.is_witnessed(a) or witness_mod.is_witnessed(b):
+                return a == b
             if bitset.is_packed(a) or bitset.is_packed(b):
                 return bool(np.array_equal(bitset.as_dense_bool(a),
                                            bitset.as_dense_bool(b)))

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.common.errors import ValidationError
 from repro.common.validation import check_square_matrix, check_block_size
-from repro.linalg import bitset
+from repro.linalg import bitset, witness
 from repro.linalg.algebra import Semiring, get_algebra
 from repro.linalg.semiring import semiring_product, elementwise_combine
 
@@ -40,6 +40,8 @@ def floyd_warshall_inplace(dist: np.ndarray,
     inputs (nested lists) are converted — the mutated array is returned.
     """
     algebra = get_algebra(algebra)
+    if witness.is_witnessed(dist):
+        return witness.witness_floyd_warshall_inplace(dist, algebra)
     if bitset.is_packed(dist):
         if "packed" not in algebra.storages:
             raise ValidationError(
@@ -118,6 +120,8 @@ def fw_rank1_update(block: np.ndarray, col_i: np.ndarray, row_j: np.ndarray,
     same broadcast column.
     """
     algebra = get_algebra(algebra)
+    if witness.is_witnessed(block):
+        return witness.witness_rank1_update(block, col_i, row_j, algebra)
     if bitset.is_packed(block):
         if "packed" not in algebra.storages:
             raise ValidationError(
@@ -160,6 +164,8 @@ def blocked_floyd_warshall_inplace(dist: np.ndarray, block_size: int,
     benchmarks of Figure 2.
     """
     algebra = get_algebra(algebra)
+    if witness.is_witnessed(dist):
+        return witness.blocked_witness_floyd_warshall(dist, block_size, algebra)
     if not isinstance(dist, np.ndarray) or dist.dtype.name not in algebra.dtypes:
         dist = np.asarray(dist, dtype=algebra.result_dtype(np.asarray(dist)))
     n = dist.shape[0]

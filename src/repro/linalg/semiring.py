@@ -23,7 +23,7 @@ import math
 import numpy as np
 
 from repro.common.errors import ValidationError
-from repro.linalg import bitset
+from repro.linalg import bitset, witness
 from repro.linalg.algebra import Semiring, get_algebra
 
 #: Default number of output columns processed per chunk in the product kernel
@@ -77,13 +77,25 @@ def _require_reachability(algebra: Semiring, op: str) -> None:
             "has no packed kernels (only the boolean reachability algebra does)")
 
 
+def _require_both_witnessed(a, b, op: str) -> None:
+    if not (witness.is_witnessed(a) and witness.is_witnessed(b)):
+        raise ValidationError(
+            f"{op} cannot mix witnessed and plain operands; a paths=True "
+            "solve must carry witness planes on every block")
+
+
 def elementwise_combine(a, b, algebra: Semiring | str | None = None):
     """Elementwise ⊕ of two equally-shaped matrices (``MatMin`` generalized).
 
     Packed-bitset operands (:class:`~repro.linalg.bitset.PackedBlock`) take
-    the word-parallel OR kernel — 64 cells per machine word.
+    the word-parallel OR kernel — 64 cells per machine word.  Witnessed
+    operands (:class:`~repro.linalg.witness.WitnessBlock`) take the paired
+    value+parent kernel: the ⊕ winner keeps its pointers.
     """
     algebra = get_algebra(algebra)
+    if witness.is_witnessed(a) or witness.is_witnessed(b):
+        _require_both_witnessed(a, b, "MatMin")
+        return witness.witness_combine(a, b, algebra)
     if bitset.is_packed(a) or bitset.is_packed(b):
         _require_reachability(algebra, "MatMin")
         return bitset.packed_or(bitset.as_packed(a), bitset.as_packed(b))
@@ -123,6 +135,17 @@ def semiring_product(a, b,
         Optional pre-allocated output array of shape ``(m, n)``.
     """
     algebra = get_algebra(algebra)
+    if witness.is_witnessed(a) or witness.is_witnessed(b):
+        _require_both_witnessed(a, b, "MatProd")
+        if out is not None:
+            raise ValidationError(
+                "MatProd does not support out= for witnessed operands")
+        av = np.asarray(a.values)
+        bv = np.asarray(b.values)
+        if chunk is None:
+            chunk = auto_chunk(algebra.result_dtype(av, bv),
+                               av.shape[0], av.shape[1])
+        return witness.witness_product(a, b, algebra, chunk=chunk)
     if bitset.is_packed(a) or bitset.is_packed(b):
         _require_reachability(algebra, "MatProd")
         if out is not None:
@@ -174,8 +197,12 @@ def semiring_square(a: np.ndarray, algebra: Semiring | str | None = None, *,
     Squaring in a path closure must keep existing (shorter-or-equal) paths,
     which the diagonal ``one`` already guarantees; the explicit ⊕ with ``a``
     makes the kernel robust to inputs whose diagonal is not exactly ``one``.
+    Witnessed operands route both steps through the paired kernels.
     """
     algebra = get_algebra(algebra)
+    if witness.is_witnessed(a):
+        return elementwise_combine(a, semiring_product(a, a, algebra, chunk=chunk),
+                                   algebra)
     return algebra.add(np.asarray(a), semiring_product(a, a, algebra, chunk=chunk))
 
 

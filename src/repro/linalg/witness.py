@@ -1,0 +1,701 @@
+"""Witness (parent-pointer) tracking for path reconstruction.
+
+The closure of the adjacency matrix answers "how far?"; this module makes
+every witness-capable algebra also answer "which way?".  The idea is the
+classic "argmin witness": wherever ⊕ chooses between path values, remember
+*which* operand won, and wherever ⊗ extends paths, compose the remembered
+pointers with the standard rule ``parent[i, j] = parent[k*, j]`` (the
+predecessor of ``j`` only depends on the tail of the combined path).
+
+Storage model — why every block carries **two** witness planes
+--------------------------------------------------------------
+The solvers store only upper-triangular blocks and materialize ``A_JI`` as
+``A_IJ.T`` (Section 4's symmetric storage).  Distance values transpose; a
+predecessor matrix does **not**: ``parents[j, i]`` (the predecessor of ``i``
+on an optimal ``j -> i`` path) is not a function of ``parents[i, j]``.  For
+an undirected graph, however, the reverse of an optimal ``i -> j`` path is an
+optimal ``j -> i`` path, so the predecessor of ``i`` on the reversed path is
+exactly the *successor* of ``i`` on the forward path.  A
+:class:`WitnessBlock` therefore carries, alongside its ``values``:
+
+* ``parents[i, j]`` — the global predecessor of column-vertex ``j`` on an
+  optimal path from row-vertex ``i`` to ``j``;
+* ``succs[i, j]``  — the global successor of row-vertex ``i`` on that path
+  (``i``'s neighbour toward ``j``).
+
+With both planes the transpose is closed::
+
+    (V, P, R).T  =  (V.T, R.T, P.T)
+
+which is what lets witnessed blocks flow through ``CopyCol``, the mirror
+lookups of :class:`~repro.linalg.blocks.BlockedMatrix`, and the
+repeated-squaring column orientation completely unchanged.
+
+Composition rules
+-----------------
+For the semiring product ``C = A ⊗ B`` with winning inner index ``k*``::
+
+    P_C[i, j] = P_B[k*, j]      (falling back to P_A[i, k*] when k* == j)
+    R_C[i, j] = R_A[i, k*]      (falling back to R_B[k*, j] when k* == i)
+
+the fallbacks cover the empty-subpath cases (the winning index hitting the
+``one`` diagonal of either operand); cells whose combined value is the
+algebra's ``zero`` ("no path") are masked back to :data:`NO_VERTEX`.  For
+elementwise ⊕ the winner simply keeps its planes, with ties resolved to the
+*first* operand — which also makes the Floyd-Warshall rank-1 update safe:
+the degenerate pivot cells (``i == k`` or ``j == k``) can tie but never
+strictly improve, so their meaningless candidate pointers never survive.
+
+All indices are **global** vertex ids (stamped at block-cutting time by
+:func:`witness_block`), so kernels only ever gather and select; they never
+need to know a block's position in the grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import SolverError, ValidationError
+from repro.linalg.algebra import Semiring, get_algebra
+
+#: Sentinel for "no predecessor/successor": unreachable pairs and the
+#: diagonal (a path from a vertex to itself is empty).
+NO_VERTEX = np.int32(-1)
+
+
+def _as_witness_index(array: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    arr = np.asarray(array, dtype=np.int32)
+    if arr.shape != shape:
+        raise ValidationError(
+            f"witness plane has shape {arr.shape}, expected {shape}")
+    return arr
+
+
+class WitnessBlock:
+    """A matrix block paired with its parent/successor witness planes.
+
+    ``values`` is the ordinary distance block; ``parents`` and ``succs`` are
+    ``int32`` arrays of the same shape holding global vertex ids (see the
+    module docstring for their exact meaning).  Like
+    :class:`~repro.linalg.bitset.PackedBlock`, this is deliberately *not* an
+    ndarray subclass: the dispatch points (``semiring_product``,
+    ``elementwise_combine``, ``floyd_warshall_inplace``, ``fw_rank1_update``,
+    ``extract_col``, result assembly) check for it explicitly, and no NumPy
+    kernel can silently drop the witness planes.  Instances pickle by their
+    three arrays, so they travel through shuffles, the ``processes``
+    backend's IPC and the shared file system like any other block payload —
+    at roughly 1.5-2x the bytes of a bare value block, which is the traffic
+    overhead ``SolveRequest(paths=True)`` pays.
+    """
+
+    __slots__ = ("values", "parents", "succs")
+
+    def __init__(self, values: np.ndarray, parents: np.ndarray,
+                 succs: np.ndarray) -> None:
+        values = np.asarray(values)
+        if values.ndim != 2:
+            raise ValidationError(
+                f"witnessed block values must be 2-D, got ndim={values.ndim}")
+        self.values = values
+        self.parents = _as_witness_index(parents, values.shape)
+        self.succs = _as_witness_index(succs, values.shape)
+
+    # -- ndarray-flavoured surface the solvers rely on ---------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical (rows, cols) of the block."""
+        return self.values.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The element dtype of the *values* plane."""
+        return self.values.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across the value and witness planes."""
+        return int(self.values.nbytes + self.parents.nbytes + self.succs.nbytes)
+
+    @property
+    def T(self) -> "WitnessBlock":
+        """Transposed role ``A_JI`` of a stored block ``A_IJ``.
+
+        Swaps the witness planes (see the module docstring): the transposed
+        block's predecessors are the stored successors and vice versa.
+        Returns cheap views, mirroring ``ndarray.T``.
+        """
+        return WitnessBlock(self.values.T, self.succs.T, self.parents.T)
+
+    def copy(self) -> "WitnessBlock":
+        """Deep copy of all three planes."""
+        return WitnessBlock(self.values.copy(), self.parents.copy(),
+                            self.succs.copy())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WitnessBlock):
+            return NotImplemented
+        return (bool(np.array_equal(self.values, other.values))
+                and bool(np.array_equal(self.parents, other.parents))
+                and bool(np.array_equal(self.succs, other.succs)))
+
+    def __hash__(self) -> None:  # pragma: no cover - mutable container
+        raise TypeError("WitnessBlock is unhashable")
+
+    def __reduce__(self):
+        """Pickle by plane arrays (``__slots__`` classes need an explicit reducer)."""
+        return (WitnessBlock, (self.values, self.parents, self.succs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WitnessBlock(shape={self.shape}, dtype={self.dtype})"
+
+
+class WitnessVector:
+    """A witnessed pivot-column slice for the 2D Floyd-Warshall broadcast.
+
+    ``values[v]`` is the distance between vertex ``v`` and the pivot vertex
+    ``k``; ``toward[v]`` is ``v``'s neighbour on that optimal path, on
+    ``v``'s side.  By symmetry that single plane serves both operand roles of
+    the rank-1 update: it is simultaneously the *successor* of ``v`` on
+    ``v -> k`` (row role) and the *predecessor* of ``v`` on ``k -> v``
+    (column role), which is why the broadcast column needs only one witness
+    plane where blocks need two.
+    """
+
+    __slots__ = ("values", "toward")
+
+    def __init__(self, values: np.ndarray, toward: np.ndarray) -> None:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValidationError(
+                f"witnessed column must be 1-D, got ndim={values.ndim}")
+        self.values = values
+        self.toward = _as_witness_index(toward, values.shape)
+
+    @property
+    def shape(self) -> tuple[int]:
+        """Length of the column as a 1-tuple (ndarray-compatible)."""
+        return self.values.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The element dtype of the values plane."""
+        return self.values.dtype
+
+    def __getitem__(self, index: slice) -> "WitnessVector":
+        """Slice both planes together (the per-block windowing of the update)."""
+        if not isinstance(index, slice):
+            raise ValidationError("witnessed columns only support slice indexing")
+        return WitnessVector(self.values[index], self.toward[index])
+
+    def __reduce__(self):
+        """Pickle by plane arrays (for the broadcast under ``processes``)."""
+        return (WitnessVector, (self.values, self.toward))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WitnessVector(n={self.values.shape[0]}, dtype={self.dtype})"
+
+
+def is_witnessed(block) -> bool:
+    """True when ``block`` is a :class:`WitnessBlock`."""
+    return isinstance(block, WitnessBlock)
+
+
+def is_witness_vector(piece) -> bool:
+    """True when ``piece`` is a :class:`WitnessVector`."""
+    return isinstance(piece, WitnessVector)
+
+
+def require_witness(algebra: Semiring, op: str) -> Semiring:
+    """Resolve ``algebra`` and fail fast when it cannot track witnesses."""
+    algebra = get_algebra(algebra)
+    if not algebra.supports_witness:
+        raise ValidationError(
+            f"{op} received witnessed operands but algebra {algebra.name!r} "
+            "declares no witness policy (witness_select is None)")
+    return algebra
+
+
+# ---------------------------------------------------------------------------
+# Construction / destruction
+# ---------------------------------------------------------------------------
+def witness_block(values: np.ndarray, row_start: int, col_start: int,
+                  algebra: Semiring | str | None = None) -> WitnessBlock:
+    """Stamp initial witnesses onto a *prepared* adjacency block.
+
+    ``values`` must already live in the algebra's domain (missing edges are
+    ``zero``, the diagonal is ``one``); ``row_start``/``col_start`` are the
+    global indices of the block's first row/column.  A direct edge
+    ``i -> j`` starts with ``parents = i`` and ``succs = j`` (the path is the
+    edge itself); everything else, including the diagonal, starts at
+    :data:`NO_VERTEX`.
+    """
+    algebra = require_witness(get_algebra(algebra), "witness_block")
+    vals = np.array(values, copy=True)
+    if vals.ndim != 2:
+        raise ValidationError(f"block must be 2-D, got ndim={vals.ndim}")
+    r, c = vals.shape
+    rows_g = np.arange(row_start, row_start + r, dtype=np.int32)
+    cols_g = np.arange(col_start, col_start + c, dtype=np.int32)
+    edge = vals != algebra.zero_like(vals.dtype)
+    edge &= rows_g[:, None] != cols_g[None, :]
+    parents = np.where(edge, rows_g[:, None], NO_VERTEX).astype(np.int32)
+    succs = np.where(edge, cols_g[None, :], NO_VERTEX).astype(np.int32)
+    return WitnessBlock(vals, parents, succs)
+
+
+def witness_matrix(prepared: np.ndarray,
+                   algebra: Semiring | str | None = None) -> WitnessBlock:
+    """Stamp a full prepared ``n x n`` matrix (the sequential solvers' entry)."""
+    return witness_block(prepared, 0, 0, algebra)
+
+
+def witness_blocks_to_matrices(blocks, n: int, block_size: int, *,
+                               symmetric: bool = True,
+                               fill, dtype=None):
+    """Assemble witnessed block records into ``(distances, parents)`` matrices.
+
+    The witnessed counterpart of
+    :func:`~repro.linalg.blocks.blocks_to_matrix`: missing lower-triangular
+    blocks are reconstructed from their stored mirror — values by transpose,
+    parents from the mirror's *successor* plane (the transpose rule).  The
+    returned ``parents`` is the full ``n x n`` predecessor matrix
+    (``parents[i, j]`` = predecessor of ``j`` on an optimal ``i -> j`` path,
+    :data:`NO_VERTEX` for unreachable pairs and the diagonal).
+    """
+    from repro.common.validation import check_block_size
+    from repro.linalg.blocks import block_range, num_blocks
+    b = check_block_size(block_size, n)
+    records = {}
+    for key, blk in blocks:
+        if not is_witnessed(blk):
+            raise ValidationError(
+                f"block {key} is not witnessed; paths=True solves must keep "
+                "witness planes attached end-to-end")
+        records[tuple(key)] = blk
+    if dtype is None:
+        first = next(iter(records.values()), None)
+        dtype = first.dtype if first is not None else np.dtype(np.float64)
+    distances = np.full((n, n), fill, dtype=dtype)
+    parents = np.full((n, n), NO_VERTEX, dtype=np.int32)
+    for (i, j), blk in records.items():
+        ri, rj = block_range(i, b, n), block_range(j, b, n)
+        expected = (ri.stop - ri.start, rj.stop - rj.start)
+        if blk.shape != expected:
+            raise ValidationError(
+                f"block {(i, j)} has shape {blk.shape}, expected {expected}")
+        distances[ri, rj] = blk.values
+        parents[ri, rj] = blk.parents
+    if symmetric:
+        q = num_blocks(n, b)
+        for i in range(q):
+            for j in range(q):
+                if (i, j) not in records and (j, i) in records:
+                    mirror = records[(j, i)].T
+                    ri, rj = block_range(i, b, n), block_range(j, b, n)
+                    distances[ri, rj] = mirror.values
+                    parents[ri, rj] = mirror.parents
+    return distances, parents
+
+
+# ---------------------------------------------------------------------------
+# Paired value+witness kernels
+# ---------------------------------------------------------------------------
+def witness_combine(a: WitnessBlock, b: WitnessBlock,
+                    algebra: Semiring | str | None = None) -> WitnessBlock:
+    """Elementwise ⊕ of two witnessed blocks: the winner keeps its pointers.
+
+    ``take_b`` requires *strict* improvement (``⊕(a, b) == b`` and ``!= a``),
+    so ties keep the first operand's witnesses — the property the
+    Floyd-Warshall updates rely on to discard degenerate pivot candidates.
+    """
+    algebra = require_witness(algebra, "witnessed MatMin")
+    if a.shape != b.shape:
+        raise ValidationError(
+            f"MatMin requires equal shapes, got {a.shape} and {b.shape}")
+    av, bv = a.values, b.values
+    combined = algebra.add(av, bv)
+    take_b = (combined == bv) & (combined != av)
+    return WitnessBlock(
+        combined,
+        np.where(take_b, b.parents, a.parents),
+        np.where(take_b, b.succs, a.succs),
+    )
+
+
+def witness_product(a: WitnessBlock, b: WitnessBlock,
+                    algebra: Semiring | str | None = None, *,
+                    chunk: int) -> WitnessBlock:
+    """Semiring product with witness composition (``MatProd`` + argmin).
+
+    For every output cell the winning inner index ``k*`` is selected with
+    the algebra's ``witness_select`` arg-reduction over the same broadcast
+    temporary the value kernel streams, and the planes compose as
+    ``P_C[i, j] = P_B[k*, j]`` / ``R_C[i, j] = R_A[i, k*]`` with the
+    empty-subpath fallbacks described in the module docstring.
+    """
+    algebra = require_witness(algebra, "witnessed MatProd")
+    av = np.asarray(a.values)
+    bv = np.asarray(b.values)
+    if av.shape[1] != bv.shape[0]:
+        raise ValidationError(
+            f"MatProd inner dimensions must agree, got {av.shape} and {bv.shape}")
+    dtype = algebra.result_dtype(av, bv)
+    av = np.asarray(av, dtype=dtype)
+    bv = np.asarray(bv, dtype=dtype)
+    m, _ = av.shape
+    n = bv.shape[1]
+    if chunk <= 0:
+        raise ValidationError("chunk must be positive")
+    values = np.empty((m, n), dtype=dtype)
+    parents = np.empty((m, n), dtype=np.int32)
+    succs = np.empty((m, n), dtype=np.int32)
+    rows = np.arange(m)[:, None]
+    for j0 in range(0, n, chunk):
+        j1 = min(j0 + chunk, n)
+        cols = np.arange(j0, j1)[None, :]
+        # (m, k, j1-j0) — the same broadcast the value-only kernel streams.
+        combined = algebra.mul(av[:, :, None], bv[None, :, j0:j1])
+        ks = algebra.arg_select(combined, axis=1)              # (m, j1-j0)
+        values[:, j0:j1] = combined[rows, ks, cols - j0]
+        p = b.parents[ks, cols]                 # tail pointers from B
+        p_fallback = a.parents[rows, ks]        # k* == j: B-subpath empty
+        parents[:, j0:j1] = np.where(p == NO_VERTEX, p_fallback, p)
+        r = a.succs[rows, ks]                   # head pointers from A
+        r_fallback = b.succs[ks, cols]          # k* == i: A-subpath empty
+        succs[:, j0:j1] = np.where(r == NO_VERTEX, r_fallback, r)
+    no_path = values == algebra.zero_like(dtype)
+    parents[no_path] = NO_VERTEX
+    succs[no_path] = NO_VERTEX
+    return WitnessBlock(values, parents, succs)
+
+
+def witness_floyd_warshall_inplace(block: WitnessBlock,
+                                   algebra: Semiring | str | None = None,
+                                   ) -> WitnessBlock:
+    """In-place Floyd-Warshall on a witnessed (square) block.
+
+    Each pivot relaxation ``V[i, j] = V[i, j] ⊕ (V[i, k] ⊗ V[k, j])``
+    carries ``P[i, j] = P[k, j]`` and ``R[i, j] = R[i, k]`` on strict
+    improvement.  The degenerate cells (``i == k`` or ``j == k``) can only
+    tie — ``one ⊗ x = x`` — so the pivot row/column, and with them the
+    pointers being read, are stable within an iteration.
+    """
+    algebra = require_witness(algebra, "witnessed Floyd-Warshall")
+    values, parents, succs = block.values, block.parents, block.succs
+    if values.shape[0] != values.shape[1]:
+        raise ValidationError(
+            f"Floyd-Warshall needs a square block, got {block.shape}")
+    if values.dtype.name not in algebra.dtypes:
+        raise ValidationError(
+            f"witnessed Floyd-Warshall cannot mutate a {values.dtype.name} "
+            f"array in place under algebra {algebra.name!r}")
+    n = values.shape[0]
+    for k in range(n):
+        candidate = algebra.mul(values[:, k, None], values[None, k, :])
+        relaxed = algebra.add(values, candidate)
+        improved = relaxed != values
+        parents[improved] = np.broadcast_to(
+            parents[k, :][None, :], parents.shape)[improved]
+        succs[improved] = np.broadcast_to(
+            succs[:, k][:, None], succs.shape)[improved]
+        values[...] = relaxed
+    return block
+
+
+def witness_rank1_update(block: WitnessBlock, col_i: WitnessVector,
+                         row_j: WitnessVector,
+                         algebra: Semiring | str | None = None) -> WitnessBlock:
+    """Witnessed ``FloydWarshallUpdate``: rank-1 relaxation through pivot ``k``.
+
+    The candidate path ``i -> k -> j`` wins a cell only on strict
+    improvement, in which case ``parents`` takes ``row_j.toward[j]`` (the
+    predecessor of ``j`` on ``k -> j``) and ``succs`` takes
+    ``col_i.toward[i]`` (the successor of ``i`` on ``i -> k``).  Degenerate
+    candidates through the pivot's own row/column tie and are discarded.
+    """
+    algebra = require_witness(algebra, "witnessed FloydWarshallUpdate")
+    if not (is_witness_vector(col_i) and is_witness_vector(row_j)):
+        raise ValidationError(
+            "witnessed rank-1 update needs witnessed pivot slices; "
+            "extract_col emits them for witnessed blocks")
+    bv = block.values
+    cv = col_i.values.reshape(-1)
+    rv = row_j.values.reshape(-1)
+    if cv.shape[0] != bv.shape[0] or rv.shape[0] != bv.shape[1]:
+        raise ValidationError(
+            f"pivot slices have lengths {cv.shape[0]}/{rv.shape[0]} "
+            f"but block is {block.shape}")
+    candidate = algebra.mul(cv[:, None], rv[None, :])
+    relaxed = algebra.add(bv, candidate)
+    improved = relaxed != bv
+    parents = np.where(improved, row_j.toward[None, :], block.parents)
+    succs = np.where(improved, col_i.toward[:, None], block.succs)
+    return WitnessBlock(relaxed, parents, succs)
+
+
+def blocked_witness_floyd_warshall(block: WitnessBlock, block_size: int,
+                                   algebra: Semiring | str | None = None,
+                                   ) -> WitnessBlock:
+    """Cache-blocked witnessed Floyd-Warshall on one full-matrix block.
+
+    The sequential analogue of the distributed blocked solvers under
+    ``paths=True`` (and the ground-truth harness for the witnessed product /
+    combine kernels): the same three phases as
+    :func:`~repro.linalg.kernels.blocked_floyd_warshall_inplace`, operating
+    on witnessed sub-views and writing all three planes back.
+    """
+    from repro.common.validation import check_block_size
+    from repro.linalg.semiring import elementwise_combine, semiring_product
+    algebra = require_witness(algebra, "witnessed blocked Floyd-Warshall")
+    n = block.shape[0]
+    if block.shape[0] != block.shape[1]:
+        raise ValidationError(
+            f"Floyd-Warshall needs a square matrix, got {block.shape}")
+    b = check_block_size(block_size, n)
+    q = (n + b - 1) // b
+
+    def _rng(t: int) -> slice:
+        return slice(t * b, min((t + 1) * b, n))
+
+    def _view(rows: slice, cols: slice) -> WitnessBlock:
+        return WitnessBlock(block.values[rows, cols],
+                            block.parents[rows, cols],
+                            block.succs[rows, cols])
+
+    def _store(rows: slice, cols: slice, updated: WitnessBlock) -> None:
+        block.values[rows, cols] = updated.values
+        block.parents[rows, cols] = updated.parents
+        block.succs[rows, cols] = updated.succs
+
+    for t in range(q):
+        pivot = _rng(t)
+        witness_floyd_warshall_inplace(_view(pivot, pivot), algebra)
+        pivot_block = _view(pivot, pivot)
+        for j in range(q):
+            if j == t:
+                continue
+            cols = _rng(j)
+            row_block = _view(pivot, cols)
+            _store(pivot, cols, elementwise_combine(
+                row_block, semiring_product(pivot_block, row_block, algebra),
+                algebra))
+            col_block = _view(cols, pivot)
+            _store(cols, pivot, elementwise_combine(
+                col_block, semiring_product(col_block, pivot_block, algebra),
+                algebra))
+        for i in range(q):
+            if i == t:
+                continue
+            rows = _rng(i)
+            left = _view(rows, pivot).copy()
+            for j in range(q):
+                if j == t:
+                    continue
+                cols = _rng(j)
+                base = _view(rows, cols)
+                _store(rows, cols, elementwise_combine(
+                    base, semiring_product(left, _view(pivot, cols), algebra),
+                    algebra))
+    return block
+
+
+# ---------------------------------------------------------------------------
+# Global consistency: detection + tight-edge repair
+# ---------------------------------------------------------------------------
+def _tight_rtol(dtype: np.dtype) -> float:
+    """Relative tolerance for the tight-edge test, matched to the dtype.
+
+    Closure values are composed in solver-dependent association orders, so
+    the last-edge identity ``D[i, p] ⊗ E[p, j] == D[i, j]`` holds only up to
+    rounding for float algebras (and exactly for bool).
+    """
+    if dtype == np.bool_:
+        return 0.0
+    return 1e-4 if np.dtype(dtype).itemsize < 8 else 1e-9
+
+
+def consistent_parent_rows(parents: np.ndarray) -> np.ndarray:
+    """Boolean mask of source rows whose pointer chains all reach the source.
+
+    Row ``i`` of a predecessor matrix is *consistent* when following
+    ``j -> parents[i, j]`` from every assigned ``j`` terminates at ``i`` —
+    the property :func:`reconstruct_path` walks rely on.  Checked for all
+    rows at once by pointer doubling (O(n² log n), no Python-level loops
+    over cells).
+    """
+    parents = np.asarray(parents)
+    n = parents.shape[0]
+    if n == 0:
+        return np.zeros((0,), dtype=bool)
+    sentinel = n  # virtual absorbing node for "-1" (unassigned / dead end)
+    chase = np.where(parents == NO_VERTEX, sentinel, parents).astype(np.int64)
+    rows = np.arange(n)
+    # The source is a root: absorb chains that reach it.
+    chase[rows, rows] = rows
+    padded = np.empty((n, n + 1), dtype=np.int64)
+    doublings = max(1, int(np.ceil(np.log2(max(2, n)))) + 1)
+    for _ in range(doublings):
+        padded[:, :n] = chase
+        padded[:, n] = sentinel
+        chase = np.take_along_axis(padded, chase, axis=1)
+    reached_root = chase == rows[:, None]
+    unassigned = parents == NO_VERTEX
+    return np.all(reached_root | unassigned, axis=1)
+
+
+def _adjacency_row_values(adjacency, rows: np.ndarray, algebra: Semiring,
+                          dtype: np.dtype) -> np.ndarray:
+    """Materialize adjacency rows in the algebra's domain (dense or CSR).
+
+    For CSR inputs, unstored cells become the algebra's ``zero`` (a plain
+    ``toarray`` would yield numeric 0, which is *not* "no edge" under
+    (min, +)).
+    """
+    from repro.graph import sparse as sparse_mod
+    if not sparse_mod.is_sparse(adjacency):
+        return np.asarray(adjacency)[rows]
+    sub = adjacency[rows]
+    out = np.full((rows.shape[0], adjacency.shape[1]),
+                  algebra.zero_like(dtype), dtype=dtype)
+    indptr = sub.indptr
+    data = np.asarray(sub.data, dtype=dtype)
+    for local in range(rows.shape[0]):
+        lo, hi = indptr[local], indptr[local + 1]
+        out[local, sub.indices[lo:hi]] = data[lo:hi]
+    return out
+
+
+def rebuild_parent_row(source: int, distances: np.ndarray, adjacency,
+                       algebra: Semiring, *, rtol: float | None = None,
+                       ) -> np.ndarray:
+    """Recompute one source row of the predecessor matrix from the closure.
+
+    Tight-edge BFS layering: starting from the source, a vertex ``j`` joins
+    the tree once some already-layered vertex ``p`` has an edge to ``j``
+    that *extends optimally* (``D[i, p] ⊗ E[p, j] == D[i, j]``, within a
+    dtype-matched tolerance for floats).  In an absorptive selective
+    semiring such a layering reaches every vertex with a finite closure
+    entry, and the resulting pointers strictly decrease the BFS layer —
+    walks cannot cycle.  This is the consistency backstop for plateau-heavy
+    algebras (reachability, bottleneck ties) where independently-chosen
+    per-cell witnesses can disagree across cells.
+    """
+    d_row = np.asarray(distances)[source]
+    n = d_row.shape[0]
+    dtype = d_row.dtype
+    zero = algebra.zero_like(dtype)
+    if rtol is None:
+        rtol = _tight_rtol(dtype)
+    parents_row = np.full(n, NO_VERTEX, dtype=np.int32)
+    reachable = d_row != zero
+    reachable[source] = False
+    assigned = np.zeros(n, dtype=bool)
+    assigned[source] = True
+    frontier = np.array([source], dtype=np.int64)
+    while frontier.size:
+        edge_vals = _adjacency_row_values(adjacency, frontier, algebra, dtype)
+        candidate = algebra.mul(d_row[frontier][:, None], edge_vals)
+        if dtype == np.bool_:
+            tight = candidate & (edge_vals != zero)
+        else:
+            close = np.isclose(candidate, d_row[None, :], rtol=rtol,
+                               atol=rtol) | (np.isinf(candidate)
+                                             & np.isinf(d_row[None, :]))
+            tight = close & (edge_vals != zero) & (candidate != zero)
+        tight &= (reachable & ~assigned)[None, :]
+        covered = tight.any(axis=0)
+        new_vertices = np.flatnonzero(covered)
+        if new_vertices.size == 0:
+            break
+        first_hit = np.argmax(tight[:, new_vertices], axis=0)
+        parents_row[new_vertices] = frontier[first_hit].astype(np.int32)
+        assigned[new_vertices] = True
+        frontier = new_vertices
+    missing = reachable & ~assigned
+    if missing.any():
+        raise SolverError(
+            f"path repair could not layer {int(missing.sum())} vertices for "
+            f"source {source}; closure and adjacency are inconsistent")
+    return parents_row
+
+
+def repair_parents(distances: np.ndarray, parents: np.ndarray, adjacency,
+                   algebra: Semiring | str | None = None, *,
+                   rtol: float | None = None) -> tuple[np.ndarray, int]:
+    """Make a predecessor matrix globally walk-consistent, row by row.
+
+    The distributed solvers produce *locally* valid witnesses — every
+    pointer is a genuine edge-predecessor of an optimal path — but on
+    equal-value plateaus (boolean reachability, shared bottlenecks)
+    independently-updated cells can point at each other, leaving a source
+    row whose walk cycles.  This pass detects such rows with
+    :func:`consistent_parent_rows` and rebuilds only those via
+    :func:`rebuild_parent_row`; consistent rows keep the solver's witnesses
+    untouched.  Returns ``(parents, repaired_row_count)`` (``parents`` is
+    modified in place).
+    """
+    algebra = get_algebra(algebra)
+    parents = np.asarray(parents)
+    ok = consistent_parent_rows(parents)
+    bad_rows = np.flatnonzero(~ok)
+    for source in bad_rows:
+        parents[source] = rebuild_parent_row(int(source), distances, adjacency,
+                                             algebra, rtol=rtol)
+    return parents, int(bad_rows.size)
+
+
+# ---------------------------------------------------------------------------
+# Path reconstruction
+# ---------------------------------------------------------------------------
+def reconstruct_path(parents: np.ndarray, src: int, dst: int) -> list[int]:
+    """Walk a predecessor matrix back from ``dst`` to ``src``.
+
+    Returns the vertex list ``[src, ..., dst]`` (``[src]`` when
+    ``src == dst``).  Raises :class:`~repro.common.errors.SolverError` when
+    no path exists or the matrix is inconsistent (a walk that fails to reach
+    ``src`` within ``n`` steps).
+    """
+    parents = np.asarray(parents)
+    n = parents.shape[0]
+    if not (0 <= src < n and 0 <= dst < n):
+        raise ValidationError(
+            f"route endpoints ({src}, {dst}) out of range for n={n}")
+    if src == dst:
+        return [int(src)]
+    if parents[src, dst] == NO_VERTEX:
+        raise SolverError(f"no path from {src} to {dst}")
+    path = [int(dst)]
+    cur = int(dst)
+    for _ in range(n):
+        cur = int(parents[src, cur])
+        if cur == NO_VERTEX:
+            raise SolverError(
+                f"parent matrix is inconsistent: walk from {dst} hit a dead "
+                f"end before reaching {src}")
+        path.append(cur)
+        if cur == src:
+            return path[::-1]
+    raise SolverError(
+        f"parent matrix is inconsistent: walk from {dst} did not reach "
+        f"{src} within {n} steps")
+
+
+def path_weight(prepared: np.ndarray, path: list[int],
+                algebra: Semiring | str | None = None):
+    """Fold a path's edge weights under the algebra's ⊗.
+
+    ``prepared`` must be the adjacency in the algebra's domain (missing
+    edges are ``zero``).  Raises when the path traverses a missing edge —
+    the check the route validation in tests and the CLI relies on.  A
+    single-vertex path folds to the algebra's ``one``.
+    """
+    algebra = get_algebra(algebra)
+    arr = np.asarray(prepared)
+    fold = algebra.one_like(arr.dtype)
+    zero = algebra.zero_like(arr.dtype)
+    for u, v in zip(path[:-1], path[1:]):
+        weight = arr[u, v]
+        if weight == zero:
+            raise SolverError(f"path step {u} -> {v} is not an edge")
+        fold = algebra.mul(fold, weight)
+    return fold

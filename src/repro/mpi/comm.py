@@ -32,25 +32,30 @@ class CommStats:
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def record_message(self, nbytes: int) -> None:
+        """Count one point-to-point message of the given size."""
         with self._lock:
             self.messages += 1
             self.bytes_sent += nbytes
 
     def record_broadcast(self, nbytes: int, fanout: int) -> None:
+        """Count one broadcast of the given payload size."""
         with self._lock:
             self.broadcasts += 1
             self.broadcast_bytes += nbytes * max(0, fanout)
 
     def record_allgather(self, nbytes: int, participants: int) -> None:
+        """Count one allgather of the given payload size."""
         with self._lock:
             self.allgathers += 1
             self.allgather_bytes += nbytes * max(0, participants - 1)
 
     def record_barrier(self) -> None:
+        """Count one barrier synchronization."""
         with self._lock:
             self.barriers += 1
 
     def as_dict(self) -> dict:
+        """Counter snapshot as a plain dict."""
         return {
             "messages": self.messages,
             "bytes_sent": self.bytes_sent,
@@ -85,9 +90,11 @@ class SimulatedComm:
 
     # -- topology ---------------------------------------------------------------
     def get_rank(self) -> int:
+        """This process's rank in the communicator."""
         return self._rank
 
     def get_size(self) -> int:
+        """Number of ranks in the communicator."""
         return self._shared.size
 
     # mpi4py-style aliases
@@ -96,12 +103,14 @@ class SimulatedComm:
 
     # -- point to point ------------------------------------------------------------
     def send(self, obj, dest: int, tag: int = 0) -> None:
+        """Send a payload to one rank (records stats)."""
         if not (0 <= dest < self._shared.size):
             raise ConfigurationError(f"invalid destination rank {dest}")
         self._shared.stats.record_message(estimate_size(obj))
         self._shared.mailboxes[(self._rank, dest)].put((tag, obj))
 
     def recv(self, source: int, tag: int = 0, timeout: float = 60.0):
+        """Blocking receive from a specific rank and tag."""
         box = self._shared.mailboxes[(source, self._rank)]
         stash = []
         try:
@@ -118,6 +127,7 @@ class SimulatedComm:
 
     # -- collectives -----------------------------------------------------------------
     def barrier(self) -> None:
+        """Block until every rank reaches the barrier."""
         self._shared.stats.record_barrier()
         self._shared.barrier.wait()
 
@@ -165,6 +175,7 @@ def run_spmd(size: int, func: Callable[[SimulatedComm], object], *,
     errors: list = [None] * size
 
     def worker(rank: int) -> None:
+        """Thread body running one simulated rank."""
         comm = SimulatedComm(rank, shared)
         try:
             results[rank] = func(comm)

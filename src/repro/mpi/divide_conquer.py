@@ -52,6 +52,7 @@ def _dc(dist: np.ndarray, base_case: int, stats: DCStats, depth: int = 0) -> Non
     d = dist[m:, m:]
 
     def multiply(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Semiring product + ⊕ used by the DC recursion."""
         stats.multiplications += 1
         stats.multiply_volume += float(x.shape[0]) * x.shape[1] * y.shape[1]
         return minplus_product(x, y)

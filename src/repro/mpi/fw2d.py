@@ -45,6 +45,7 @@ def fw2d_mpi_apsp(adjacency: np.ndarray, num_ranks: int = 4,
     bs = n // g
 
     def rank_main(comm: SimulatedComm):
+        """Per-rank body of the simulated 2-D Floyd-Warshall."""
         rank = comm.get_rank()
         my_row, my_col = divmod(rank, g)
         local = np.array(adj[my_row * bs:(my_row + 1) * bs,

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.adjacency import validate_adjacency
+from repro.linalg import witness as witness_mod
 from repro.linalg.algebra import Semiring, get_algebra
 from repro.linalg.kernels import (
     floyd_warshall_inplace,
@@ -24,31 +25,54 @@ def floyd_warshall_reference(adjacency: np.ndarray) -> np.ndarray:
     return floyd_warshall_scipy(adj)
 
 
+def _finalize_witnessed(block, prepared: np.ndarray, algebra: Semiring):
+    """Extract ``(distances, parents)`` from a solved witnessed matrix.
+
+    Applies the plateau-consistency repair (see
+    :func:`repro.linalg.witness.repair_parents`) so the returned predecessor
+    matrix is walk-consistent for every source.
+    """
+    parents, _ = witness_mod.repair_parents(block.values, block.parents,
+                                            prepared, algebra)
+    return block.values, parents
+
+
 def floyd_warshall_numpy(adjacency: np.ndarray, *,
                          algebra: Semiring | str | None = None,
-                         dtype=None) -> np.ndarray:
+                         dtype=None, paths: bool = False):
     """Pure NumPy Floyd-Warshall (vectorized rank-1 updates per pivot).
 
     Generic over the path algebra: pass ``algebra="widest-path"`` (etc.) to
     compute the closure under a different semiring, and ``dtype="float32"``
     to halve memory traffic.  The DAG-only ``longest-path`` algebra is
     supported here (inputs need not be symmetric), unlike in the distributed
-    solvers.
+    solvers.  With ``paths=True`` returns ``(distances, parents)`` where
+    ``parents`` is the predecessor matrix of
+    :func:`repro.linalg.witness.reconstruct_path`.
     """
     resolved = get_algebra(algebra)
     adj = validate_adjacency(adjacency, algebra=resolved, dtype=dtype)
-    return floyd_warshall_inplace(adj, resolved)
+    if not paths:
+        return floyd_warshall_inplace(adj, resolved)
+    witnessed = witness_mod.witness_matrix(adj, resolved)
+    floyd_warshall_inplace(witnessed, resolved)
+    return _finalize_witnessed(witnessed, adj, resolved)
 
 
 def floyd_warshall_blocked(adjacency: np.ndarray, block_size: int, *,
                            algebra: Semiring | str | None = None,
-                           dtype=None) -> np.ndarray:
+                           dtype=None, paths: bool = False):
     """Cache-blocked Floyd-Warshall of Venkataraman et al. on a single machine.
 
     This is the sequential analogue of the Blocked In-Memory / Blocked
     Collect-Broadcast distributed solvers, useful both as ground truth and for
     the single-block benchmarks of Figure 2.  Generic over the path algebra.
+    With ``paths=True`` returns ``(distances, parents)``.
     """
     resolved = get_algebra(algebra)
     adj = validate_adjacency(adjacency, algebra=resolved, dtype=dtype)
-    return blocked_floyd_warshall_inplace(adj, block_size, resolved)
+    if not paths:
+        return blocked_floyd_warshall_inplace(adj, block_size, resolved)
+    witnessed = witness_mod.witness_matrix(adj, resolved)
+    blocked_floyd_warshall_inplace(witnessed, block_size, resolved)
+    return _finalize_witnessed(witnessed, adj, resolved)

@@ -11,22 +11,31 @@ from repro.linalg.semiring import semiring_square, closure_iterations
 
 def repeated_squaring_apsp(adjacency: np.ndarray, *, return_iterations: bool = False,
                            algebra: Semiring | str | None = None,
-                           dtype=None):
+                           dtype=None, paths: bool = False):
     """Path closure by repeated semiring squaring of the adjacency matrix.
 
     Performs ``ceil(log2(n - 1))`` squarings, each ``O(n^3)``; asymptotically
     a ``log n`` factor worse than Floyd-Warshall, exactly the trade-off the
     paper discusses for its distributed Repeated Squaring solver.  Under the
     default algebra this is min-plus APSP; other registered algebras (widest
-    path, reachability, ...) use the same iteration bound.
+    path, reachability, ...) use the same iteration bound.  With
+    ``paths=True`` the closure is computed on witnessed blocks and the
+    result is ``(distances, parents)`` (prepended to the iteration count
+    when ``return_iterations`` is also set).
     """
+    from repro.linalg import witness as witness_mod
     resolved = get_algebra(algebra)
     adj = validate_adjacency(adjacency, algebra=resolved, dtype=dtype)
     n = adj.shape[0]
     iterations = closure_iterations(n)
-    result = adj.copy()
+    result = witness_mod.witness_matrix(adj, resolved) if paths else adj.copy()
     for _ in range(iterations):
         result = semiring_square(result, resolved)
+    if paths:
+        parents, _ = witness_mod.repair_parents(result.values, result.parents,
+                                                adj, resolved)
+        result = (result.values, parents)
+        return (*result, iterations) if return_iterations else result
     if return_iterations:
         return result, iterations
     return result

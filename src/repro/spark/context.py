@@ -71,10 +71,12 @@ class SparkContext:
 
     @property
     def default_parallelism(self) -> int:
+        """Default partition count (cores x over-decomposition)."""
         return self.config.parallelism
 
     @property
     def total_cores(self) -> int:
+        """Total executor cores of the simulated cluster."""
         return self.config.total_cores
 
     # ------------------------------------------------------------------ RDD creation
@@ -141,7 +143,9 @@ class SparkContext:
         use_remote = self.scheduler.supports_remote
 
         def make_task(index: int):
+            """Bind one partition index into a scheduler task."""
             def task():
+                """Compute one partition on an executor."""
                 return func(rdd.iterator(index))
             return task
 
@@ -149,7 +153,9 @@ class SparkContext:
             # Driver-side completion of a remote task: backfill the RDD's
             # persistence cache, then apply the (arbitrary, driver-only)
             # result function.
+            """Bind one partition index into a result callback."""
             def post(records):
+                """Store one partition's result on the driver."""
                 rdd._fill_cache(index, records)
                 return func(records)
             return post

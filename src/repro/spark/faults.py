@@ -52,9 +52,11 @@ class FaultInjector:
 
     @property
     def injected_failures(self) -> int:
+        """Number of failures injected so far."""
         return self._injected
 
     def next_task_id(self) -> int:
+        """Allocate a unique task id for fault bookkeeping."""
         with self._lock:
             tid = self._task_counter
             self._task_counter += 1

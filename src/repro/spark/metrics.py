@@ -66,27 +66,33 @@ class EngineMetrics:
 
     # -- task / stage accounting -------------------------------------------------
     def task_launched(self, count: int = 1) -> None:
+        """Count one launched task."""
         with self._lock:
             self.tasks_launched += count
 
     def task_failed(self) -> None:
+        """Count one failed task."""
         with self._lock:
             self.tasks_failed += 1
 
     def task_retried(self) -> None:
+        """Count one task retry."""
         with self._lock:
             self.tasks_retried += 1
 
     def stage_finished(self, stage_id: int, kind: str, num_tasks: int, duration: float) -> None:
+        """Record one finished stage and its wall time."""
         with self._lock:
             self.stages.append(StageRecord(stage_id, kind, num_tasks, duration))
 
     # -- shuffle accounting --------------------------------------------------------
     def shuffle_started(self) -> None:
+        """Count the start of one shuffle."""
         with self._lock:
             self.shuffle_count += 1
 
     def shuffle_write(self, executor: int, records: int, nbytes: int) -> None:
+        """Record shuffle records/bytes written by an executor."""
         with self._lock:
             self.shuffle_records += records
             self.shuffle_bytes += nbytes
@@ -94,6 +100,7 @@ class EngineMetrics:
 
     @property
     def total_spilled_bytes(self) -> int:
+        """Shuffle bytes spilled, summed over executors."""
         with self._lock:
             return sum(self.spilled_bytes_per_executor.values())
 
@@ -104,27 +111,32 @@ class EngineMetrics:
 
     # -- driver traffic ------------------------------------------------------------
     def collect_performed(self, nbytes: int) -> None:
+        """Record one driver collect of the given size."""
         with self._lock:
             self.collect_count += 1
             self.collect_bytes += nbytes
 
     def broadcast_performed(self, nbytes: int) -> None:
+        """Record one broadcast of the given size."""
         with self._lock:
             self.broadcast_count += 1
             self.broadcast_bytes += nbytes
 
     # -- shared filesystem ---------------------------------------------------------
     def sharedfs_written(self, nbytes: int) -> None:
+        """Record bytes written to the shared file system."""
         with self._lock:
             self.sharedfs_files_written += 1
             self.sharedfs_bytes_written += nbytes
 
     def sharedfs_read(self, nbytes: int) -> None:
+        """Record bytes read from the shared file system."""
         with self._lock:
             self.sharedfs_bytes_read += nbytes
 
     # -- caching ---------------------------------------------------------------------
     def partition_cached(self, nbytes: int) -> None:
+        """Record one cached partition of the given size."""
         with self._lock:
             self.cached_partitions += 1
             self.cached_bytes += nbytes

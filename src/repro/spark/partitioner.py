@@ -53,6 +53,7 @@ class Partitioner:
         self.num_partitions = check_positive_int(num_partitions, "num_partitions")
 
     def partition(self, key: Hashable) -> int:
+        """Map a block key to a partition index."""
         raise NotImplementedError
 
     def __call__(self, key: Hashable) -> int:
@@ -84,6 +85,7 @@ class PortableHashPartitioner(Partitioner):
     """pySpark's default hash partitioner (``portable_hash(key) % num_partitions``)."""
 
     def partition(self, key: Hashable) -> int:
+        """Partition by Python-hash of the key (pySpark default)."""
         return portable_hash(key) % self.num_partitions
 
 
@@ -118,6 +120,7 @@ class MultiDiagonalPartitioner(Partitioner):
         return assignment
 
     def partition(self, key: Hashable) -> int:
+        """Partition by the paper's multi-diagonal traversal order."""
         if (isinstance(key, tuple) and len(key) == 2
                 and all(isinstance(k, (int, np.integer)) for k in key)):
             i, j = int(key[0]), int(key[1])
@@ -168,6 +171,7 @@ class GridPartitioner(Partitioner):
         self.cols = num_partitions // self.rows
 
     def partition(self, key: Hashable) -> int:
+        """Partition by coarse grid cells of the block index space."""
         if (isinstance(key, tuple) and len(key) == 2
                 and all(isinstance(k, (int, np.integer)) for k in key)):
             i, j = int(key[0]), int(key[1])

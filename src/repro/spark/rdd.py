@@ -127,6 +127,7 @@ class RDD:
     # ------------------------------------------------------------------ structure
     @property
     def num_partitions(self) -> int:
+        """Partition count of this RDD."""
         return self._num_partitions
 
     def getNumPartitions(self) -> int:
@@ -134,6 +135,7 @@ class RDD:
         return self._num_partitions
 
     def parents(self) -> list["RDD"]:
+        """Parent RDDs in the lineage graph."""
         return list(self._parents)
 
     def compute_partition(self, index: int) -> list:
@@ -205,12 +207,14 @@ class RDD:
     cache = persist
 
     def unpersist(self) -> "RDD":
+        """Drop any cached partitions (lineage stays intact)."""
         self._persisted = False
         with self._cache_lock:
             self._cache.clear()
         return self
 
     def is_cached(self) -> bool:
+        """True when cache() has been requested."""
         return self._persisted
 
     # ------------------------------------------------------------------ narrow transformations
@@ -254,10 +258,12 @@ class RDD:
                                 preserves_partitioning=preserves_partitioning)
 
     def keys(self) -> "RDD":
+        """RDD of the keys of key-value records."""
         return MapPartitionsRDD(self, _PerRecordAdapter(record_key),
                                 preserves_partitioning=False)
 
     def values(self) -> "RDD":
+        """RDD of the values of key-value records."""
         return MapPartitionsRDD(self, _PerRecordAdapter(_record_value),
                                 preserves_partitioning=False)
 
@@ -331,16 +337,19 @@ class RDD:
         return {record_key(r): r[1] for r in self.collect()}
 
     def count(self) -> int:
+        """Number of records across all partitions."""
         parts = self.context.run_job(self, lambda records: len(records))
         return int(sum(parts))
 
     def countByKey(self) -> dict:
+        """Dict of key -> occurrence count (driver-side)."""
         counts: dict = defaultdict(int)
         for record in self.collect():
             counts[record_key(record)] += 1
         return dict(counts)
 
     def take(self, n: int) -> list:
+        """First n records (computing as few partitions as possible)."""
         if n <= 0:
             return []
         out: list = []
@@ -352,12 +361,14 @@ class RDD:
         return out[:n]
 
     def first(self):
+        """First record; raises on an empty RDD."""
         result = self.take(1)
         if not result:
             raise ValueError("RDD is empty")
         return result[0]
 
     def reduce(self, func: Callable):
+        """Fold all records with a binary function (driver-side)."""
         records = self.collect()
         if not records:
             raise ValueError("cannot reduce an empty RDD")
@@ -367,6 +378,7 @@ class RDD:
         return acc
 
     def foreach(self, func: Callable) -> None:
+        """Apply a side-effecting function to every record."""
         for record in self.collect():
             func(record)
 
@@ -414,6 +426,7 @@ class ParallelCollectionRDD(RDD):
         self._slices = slices
 
     def compute_partition(self, index: int) -> list:
+        """Return the materialized slice for one partition."""
         return list(self._slices[index])
 
 
@@ -428,6 +441,7 @@ class MapPartitionsRDD(RDD):
         self._remote_ok: bool | None = None
 
     def compute_partition(self, index: int) -> list:
+        """Apply the partition function to the parent's records."""
         parent = self._parents[0]
         return self._func(index, parent.iterator(index))
 
@@ -471,6 +485,7 @@ class UnionRDD(RDD):
                 self._offsets.append((rdd, p))
 
     def compute_partition(self, index: int) -> list:
+        """Route the partition index to the owning parent."""
         rdd, parent_index = self._offsets[index]
         return list(rdd.iterator(parent_index))
 
@@ -496,6 +511,7 @@ class CartesianRDD(RDD):
         self._right = right
 
     def compute_partition(self, index: int) -> list:
+        """Pair records of one left x right partition product."""
         left_index = index // self._right.num_partitions
         right_index = index % self._right.num_partitions
         left_records = self._left.iterator(left_index)
@@ -532,9 +548,11 @@ class ShuffledRDD(RDD):
 
     @property
     def aggregates(self) -> bool:
+        """True when map-side combining is configured."""
         return self._create_combiner is not None
 
     def prepare(self, _visited: set[int] | None = None) -> None:
+        """Run the shuffle map phase once (idempotent)."""
         if _visited is None:
             _visited = set()
         if id(self) in _visited:
@@ -574,7 +592,9 @@ class ShuffledRDD(RDD):
             use_remote = self.context.scheduler.supports_remote
 
             def make_map_task(map_index: int):
+                """Bind one map partition into a shuffle-write task."""
                 def task():
+                    """Shuffle-write one map partition on an executor."""
                     return map_index, self._bucket_records(parent.iterator(map_index))
                 return task
 
@@ -582,7 +602,9 @@ class ShuffledRDD(RDD):
                 # Driver-side completion of a remote map task: the worker
                 # computed the parent partition, the driver buckets it (and
                 # backfills the parent's persistence cache).
+                """Bind one map partition into a completion callback."""
                 def post(records):
+                    """Register one map partition's shuffle output."""
                     parent._fill_cache(map_index, records)
                     return map_index, self._bucket_records(records)
                 return post
@@ -601,6 +623,7 @@ class ShuffledRDD(RDD):
             self._shuffle_id = shuffle_id
 
     def compute_partition(self, index: int) -> list:
+        """Merge the shuffled buckets for one reduce partition."""
         if self._shuffle_id is None:
             self._materialize()
         raw = self.context.shuffle_manager.read_reduce_input(self._shuffle_id, index)

@@ -184,6 +184,7 @@ class TaskScheduler:
         return results
 
     def shutdown(self) -> None:
+        """Stop worker pools and release scheduler resources."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

@@ -100,6 +100,7 @@ class SharedFileSystem:
         return name_or_path
 
     def exists(self, name_or_path: str) -> bool:
+        """True when a staged name (or path) is present."""
         return os.path.exists(self._resolve(name_or_path))
 
     # -- maintenance -------------------------------------------------------------
@@ -119,6 +120,7 @@ class SharedFileSystem:
                 os.remove(full)
 
     def close(self, *, remove_root: bool = False) -> None:
+        """Release per-instance resources (directory is owned by the context)."""
         if remove_root and os.path.isdir(self.root):
             shutil.rmtree(self.root, ignore_errors=True)
 

@@ -38,7 +38,7 @@ class TestBenchRun:
         assert report["schema_version"] == 1
         assert report["suite"] == "smoke"
         assert report["host"]["bench_n_env"] == "24"
-        assert len(report["scenarios"]) == 6
+        assert len(report["scenarios"]) == 7
         ids = {entry["id"] for entry in report["scenarios"]}
         assert "blocked-cb-processes" in ids
         for entry in report["scenarios"]:

@@ -105,3 +105,14 @@ class TestSuites:
         solvers = {s.solver for s in suite.scenarios}
         assert backends == {"serial", "threads", "processes"}
         assert solvers == {"blocked-cb", "blocked-im", "repeated-squaring", "fw-2d"}
+
+    def test_smoke_has_paths_twin(self):
+        """The paths=True twin mirrors blocked-cb-serial except for witnesses."""
+        suite = get_suite("smoke")
+        base = suite.scenario("blocked-cb-serial")
+        twin = suite.scenario("blocked-cb-paths")
+        assert twin.paths and not base.paths
+        assert twin.request().paths
+        assert twin.params()["paths"] is True
+        assert (twin.solver, twin.n, twin.block_size, twin.backend) == \
+            (base.solver, base.n, base.block_size, base.backend)

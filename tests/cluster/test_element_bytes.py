@@ -71,6 +71,54 @@ def test_packed_spill_defers_blocked_im_infeasibility():
     assert (not f64.feasible) and packed.feasible
 
 
+def test_mpi_baselines_default_unchanged():
+    """The MPI formulas keep their historical 8-byte defaults bit-for-bit."""
+    model = CostModel()
+    assert model.mpi_fw2d_seconds(65536, 256) == \
+        model.mpi_fw2d_seconds(65536, 256, algebra="shortest-path",
+                               dtype="float64", storage="dense")
+    assert model.mpi_dc_seconds(65536, 256) == \
+        model.mpi_dc_seconds(65536, 256, algebra="shortest-path",
+                             dtype="float64", storage="dense")
+
+
+def test_mpi_fw2d_bandwidth_scales_with_element_bytes():
+    """Only the broadcast bandwidth term shrinks: isolate it by latency=0 diff."""
+    model = CostModel()
+    f64 = model.mpi_fw2d_seconds(65536, 256)
+    f32 = model.mpi_fw2d_seconds(65536, 256, dtype="float32")
+    packed = model.mpi_fw2d_seconds(65536, 256, algebra="reachability",
+                                    storage="packed")
+    # Latency and compute are element-size independent, so the f64-f32 gap
+    # is exactly half the f64 bandwidth term, and f64-packed is (1 - 1/64).
+    bandwidth_gap_f32 = f64 - f32
+    bandwidth_gap_packed = f64 - packed
+    assert bandwidth_gap_f32 > 0
+    assert bandwidth_gap_packed == pytest.approx(
+        bandwidth_gap_f32 * (1.0 - 1.0 / 64.0) / 0.5)
+
+
+def test_mpi_dc_bandwidth_scales_with_element_bytes():
+    model = CostModel()
+    f64 = model.mpi_dc_seconds(65536, 256)
+    f32 = model.mpi_dc_seconds(65536, 256, dtype="float32")
+    boolean = model.mpi_dc_seconds(65536, 256, algebra="reachability",
+                                   storage="dense")
+    gap_f32 = f64 - f32          # half the f64 bandwidth term
+    gap_bool = f64 - boolean     # 7/8 of the f64 bandwidth term
+    assert gap_f32 > 0
+    assert gap_bool == pytest.approx(gap_f32 * (7.0 / 8.0) / 0.5)
+
+
+def test_mpi_formulas_validate_like_solve_requests():
+    model = CostModel()
+    with pytest.raises(ConfigurationError):
+        model.mpi_fw2d_seconds(65536, 256, algebra="shortest-path",
+                               storage="packed")
+    with pytest.raises(ConfigurationError):
+        model.mpi_dc_seconds(65536, 256, dtype="bool")
+
+
 def test_best_block_size_threads_element_size():
     model = CostModel()
     result = model.best_block_size("blocked-cb", 65536, 256,
