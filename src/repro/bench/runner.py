@@ -116,16 +116,57 @@ def scenario_reference(scenario: BenchScenario, adjacency: np.ndarray) -> np.nda
     return reference_closure(adjacency, scenario.algebra, dtype=scenario.dtype)
 
 
+def scenario_queries(scenario: BenchScenario, n: int) -> list[tuple[int, int]]:
+    """The deterministic query stream a serve scenario replays.
+
+    Seeded by the scenario, so identical across runs and machines (the
+    baseline compare depends on it).  ``query_sources`` narrows the source
+    pool — smaller pools mean more cache hits, which is the axis the serve
+    suite sweeps.
+    """
+    rng = np.random.default_rng(scenario.seed)
+    if scenario.query_sources > 0:
+        pool = rng.choice(n, size=min(scenario.query_sources, n), replace=False)
+    else:
+        pool = np.arange(n)
+    return [(int(rng.choice(pool)), int(rng.integers(n)))
+            for _ in range(scenario.queries)]
+
+
 def solve_scenario(scenario: BenchScenario, engine: APSPEngine,
                    adjacency: np.ndarray | None = None):
     """Run one scenario once on an existing engine session, returning the result.
 
     This is the exact workload the pytest-benchmark modules measure, so the
     JSON harness and pytest-benchmark share one definition of "one run".
+
+    A ``workload="serve"`` scenario solves the closure, opens a serving
+    session with the scenario's cache cap, and replays its query stream.
+    The returned result is the closure's :class:`APSPResult` with the
+    serving layer folded in: a ``"serve"`` entry in ``phase_seconds`` (the
+    replay wall time) and flat ``serve_*`` keys in ``metrics`` (hit rate,
+    evictions, latency percentiles, per-stage seconds).
     """
     if adjacency is None:
         adjacency = scenario_graph(scenario)
-    return engine.solve(adjacency, scenario.request())
+    if scenario.workload != "serve":
+        return engine.solve(adjacency, scenario.request())
+    service = engine.serve(adjacency, scenario.request(),
+                           max_rows=scenario.cache_rows, keep_result=True)
+    pairs = scenario_queries(scenario, adjacency.shape[0])
+    start = time.perf_counter()
+    service.routes(pairs)
+    serve_seconds = time.perf_counter() - start
+    result = service.closure_result
+    result.phase_seconds["serve"] = serve_seconds
+    stats = service.stats()
+    serve_metrics = {f"serve_{key}": value for key, value in stats.items()
+                     if not isinstance(value, dict) and key != "algebra"}
+    for stage, seconds in stats["stage_seconds"].items():
+        serve_metrics[f"serve_stage_{stage}_s"] = seconds
+        serve_metrics[f"serve_stage_{stage}_count"] = stats["stage_counts"][stage]
+    result.metrics.update(serve_metrics)
+    return result
 
 
 def run_suite(suite: BenchSuite, *, repeats: int | None = None,

@@ -50,7 +50,14 @@ def bench_scale_n(default: int) -> int:
 
 @dataclass(frozen=True)
 class BenchScenario:
-    """One benchmarked solve: a point in the solver × n × b × backend grid."""
+    """One benchmarked workload: a point in the solver × n × b × backend grid.
+
+    ``workload`` selects what gets measured: ``"solve"`` (the default) is one
+    closure solve; ``"serve"`` solves the closure once and then replays a
+    deterministic random query stream against the serving layer —
+    ``queries`` route lookups drawn from ``query_sources`` distinct sources
+    (0 = all of them) under a parent-row cache capped at ``cache_rows``.
+    """
 
     name: str
     solver: str = "blocked-cb"
@@ -68,6 +75,10 @@ class BenchScenario:
     seed: int = 1234
     repeats: int = 1
     slowdown_threshold: float = DEFAULT_SLOWDOWN_THRESHOLD
+    workload: str = "solve"
+    queries: int = 0
+    query_sources: int = 0
+    cache_rows: int | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -78,6 +89,22 @@ class BenchScenario:
             raise ConfigurationError("scenario repeats must be >= 1")
         if self.slowdown_threshold <= 1.0:
             raise ConfigurationError("slowdown_threshold must be > 1.0")
+        if self.workload not in ("solve", "serve"):
+            raise ConfigurationError(
+                f"scenario workload must be 'solve' or 'serve', "
+                f"got {self.workload!r}")
+        if self.workload == "serve":
+            if self.queries < 1:
+                raise ConfigurationError(
+                    "a serve scenario needs queries >= 1")
+            if self.paths:
+                raise ConfigurationError(
+                    "serve scenarios solve parent rows lazily; paths=True "
+                    "would materialize the full predecessor matrix")
+        if self.query_sources < 0:
+            raise ConfigurationError("query_sources must be >= 0")
+        if self.cache_rows is not None and self.cache_rows < 1:
+            raise ConfigurationError("cache_rows must be >= 1 or None")
         # Validate eagerly: a bad grid should fail at definition time, long
         # before any engine spins up.
         self.engine_config()
@@ -115,14 +142,31 @@ class BenchScenario:
             "cores_per_executor": self.cores_per_executor,
             "seed": self.seed,
             "repeats": self.repeats,
+            "workload": self.workload,
+            "queries": self.queries,
+            "query_sources": self.query_sources,
+            "cache_rows": self.cache_rows,
         }
 
     def with_n(self, n: int) -> "BenchScenario":
-        """Variant of this scenario at a different problem size."""
+        """Variant of this scenario at a different problem size.
+
+        Serve workloads scale with the graph: the query count, source pool
+        and cache cap grow proportionally with ``n`` so the hit/eviction
+        profile (the thing the scenario exists to measure) is preserved.
+        """
         block = self.block_size
         if block is not None:
             block = max(4, min(block, n))
-        return replace(self, n=n, block_size=block)
+        changes: dict = {"n": n, "block_size": block}
+        if self.workload == "serve" and n != self.n:
+            scale = n / self.n
+            changes["queries"] = max(1, round(self.queries * scale))
+            if self.query_sources:
+                changes["query_sources"] = max(1, round(self.query_sources * scale))
+            if self.cache_rows is not None:
+                changes["cache_rows"] = max(1, round(self.cache_rows * scale))
+        return replace(self, **changes)
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return (f"{self.name}: {self.solver} n={self.n} b={self.block_size} "
@@ -326,6 +370,47 @@ def _reachability_suite() -> BenchSuite:
     )
 
 
+def _serve_suite() -> BenchSuite:
+    """Serving-layer workloads: query count × cache budget × source locality.
+
+    Every scenario solves the closure once and replays ``4 n`` route queries
+    against the lazy parent-row cache; what varies is the cache pressure:
+
+    * ``serve-warm`` — queries concentrated on few sources, unbounded cache:
+      the steady-state hit-rate regime (row solves amortized away);
+    * ``serve-tight-cache`` — more sources than cached rows, so the LRU
+      churns: measures eviction + re-solve overhead under memory pressure;
+    * ``serve-cold-scan`` — sources drawn from the whole vertex set: the
+      miss-dominated regime, effectively benchmarking ``solve_parent_row``;
+    * ``serve-reachability`` — the boolean closure's plateau-heavy rows push
+      queries through the BFS repair stage (packed-storage solve included).
+
+    Reported wall time covers the closure solve plus the replay; the serve
+    stats (hit rate, stage seconds) land in each scenario's ``metrics`` under
+    ``serve_*`` keys, so baselines also gate on cache behaviour drift.
+    """
+    n = bench_scale_n(64)
+    shape = dict(solver="blocked-cb", n=n,
+                 block_size=max(16, min(128, n // 4)),
+                 num_executors=2, cores_per_executor=2,
+                 workload="serve", queries=4 * n)
+    return BenchSuite(
+        name="serve",
+        description="route-serving layer: query replay under varying "
+                    "cache pressure (hit-heavy, evicting, cold, repair-heavy)",
+        scenarios=(
+            BenchScenario(name="serve-warm",
+                          query_sources=max(2, n // 16), **shape),
+            BenchScenario(name="serve-tight-cache",
+                          query_sources=max(4, n // 4),
+                          cache_rows=max(2, n // 32), **shape),
+            BenchScenario(name="serve-cold-scan", **shape),
+            BenchScenario(name="serve-reachability", algebra="reachability",
+                          dtype="bool", query_sources=max(2, n // 16), **shape),
+        ),
+    )
+
+
 def _scaling_suite() -> BenchSuite:
     """Table 3 workload: weak scaling of the blocked solvers (n/p fixed)."""
     points = ((4, 64), (8, 128), (16, 256))
@@ -352,6 +437,7 @@ _SUITE_BUILDERS: dict[str, Callable[[], BenchSuite]] = {
     "algebras": _algebras_suite,
     "reachability": _reachability_suite,
     "scaling": _scaling_suite,
+    "serve": _serve_suite,
 }
 
 

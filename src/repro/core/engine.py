@@ -31,10 +31,12 @@ from typing import Any, Iterable
 import numpy as np
 
 from repro.common.config import EngineConfig, default_config
-from repro.common.errors import SolverError
+from repro.common.errors import ConfigurationError, SolverError
 from repro.core.base import APSPResult, SolvePlan, SparkAPSPSolver
 from repro.core.registry import get_solver_class
 from repro.core.request import SolveRequest
+from repro.graph.adjacency import validate_adjacency
+from repro.serve.service import RouteAnswer, RouteService
 from repro.spark.context import SparkContext
 
 #: Job lifecycle states.
@@ -118,6 +120,7 @@ class APSPEngine:
         self._solves_failed = 0
         self._total_solve_seconds = 0.0
         self._started_at: float | None = None
+        self._service: RouteService | None = None
 
     # ------------------------------------------------------------------ lifecycle
     def __enter__(self) -> "APSPEngine":
@@ -248,6 +251,62 @@ class APSPEngine:
                 pass
         return pending
 
+    # ------------------------------------------------------------------ serving
+    @property
+    def service(self) -> RouteService | None:
+        """The session's open :class:`RouteService`, or None before serve()."""
+        return self._service
+
+    def serve(self, adjacency: np.ndarray, request: SolveRequest | None = None,
+              *, budget_bytes: int | None = None, max_rows: int | None = None,
+              keep_result: bool = False, **kwargs: Any) -> RouteService:
+        """Solve the closure once, then open a route-serving session over it.
+
+        Runs one ``paths=False`` solve (distances only — parent rows are
+        solved *lazily* per queried source, which is the whole point: the
+        full ``n x n`` predecessor matrix is never materialized) and returns
+        a :class:`~repro.serve.service.RouteService` bound to the cached
+        closure.  The service is also reachable through :attr:`service` /
+        :meth:`route` / :meth:`routes`, and its analytics ride along in
+        :meth:`stats` under the ``"serve"`` key.
+
+        ``budget_bytes`` / ``max_rows`` bound the parent-row cache;
+        ``keep_result`` retains the full :class:`APSPResult` on the service
+        (``service.closure_result``) for callers that also want the solve's
+        metrics.  A ``paths=True`` request is rejected: eagerly solving the
+        predecessor matrix would defeat the lazy row cache.
+        """
+        req = self._coerce_request(request, kwargs)
+        if req.paths:
+            raise ConfigurationError(
+                "serve() computes parent rows lazily per queried source; "
+                "request paths=False (the default) instead of paths=True")
+        result = self.solve(adjacency, req)
+        # Row solves read edges from the same domain the solver saw: prepared
+        # dense (missing = algebra zero) or canonical CSR — never densified.
+        edges = validate_adjacency(adjacency, algebra=req.algebra,
+                                   dtype=req.dtype, allow_sparse=True)
+        service = RouteService(result.distances, edges, req.algebra,
+                               budget_bytes=budget_bytes, max_rows=max_rows,
+                               result=result if keep_result else None)
+        self._service = service
+        return service
+
+    def route(self, src: int, dst: int) -> RouteAnswer:
+        """Answer one route query on the session's open serving session."""
+        return self._require_service().route(src, dst)
+
+    def routes(self, pairs) -> list[RouteAnswer]:
+        """Answer a batch of ``(src, dst)`` queries on the open serving session."""
+        return self._require_service().routes(pairs)
+
+    def _require_service(self) -> RouteService:
+        if self._service is None:
+            raise SolverError(
+                "no serving session is open; call engine.serve(adjacency, ...) "
+                "to solve a closure and start answering route queries")
+        return self._service
+
     # ------------------------------------------------------------------ planning
     def plan(self, adjacency: np.ndarray, request: SolveRequest | None = None,
              **kwargs: Any) -> SolvePlan:
@@ -305,6 +364,8 @@ class APSPEngine:
                                 if self._started_at is not None else 0.0),
         }
         stats.update(self.metrics)
+        if self._service is not None:
+            stats["serve"] = self._service.stats()
         return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -162,3 +162,42 @@ class SolveRequest:
         if self.tag:
             bits.append(f"tag={self.tag}")
         return " ".join(bits)
+
+
+@dataclass(frozen=True)
+class RouteQuery:
+    """One serving-layer query: "how do I get from ``src`` to ``dst``?".
+
+    The typed counterpart of a bare ``(src, dst)`` pair for
+    :meth:`~repro.serve.service.RouteService.routes` batches — endpoints are
+    canonicalised to plain ints here so a whole replay file can be validated
+    before the first row solve.  ``tag`` is a free-form label echoed through
+    for workload bookkeeping (e.g. which replay file a pair came from).
+    """
+
+    src: int
+    dst: int
+    tag: str | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("src", "dst"):
+            value = getattr(self, name)
+            try:
+                coerced = int(value)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"route {name} must be an integer, got {value!r}") from None
+            if coerced < 0:
+                raise ConfigurationError(
+                    f"route {name} must be >= 0, got {coerced}")
+            object.__setattr__(self, name, coerced)
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        """The query as a plain ``(src, dst)`` tuple."""
+        return (self.src, self.dst)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        tag = f" tag={self.tag}" if self.tag else ""
+        return f"route {self.src} -> {self.dst}{tag}"

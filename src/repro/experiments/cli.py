@@ -44,58 +44,41 @@ from repro.linalg.algebra import available_algebras, get_algebra
 
 
 def _load_input_graph(path: str):
-    """Load a ``--input`` graph: ``.npz`` sparse CSR or ``.npy`` dense."""
-    if path.endswith(".npz"):
-        return graph_io.load_sparse_npz(path)
-    if path.endswith(".npy"):
-        return graph_io.load_matrix(path)
-    raise ConfigurationError(
-        f"unsupported --input extension for {path!r} "
-        "(expected .npz sparse CSR or .npy dense)")
+    """Load a ``--input`` graph through the shared ingestion front door.
 
-
-def _route_fold(adjacency, path, algebra):
-    """Fold a route's edge weights under the algebra's ⊗ (CSR or dense input).
-
-    Works on the *canonical* adjacency (non-finite = missing edge for
-    numeric algebras), indexing only the route's edges so large sparse
-    inputs are never densified.
+    ``.npz`` sparse CSR, ``.npy`` dense, ``.mtx`` MatrixMarket, or a
+    plain-text edge list (see :func:`repro.graph.io.load_graph`).
     """
-    import numpy as np
-    from repro.common.errors import SolverError
-    dtype = algebra.resolve_dtype(None)
-    fold = algebra.one_like(dtype)
-    sparse = sparse_graph.is_sparse(adjacency)
-    for u, v in zip(path[:-1], path[1:]):
-        if sparse:
-            # CSR membership check: an absent entry reads as numeric 0,
-            # which must not be mistaken for a zero-weight edge.
-            lo, hi = adjacency.indptr[u], adjacency.indptr[u + 1]
-            hit = np.nonzero(adjacency.indices[lo:hi] == v)[0]
-            if hit.size == 0:
-                raise SolverError(f"route step {u} -> {v} is not an edge")
-            raw = adjacency.data[lo:hi][hit[0]]
-        else:
-            raw = adjacency[u, v]
-        if dtype == np.bool_:
-            if not bool(raw):
-                raise SolverError(f"route step {u} -> {v} is not an edge")
-            continue
-        value = float(raw)
-        if not np.isfinite(value):
-            raise SolverError(f"route step {u} -> {v} is not an edge")
-        fold = algebra.mul(fold, dtype.type(value))
-    return fold
+    from repro.common.errors import ValidationError
+    try:
+        return graph_io.load_graph(path)
+    except (ValidationError, OSError) as exc:
+        raise ConfigurationError(f"cannot load --input {path!r}: {exc}") from exc
+
+
+def _fold_edges(adjacency, algebra, dtype):
+    """The edge matrix :func:`repro.serve.format_route` folds against.
+
+    The shared formatter re-derives route weights from *algebra-domain*
+    edges: canonical CSR passes through, a canonical dense matrix (finite =
+    edge) is prepared into the algebra's domain first.
+    """
+    if sparse_graph.is_sparse(adjacency):
+        return adjacency
+    return get_algebra(algebra).prepare_adjacency(adjacency, dtype=dtype)
 
 
 def _print_route(result, adjacency, algebra, route, tolerances) -> bool:
     """Reconstruct, fold and print one ``--route SRC DST`` query.
 
-    Returns False (driving a non-zero exit) when the folded weight does not
-    match the closure entry; an unreachable pair is reported but is not an
-    error.
+    Formatting and the independent weight re-fold are shared with
+    ``apspark route`` (see :func:`repro.serve.format_route`); this wrapper
+    only adapts the full ``paths=True`` result: walk the predecessor
+    matrix, classify a failed walk, and report through the common line.
+    Returns False (driving a non-zero exit) on a mismatch or error; an
+    unreachable pair is reported but is not an error.
     """
-    import numpy as np
+    from repro import serve as serve_mod
     from repro.common.errors import SolverError, ValidationError
     from repro.linalg.witness import NO_VERTEX
     src, dst = route
@@ -107,27 +90,17 @@ def _print_route(result, adjacency, algebra, route, tolerances) -> bool:
     except SolverError as exc:
         if src != dst and result.parents[src, dst] == NO_VERTEX:
             # Genuinely unreachable: valid output, not an error.
-            print(f"route {src} -> {dst}: no path")
-            return True
-        # A walk that started but failed means the parent matrix is corrupt.
-        print(f"route {src} -> {dst}: error: {exc}", file=sys.stderr)
-        return False
-    closure = result.distances[src, dst]
-    try:
-        fold = _route_fold(adjacency, path, algebra)
-    except SolverError as exc:
-        print(f"route {src} -> {dst}: error: {exc}", file=sys.stderr)
-        return False
-    if result.distances.dtype == np.bool_:
-        match = bool(fold) == bool(closure)
-        weight_bit = "reachable"
-    else:
-        match = bool(np.isclose(float(fold), float(closure), **(tolerances or {})))
-        weight_bit = f"weight={float(fold):g} closure={float(closure):g}"
-    print(f"route {src} -> {dst}: {' -> '.join(str(v) for v in path)} "
-          f"({len(path) - 1} edge(s), {weight_bit}, "
-          f"{'match' if match else 'MISMATCH'})")
-    return match
+            path = None
+        else:
+            # A walk that started but failed means the parent matrix is corrupt.
+            print(f"route {src} -> {dst}: error: {exc}", file=sys.stderr)
+            return False
+    edges = _fold_edges(adjacency, algebra, result.distances.dtype)
+    line, verdict = serve_mod.format_route(
+        src, dst, path, result.distances[src, dst], edges, algebra,
+        tolerances=tolerances)
+    print(line, file=sys.stderr if verdict == serve_mod.ROUTE_ERROR else sys.stdout)
+    return verdict in (serve_mod.ROUTE_OK, serve_mod.ROUTE_UNREACHABLE)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -194,6 +167,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--repeat", type=int, default=1,
                          help="solve the instance this many times on one engine "
                               "session (demonstrates context reuse)")
+
+    def _add_serve_common(p) -> None:
+        """Graph + engine + cache options shared by ``route`` and ``serve``."""
+        p.add_argument("--n", type=int, default=128,
+                       help="size of the generated graph (ignored with --input)")
+        p.add_argument("--input", default=None, metavar="PATH",
+                       help="serve this graph instead of generating one "
+                            "(.npz CSR, .npy dense, .mtx, or an edge list)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--solver", choices=available_solvers(), default="blocked-cb")
+        p.add_argument("--block-size", type=int, default=None)
+        p.add_argument("--algebra", default="shortest-path",
+                       choices=available_algebras())
+        p.add_argument("--dtype", default=None)
+        p.add_argument("--backend", choices=BACKENDS, default="serial")
+        p.add_argument("--executors", type=int, default=4)
+        p.add_argument("--cores", type=int, default=2)
+        p.add_argument("--cache-rows", type=int, default=None,
+                       help="parent-row cache limit in rows (default: unbounded)")
+        p.add_argument("--cache-budget-kb", type=float, default=None,
+                       help="parent-row cache budget in KB (default: unbounded)")
+        p.add_argument("--pairs-file", default=None, metavar="PATH",
+                       help="replay queries from a file of 'SRC DST' lines")
+
+    p_route = sub.add_parser(
+        "route", help="answer route queries from a served closure "
+                      "(per-source parent rows, solved lazily)")
+    p_route.add_argument("pairs", nargs="*", type=int, metavar="SRC DST",
+                         help="flat list of query pairs, e.g. '0 5 3 9'")
+    _add_serve_common(p_route)
+    p_route.add_argument("--report", action="store_true",
+                         help="also print the serving analytics report")
+
+    p_serve = sub.add_parser(
+        "serve", help="replay a query workload against a served closure and "
+                      "print the analytics report")
+    _add_serve_common(p_serve)
+    p_serve.add_argument("--queries", type=int, default=256,
+                         help="number of random queries when no --pairs-file "
+                              "is given")
+    p_serve.add_argument("--sources", type=int, default=0,
+                         help="restrict random queries to this many distinct "
+                              "sources (0 = all; smaller = higher hit rate)")
+    p_serve.add_argument("--verify", action="store_true",
+                         help="re-fold every answered route against the edge "
+                              "weights and fail on mismatch")
+    p_serve.add_argument("--csv", action="store_true",
+                         help="emit the stats snapshot as CSV instead of the "
+                              "report")
+
+    p_convert = sub.add_parser(
+        "convert", help="convert an external graph (.mtx / edge list / .npy) "
+                        "to .npz CSR or .npy dense for --input")
+    p_convert.add_argument("source", help="input graph in any load_graph format")
+    p_convert.add_argument("target", help="output path: .npz (CSR) or .npy (dense)")
 
     p_solvers = sub.add_parser("solvers", help="list registered solvers and their metadata")
     p_solvers.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
@@ -288,6 +316,105 @@ def _bench_main(args) -> int:
         return 1 if bench.has_regressions(rows) else 0
 
     return 2
+
+
+def _serve_main(args) -> int:
+    """Shared driver for ``apspark route`` and ``apspark serve``.
+
+    Both solve the closure once, open a lazy-row serving session and answer
+    a query workload; they differ only in workload source and output —
+    ``route`` prints one verified line per query, ``serve`` replays silently
+    and prints the analytics report.
+    """
+    import numpy as np
+    from repro import serve as serve_mod
+    from repro.common.errors import SolverError, ValidationError
+    try:
+        config = EngineConfig(backend=args.backend, num_executors=args.executors,
+                              cores_per_executor=args.cores)
+        request = SolveRequest(solver=args.solver, block_size=args.block_size,
+                               algebra=args.algebra, dtype=args.dtype)
+        adjacency = (_load_input_graph(args.input) if args.input is not None
+                     else bench.graph_for_algebra(args.n, args.seed,
+                                                  request.algebra))
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    n = adjacency.shape[0]
+    budget = (None if args.cache_budget_kb is None
+              else max(1, int(args.cache_budget_kb * 1024)))
+    try:
+        if args.command == "route":
+            if len(args.pairs) % 2:
+                raise SolverError(
+                    "route expects a flat, even-length list of SRC DST pairs")
+            pairs = list(zip(args.pairs[::2], args.pairs[1::2]))
+            if args.pairs_file:
+                pairs += serve_mod.load_pairs_file(args.pairs_file, n=n)
+            if not pairs:
+                raise SolverError("no queries: pass SRC DST pairs or --pairs-file")
+        elif args.pairs_file:
+            pairs = serve_mod.load_pairs_file(args.pairs_file, n=n)
+        else:
+            # Deterministic random replay; --sources narrows the source pool
+            # so the workload exercises cache hits, not just cold misses.
+            rng = np.random.default_rng(args.seed)
+            if args.sources > 0:
+                pool = rng.choice(n, size=min(args.sources, n), replace=False)
+            else:
+                pool = np.arange(n)
+            pairs = [(int(rng.choice(pool)), int(rng.integers(n)))
+                     for _ in range(max(0, args.queries))]
+        if not pairs:
+            raise SolverError("no queries: pass --pairs-file or --queries > 0")
+    except (SolverError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tolerances = bench.verify_tolerances(request.dtype)
+    ok = True
+    mismatches = 0
+    with APSPEngine(config) as engine:
+        service = engine.serve(adjacency, request, budget_bytes=budget,
+                               max_rows=args.cache_rows)
+        for src, dst in pairs:
+            try:
+                answer = service.route(src, dst)
+            except (ValidationError, SolverError) as exc:
+                print(f"route {src} -> {dst}: error: {exc}", file=sys.stderr)
+                ok = False
+                continue
+            if args.command == "route" or args.verify:
+                line, verdict = serve_mod.format_route(
+                    src, dst, answer.path, answer.distance, service.adjacency,
+                    service.algebra, tolerances=tolerances)
+                healthy = verdict in (serve_mod.ROUTE_OK,
+                                      serve_mod.ROUTE_UNREACHABLE)
+                if args.command == "route":
+                    print(line, file=sys.stderr
+                          if verdict == serve_mod.ROUTE_ERROR else sys.stdout)
+                elif not healthy:
+                    print(line, file=sys.stderr)
+                if not healthy:
+                    mismatches += 1
+                    ok = False
+        stats = service.stats()
+    if args.command == "route":
+        if args.report:
+            print(serve_mod.render_report(stats))
+        return 0 if ok else 1
+    if args.csv:
+        row = {key: value for key, value in stats.items()
+               if not isinstance(value, dict)}
+        for stage in serve_mod.STAGES:
+            row[f"stage_{stage}_s"] = stats["stage_seconds"][stage]
+            row[f"stage_{stage}_count"] = stats["stage_counts"][stage]
+        _emit([row], args)
+    else:
+        print(serve_mod.render_report(stats))
+        if args.verify:
+            print(f"  verify: {len(pairs) - mismatches}/{len(pairs)} "
+                  "folded route(s) match the closure")
+    return 0 if ok else 1
 
 
 def _emit(rows, args, columns=None) -> None:
@@ -392,6 +519,19 @@ def main(argv=None) -> int:
               f"{stats['tasks_launched']} tasks, "
               f"{format_seconds(stats['total_solve_seconds'])} solving")
         return 0 if correct else 1
+
+    if args.command in ("route", "serve"):
+        return _serve_main(args)
+
+    if args.command == "convert":
+        from repro.common.errors import ValidationError
+        try:
+            n, nnz = graph_io.convert_graph(args.source, args.target)
+        except (ValidationError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.target}: n={n}, nnz={nnz} edge(s)")
+        return 0
 
     if args.command == "bench":
         return _bench_main(args)

@@ -1,7 +1,11 @@
 """Simple persistence for graphs and distance matrices.
 
 The paper's artifact ships benchmark data as edge lists; these helpers provide
-an equivalent plain-text format plus ``.npy`` round-tripping for matrices.
+an equivalent plain-text format plus ``.npy`` round-tripping for matrices, and
+converters for the two interchange formats external graph collections actually
+use — whitespace edge lists (SNAP, DIMACS ``.gr``-style dumps) and MatrixMarket
+coordinate files (SuiteSparse) — so downloaded datasets flow straight into the
+sparse CSR ingestion path without a densifying detour.
 """
 
 from __future__ import annotations
@@ -92,3 +96,212 @@ def load_sparse_npz(path: str | os.PathLike):
     import scipy.sparse as sp
     matrix = sp.load_npz(os.fspath(path))
     return matrix.tocsr()
+
+
+# ---------------------------------------------------------------------------
+# External interchange formats -> canonical CSR
+# ---------------------------------------------------------------------------
+
+def _edges_to_csr(rows, cols, vals, n: int):
+    """Build a canonical CSR from COO triples, deduplicating with ``min``.
+
+    ``scipy``'s COO->CSR conversion *sums* duplicate entries — wrong for
+    edge weights, where a repeated edge should keep its best (minimum)
+    weight.  Duplicates are collapsed here first: lexsort by (row, col),
+    then a grouped ``np.minimum.reduceat``.  Self-loops are dropped (the
+    canonical CSR stores off-diagonal edges only; the diagonal is implied
+    by the algebra's ``one``).
+    """
+    import scipy.sparse as sp
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    vals = np.asarray(vals, dtype=np.float64)
+    keep = rows != cols
+    rows, cols, vals = rows[keep], cols[keep], vals[keep]
+    if rows.size:
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        first = np.empty(rows.size, dtype=bool)
+        first[0] = True
+        first[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+        starts = np.nonzero(first)[0]
+        rows, cols = rows[starts], cols[starts]
+        vals = np.minimum.reduceat(vals, starts)
+    return sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+
+def load_external_edges(path: str | os.PathLike, *, directed: bool = True,
+                        default_weight: float = 1.0):
+    """Load a plain-text edge list (SNAP/DIMACS style) as a canonical CSR.
+
+    Accepts ``u v`` or ``u v w`` lines, whitespace- or comma-separated;
+    ``#`` and ``%`` start comments.  Unweighted lines get ``default_weight``.
+    Vertex ids are taken verbatim (0-based), with ``n`` inferred as the
+    largest id + 1; a comment token ``n=N`` pins it explicitly and
+    ``directed=0/1`` overrides the keyword (so files written by
+    :func:`save_edge_list` load with the right orientation).  Undirected
+    edges are mirrored, duplicates keep their minimum weight, self-loops
+    are dropped.
+    """
+    n: int | None = None
+    src: list[int] = []
+    dst: list[int] = []
+    wts: list[float] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            comment = line[:1] in ("#", "%")
+            if comment:
+                for token in line[1:].split():
+                    if token.startswith("n="):
+                        n = int(token[2:])
+                    elif token.startswith("directed="):
+                        directed = bool(int(token[len("directed="):]))
+            if not line or comment:
+                continue
+            fields = line.replace(",", " ").split()
+            if len(fields) not in (2, 3):
+                raise ValidationError(
+                    f"{path}:{lineno}: expected 'u v [w]', got {raw.strip()!r}")
+            try:
+                u, v = int(fields[0]), int(fields[1])
+                w = float(fields[2]) if len(fields) == 3 else float(default_weight)
+            except ValueError as exc:
+                raise ValidationError(f"{path}:{lineno}: {exc}") from None
+            if u < 0 or v < 0:
+                raise ValidationError(
+                    f"{path}:{lineno}: vertex ids must be >= 0, got ({u}, {v})")
+            src.append(u)
+            dst.append(v)
+            wts.append(w)
+    inferred = 1 + max((max(pair) for pair in zip(src, dst)), default=-1)
+    if n is None:
+        n = inferred
+    elif inferred > n:
+        raise ValidationError(
+            f"{path}: vertex id {inferred - 1} out of range for declared n={n}")
+    if not directed:
+        src, dst = src + dst, dst + src
+        wts = wts + wts
+    return _edges_to_csr(src, dst, wts, n)
+
+
+def load_mtx(path: str | os.PathLike):
+    """Load a MatrixMarket coordinate file (``.mtx``) as a canonical CSR.
+
+    Supports the ``coordinate`` layout with ``real``/``integer``/``pattern``
+    fields and ``general``/``symmetric`` symmetry — the combinations the
+    SuiteSparse collection's graph matrices use.  ``pattern`` entries (no
+    stored value) become weight-1 edges; symmetric files are mirrored;
+    indices are converted from MatrixMarket's 1-based convention.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValidationError(f"{path}: missing %%MatrixMarket header")
+        tokens = header.split()
+        if len(tokens) < 5 or tokens[1].lower() != "matrix" \
+                or tokens[2].lower() != "coordinate":
+            raise ValidationError(
+                f"{path}: only 'matrix coordinate' MatrixMarket files are "
+                f"supported, got {header.strip()!r}")
+        field = tokens[3].lower()
+        symmetry = tokens[4].lower()
+        if field not in ("real", "integer", "pattern"):
+            raise ValidationError(
+                f"{path}: unsupported MatrixMarket field {field!r} "
+                "(expected real, integer or pattern)")
+        if symmetry not in ("general", "symmetric"):
+            raise ValidationError(
+                f"{path}: unsupported MatrixMarket symmetry {symmetry!r} "
+                "(expected general or symmetric)")
+        dims = None
+        src: list[int] = []
+        dst: list[int] = []
+        wts: list[float] = []
+        for lineno, raw in enumerate(fh, start=2):
+            line = raw.strip()
+            if not line or line.startswith("%"):
+                continue
+            fields = line.split()
+            if dims is None:
+                if len(fields) != 3:
+                    raise ValidationError(
+                        f"{path}:{lineno}: expected 'rows cols nnz' size line")
+                rows_count, cols_count, _ = (int(f) for f in fields)
+                if rows_count != cols_count:
+                    raise ValidationError(
+                        f"{path}: adjacency must be square, got "
+                        f"{rows_count} x {cols_count}")
+                dims = rows_count
+                continue
+            expected = 2 if field == "pattern" else 3
+            if len(fields) != expected:
+                raise ValidationError(
+                    f"{path}:{lineno}: expected {expected} fields, "
+                    f"got {raw.strip()!r}")
+            u, v = int(fields[0]) - 1, int(fields[1]) - 1
+            if not (0 <= u < dims and 0 <= v < dims):
+                raise ValidationError(
+                    f"{path}:{lineno}: entry ({u + 1}, {v + 1}) out of range "
+                    f"for n={dims}")
+            w = 1.0 if field == "pattern" else float(fields[2])
+            src.append(u)
+            dst.append(v)
+            wts.append(w)
+    if dims is None:
+        raise ValidationError(f"{path}: missing MatrixMarket size line")
+    if symmetry == "symmetric":
+        src, dst = src + dst, dst + src
+        wts = wts + wts
+    return _edges_to_csr(src, dst, wts, dims)
+
+
+def load_graph(path: str | os.PathLike):
+    """Load a graph by extension, returning CSR or dense as the format dictates.
+
+    ``.npz`` -> CSR (:func:`load_sparse_npz`), ``.npy`` -> dense
+    (:func:`load_matrix`), ``.mtx`` -> CSR (:func:`load_mtx`), anything else
+    -> plain-text edge list as CSR (:func:`load_external_edges`).  This is
+    the single ingestion front door the CLI's ``--input`` and ``convert``
+    commands use.
+    """
+    name = os.fspath(path)
+    lower = name.lower()
+    if lower.endswith(".npz"):
+        return load_sparse_npz(name)
+    if lower.endswith(".npy"):
+        return load_matrix(name)
+    if lower.endswith(".mtx"):
+        return load_mtx(name)
+    return load_external_edges(name)
+
+
+def convert_graph(source: str | os.PathLike, target: str | os.PathLike) -> tuple[int, int]:
+    """Convert any :func:`load_graph` input into ``.npz`` CSR or ``.npy`` dense.
+
+    Returns ``(n, nnz)`` of the converted graph.  Dense sources become CSR
+    by taking their finite off-diagonal entries as edges; CSR sources become
+    dense through the canonical expansion (``inf`` for missing edges).
+    """
+    from repro.graph import sparse as sparse_mod
+    graph = load_graph(source)
+    lower = os.fspath(target).lower()
+    sparse = sparse_mod.is_sparse(graph)
+    if lower.endswith(".npz"):
+        if not sparse:
+            arr = check_square_matrix(graph)
+            mask = np.isfinite(arr) & ~np.eye(arr.shape[0], dtype=bool)
+            rows, cols = np.nonzero(mask)
+            graph = _edges_to_csr(rows, cols, arr[rows, cols], arr.shape[0])
+        save_sparse_npz(graph, target)
+        return graph.shape[0], int(graph.nnz)
+    if lower.endswith(".npy"):
+        if sparse:
+            graph = sparse_mod.sparse_to_dense(graph)
+        nnz = int(np.isfinite(graph).sum() - graph.shape[0])
+        save_matrix(graph, target)
+        return graph.shape[0], nnz
+    raise ValidationError(
+        f"unsupported convert target {os.fspath(target)!r} "
+        "(expected .npz sparse CSR or .npy dense)")

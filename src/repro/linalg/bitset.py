@@ -57,6 +57,24 @@ def packed_width(n_cols: int) -> int:
     return (n_cols + WORD_BITS - 1) // WORD_BITS
 
 
+if hasattr(np, "bitwise_count"):  # NumPy >= 2.0: hardware popcount ufunc
+    def popcount_words(words: np.ndarray) -> int:
+        """Total number of set bits across a ``uint64`` word array."""
+        return int(np.bitwise_count(np.asarray(words, dtype=_U64)).sum())
+else:  # pragma: no cover - exercised only on NumPy < 2.0
+    _POPCOUNT_LUT = np.array([bin(i).count("1") for i in range(256)],
+                             dtype=np.uint8)
+
+    def popcount_words(words: np.ndarray) -> int:
+        """Total number of set bits across a ``uint64`` word array.
+
+        Byte-LUT fallback for NumPy < 2.0 (no ``bitwise_count``): view the
+        words as bytes and sum a 256-entry popcount table.
+        """
+        arr = np.ascontiguousarray(words, dtype=_U64)
+        return int(_POPCOUNT_LUT[arr.view(np.uint8)].sum(dtype=np.int64))
+
+
 def pack_bits(bits: np.ndarray) -> np.ndarray:
     """Pack a boolean ``(r, c)`` array into ``(r, ceil(c/64))`` uint64 words.
 
@@ -111,7 +129,7 @@ class PackedBlock:
     file system at 1/8th the bytes of the equivalent ``bool`` block.
     """
 
-    __slots__ = ("words", "shape")
+    __slots__ = ("words", "shape", "_bits_set")
 
     def __init__(self, words: np.ndarray, shape: tuple[int, int]) -> None:
         words = np.asarray(words, dtype=_U64)
@@ -122,6 +140,7 @@ class PackedBlock:
                 f"{(rows, packed_width(cols))} for logical shape {(rows, cols)}")
         self.words = words
         self.shape = (rows, cols)
+        self._bits_set: int | None = None
 
     # -- construction / conversion ----------------------------------------
     @classmethod
@@ -140,7 +159,34 @@ class PackedBlock:
 
     def copy(self) -> "PackedBlock":
         """Deep copy (fresh word array, same logical shape)."""
-        return PackedBlock(self.words.copy(), self.shape)
+        clone = PackedBlock(self.words.copy(), self.shape)
+        clone._bits_set = self._bits_set
+        return clone
+
+    # -- density metric -----------------------------------------------------
+    @property
+    def bits_set(self) -> int:
+        """Number of set bits, popcounted lazily and cached on the block.
+
+        The zero-padding invariant makes the word-level popcount exact (pad
+        bits are always zero).  Kernels that mutate ``words`` in place call
+        :meth:`invalidate_popcount`; anything else writing raw words must do
+        the same or the cached density goes stale.
+        """
+        if self._bits_set is None:
+            self._bits_set = popcount_words(self.words)
+        return self._bits_set
+
+    @property
+    def density(self) -> float:
+        """Fraction of logical cells set (``bits_set / (rows * cols)``)."""
+        rows, cols = self.shape
+        cells = rows * cols
+        return (self.bits_set / cells) if cells else 0.0
+
+    def invalidate_popcount(self) -> None:
+        """Drop the cached popcount after an in-place mutation of ``words``."""
+        self._bits_set = None
 
     # -- ndarray-flavoured surface the solvers rely on ---------------------
     @property
@@ -223,6 +269,7 @@ def packed_or(a: PackedBlock, b: PackedBlock, out: PackedBlock | None = None) ->
         return PackedBlock(np.bitwise_or(a.words, b.words), a.shape)
     _check_same_shape(a, out, "packed ⊕ (out)")
     np.bitwise_or(a.words, b.words, out=out.words)
+    out.invalidate_popcount()
     return out
 
 
@@ -233,6 +280,7 @@ def packed_and(a: PackedBlock, b: PackedBlock, out: PackedBlock | None = None) -
         return PackedBlock(np.bitwise_and(a.words, b.words), a.shape)
     _check_same_shape(a, out, "packed ⊗ (out)")
     np.bitwise_and(a.words, b.words, out=out.words)
+    out.invalidate_popcount()
     return out
 
 
@@ -280,7 +328,11 @@ def packed_product(a: PackedBlock, b: PackedBlock,
     a_cols = np.ascontiguousarray(a.to_dense().T)
     out_words = out.words
     b_words = b.words
-    if a_cols.sum() < _SPARSE_PATH_DENSITY * m * k:
+    out.invalidate_popcount()
+    # Path choice rides on the block's cached popcount (word-level, no
+    # unpacking): a closure block is multiplied many times per sweep, so the
+    # density is a per-block property, not a per-call recount.
+    if a.bits_set < _SPARSE_PATH_DENSITY * m * k:
         for kk in range(k):
             rows = np.flatnonzero(a_cols[kk])
             if rows.size:
@@ -315,6 +367,7 @@ def packed_floyd_warshall_inplace(block: PackedBlock) -> PackedBlock:
         # saturates.  Row k ORs with itself (bit (k, k) is set) — harmless.
         mask = _U64(0) - ((words[:, word] >> _U64(bit)) & _U64(1))
         words |= mask[:, None] & words[k][None, :]
+    block.invalidate_popcount()
     return block
 
 
@@ -336,6 +389,7 @@ def packed_rank1_update(block: PackedBlock, col_i: np.ndarray,
     sel = np.flatnonzero(col)
     if sel.size:
         out.words[sel] |= pack_bits(row)[0]
+        out.invalidate_popcount()
     return out
 
 

@@ -619,6 +619,98 @@ def rebuild_parent_row(source: int, distances: np.ndarray, adjacency,
     return parents_row
 
 
+def consistent_parent_row(parents_row: np.ndarray, source: int, *,
+                          reachable: np.ndarray | None = None) -> bool:
+    """Single-row counterpart of :func:`consistent_parent_rows`.
+
+    True when every assigned pointer chain of ``parents_row`` terminates at
+    ``source`` (checked by pointer doubling, O(n log n)).  With ``reachable``
+    given (a boolean mask of vertices the closure says the source reaches),
+    additionally require that every reachable vertex *is* assigned — the
+    property a route cache needs before trusting a row for arbitrary
+    destinations.
+    """
+    row = np.asarray(parents_row)
+    n = row.shape[0]
+    if n == 0:
+        return True
+    unassigned = row == NO_VERTEX
+    if reachable is not None:
+        must_assign = np.asarray(reachable, dtype=bool).copy()
+        must_assign[source] = False
+        if bool(np.any(must_assign & unassigned)):
+            return False
+    sentinel = n  # virtual absorbing node for "-1" (unassigned / dead end)
+    chase = np.where(unassigned, sentinel, row).astype(np.int64)
+    chase[source] = source
+    padded = np.empty(n + 1, dtype=np.int64)
+    doublings = max(1, int(np.ceil(np.log2(max(2, n)))) + 1)
+    for _ in range(doublings):
+        padded[:n] = chase
+        padded[n] = sentinel
+        chase = padded[chase]
+    return bool(np.all((chase == source) | unassigned))
+
+
+def solve_parent_row(source: int, distances: np.ndarray, adjacency,
+                     algebra: Semiring, *, rtol: float | None = None,
+                     ) -> np.ndarray:
+    """One-shot vectorized parent row for ``source`` from the cached closure.
+
+    For every vertex ``j`` the row picks *some* tight predecessor ``p``
+    (``D[s, p] ⊗ E[p, j] == D[s, j]`` with ``E[p, j]`` a real edge) in a
+    single vectorized pass — O(n²) for dense adjacency, O(nnz) for CSR,
+    with no BFS layering.  Every pointer is locally valid (a genuine edge on
+    an optimal path), but on equal-value plateaus (boolean reachability,
+    bottleneck ties) independently chosen pointers can form cycles; callers
+    must check the row with :func:`consistent_parent_row` and fall back to
+    :func:`rebuild_parent_row` when it fails.  This fast-path/repair split is
+    the serving layer's per-row analogue of the solver-side
+    :func:`repair_parents` pass.
+    """
+    from repro.graph import sparse as sparse_mod
+    d_row = np.asarray(distances)[source]
+    n = d_row.shape[0]
+    dtype = d_row.dtype
+    zero = algebra.zero_like(dtype)
+    if rtol is None:
+        rtol = _tight_rtol(dtype)
+    parents_row = np.full(n, NO_VERTEX, dtype=np.int32)
+    reachable = d_row != zero
+    reachable[source] = False
+    if not reachable.any():
+        return parents_row
+    if sparse_mod.is_sparse(adjacency):
+        coo = adjacency.tocoo()
+        p_idx = np.asarray(coo.row, dtype=np.int64)
+        j_idx = np.asarray(coo.col, dtype=np.int64)
+        vals = np.asarray(coo.data, dtype=dtype)
+        candidate = algebra.mul(d_row[p_idx], vals)
+        target = d_row[j_idx]
+    else:
+        edge_vals = np.asarray(adjacency, dtype=dtype)
+        candidate = algebra.mul(d_row[:, None], edge_vals)
+        target = d_row[None, :]
+        vals = edge_vals
+    if dtype == np.bool_:
+        tight = candidate & (vals != zero)
+    else:
+        close = np.isclose(candidate, target, rtol=rtol, atol=rtol) \
+            | (np.isinf(candidate) & np.isinf(target))
+        tight = close & (vals != zero) & (candidate != zero)
+    if sparse_mod.is_sparse(adjacency):
+        tight &= reachable[j_idx] & (p_idx != j_idx)
+        hit = np.flatnonzero(tight)
+        # Later writers win — any tight predecessor is locally valid.
+        parents_row[j_idx[hit]] = p_idx[hit].astype(np.int32)
+    else:
+        tight &= reachable[None, :]
+        np.fill_diagonal(tight, False)
+        covered = tight.any(axis=0)
+        parents_row[covered] = np.argmax(tight[:, covered], axis=0).astype(np.int32)
+    return parents_row
+
+
 def repair_parents(distances: np.ndarray, parents: np.ndarray, adjacency,
                    algebra: Semiring | str | None = None, *,
                    rtol: float | None = None) -> tuple[np.ndarray, int]:
@@ -647,27 +739,30 @@ def repair_parents(distances: np.ndarray, parents: np.ndarray, adjacency,
 # ---------------------------------------------------------------------------
 # Path reconstruction
 # ---------------------------------------------------------------------------
-def reconstruct_path(parents: np.ndarray, src: int, dst: int) -> list[int]:
-    """Walk a predecessor matrix back from ``dst`` to ``src``.
+def walk_parent_row(parents_row: np.ndarray, src: int, dst: int) -> list[int]:
+    """Walk a single source row of a predecessor matrix back from ``dst``.
 
-    Returns the vertex list ``[src, ..., dst]`` (``[src]`` when
-    ``src == dst``).  Raises :class:`~repro.common.errors.SolverError` when
-    no path exists or the matrix is inconsistent (a walk that fails to reach
-    ``src`` within ``n`` steps).
+    ``parents_row[j]`` is the predecessor of ``j`` on an optimal path from
+    ``src`` (the row's source) to ``j``.  Returns the vertex list
+    ``[src, ..., dst]`` (``[src]`` when ``src == dst``).  Raises
+    :class:`~repro.common.errors.SolverError` when no path exists or the row
+    is inconsistent (a walk that fails to reach ``src`` within ``n`` steps).
+    This is the per-row primitive both :func:`reconstruct_path` (full
+    matrix) and the serving layer's row cache walk.
     """
-    parents = np.asarray(parents)
-    n = parents.shape[0]
+    row = np.asarray(parents_row)
+    n = row.shape[0]
     if not (0 <= src < n and 0 <= dst < n):
         raise ValidationError(
             f"route endpoints ({src}, {dst}) out of range for n={n}")
     if src == dst:
         return [int(src)]
-    if parents[src, dst] == NO_VERTEX:
+    if row[dst] == NO_VERTEX:
         raise SolverError(f"no path from {src} to {dst}")
     path = [int(dst)]
     cur = int(dst)
     for _ in range(n):
-        cur = int(parents[src, cur])
+        cur = int(row[cur])
         if cur == NO_VERTEX:
             raise SolverError(
                 f"parent matrix is inconsistent: walk from {dst} hit a dead "
@@ -678,6 +773,22 @@ def reconstruct_path(parents: np.ndarray, src: int, dst: int) -> list[int]:
     raise SolverError(
         f"parent matrix is inconsistent: walk from {dst} did not reach "
         f"{src} within {n} steps")
+
+
+def reconstruct_path(parents: np.ndarray, src: int, dst: int) -> list[int]:
+    """Walk a predecessor matrix back from ``dst`` to ``src``.
+
+    Returns the vertex list ``[src, ..., dst]`` (``[src]`` when
+    ``src == dst``).  Raises :class:`~repro.common.errors.SolverError` when
+    no path exists or the matrix is inconsistent (a walk that fails to reach
+    ``src`` within ``n`` steps).
+    """
+    parents = np.asarray(parents)
+    n = parents.shape[0]
+    if not (0 <= src < n):
+        raise ValidationError(
+            f"route endpoints ({src}, {dst}) out of range for n={n}")
+    return walk_parent_row(parents[src], src, dst)
 
 
 def path_weight(prepared: np.ndarray, path: list[int],

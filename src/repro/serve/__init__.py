@@ -1,0 +1,42 @@
+"""The serving layer: online route queries over a solved APSP closure.
+
+The batch side of this repo produces closures; this package *answers
+questions* from them.  :class:`~repro.serve.service.RouteService` is the
+entry point (usually reached through
+:meth:`repro.core.engine.APSPEngine.serve`): it solves per-source parent
+rows lazily from the cached closure, keeps them in an LRU
+:class:`~repro.serve.cache.ParentRowCache` under a memory budget, and
+streams every query through :class:`~repro.serve.analytics.ServeAnalytics`
+for latency percentiles and per-stage cost attribution.
+"""
+
+from repro.serve.analytics import DEFAULT_RESERVOIR, STAGES, ServeAnalytics
+from repro.serve.cache import ParentRowCache
+from repro.serve.report import (
+    ROUTE_ERROR,
+    ROUTE_MISMATCH,
+    ROUTE_OK,
+    ROUTE_UNREACHABLE,
+    fold_route,
+    format_route,
+    load_pairs_file,
+    render_report,
+)
+from repro.serve.service import RouteAnswer, RouteService
+
+__all__ = [
+    "DEFAULT_RESERVOIR",
+    "ROUTE_ERROR",
+    "ROUTE_MISMATCH",
+    "ROUTE_OK",
+    "ROUTE_UNREACHABLE",
+    "STAGES",
+    "ParentRowCache",
+    "RouteAnswer",
+    "RouteService",
+    "ServeAnalytics",
+    "fold_route",
+    "format_route",
+    "load_pairs_file",
+    "render_report",
+]

@@ -1,0 +1,133 @@
+"""LRU cache of per-source parent rows under a configurable memory budget.
+
+The serving layer's core memory trade: a full predecessor matrix is
+``4 n²`` bytes (int32), but a query workload touches a *biased* subset of
+sources.  :class:`ParentRowCache` keeps only the rows queries actually
+needed — ``4 n`` bytes each — and evicts in least-recently-used order once
+the configured budget (bytes and/or row count) is exceeded, so the serving
+footprint is ``O(budget)`` regardless of how many distinct sources a long
+session sees.  The cache is a dumb container on purpose: it never *builds*
+rows (that is :class:`~repro.serve.service.RouteService`'s job), it only
+accounts for them, which keeps the hit/miss/eviction counters an exact
+description of cache behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+
+
+class ParentRowCache:
+    """LRU map of ``source -> parent row`` with byte and row-count budgets.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Maximum total ``nbytes`` across cached rows; ``None`` = unbounded.
+        The most recently stored row is never evicted, so a budget smaller
+        than one row degenerates to a one-row cache rather than an error.
+    max_rows:
+        Maximum number of cached rows; ``None`` = unbounded.  Both limits
+        may be combined; the tighter one wins.
+    """
+
+    def __init__(self, budget_bytes: int | None = None,
+                 max_rows: int | None = None) -> None:
+        if budget_bytes is not None and int(budget_bytes) < 1:
+            raise ConfigurationError("cache budget_bytes must be >= 1 or None")
+        if max_rows is not None and int(max_rows) < 1:
+            raise ConfigurationError("cache max_rows must be >= 1 or None")
+        self.budget_bytes = None if budget_bytes is None else int(budget_bytes)
+        self.max_rows = None if max_rows is None else int(max_rows)
+        self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._nbytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, source: int) -> bool:
+        return int(source) in self._rows
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held across cached rows."""
+        return self._nbytes
+
+    def sources(self) -> list[int]:
+        """Cached sources in eviction order (least recently used first)."""
+        return list(self._rows)
+
+    # ------------------------------------------------------------------
+    def lookup(self, source: int) -> np.ndarray | None:
+        """Return the cached row for ``source`` (refreshing its recency) or None.
+
+        Every call counts exactly one hit or one miss, so
+        ``hits + misses == lookups``.
+        """
+        key = int(source)
+        row = self._rows.get(key)
+        if row is None:
+            self.misses += 1
+            return None
+        self._rows.move_to_end(key)
+        self.hits += 1
+        return row
+
+    def store(self, source: int, row: np.ndarray) -> int:
+        """Insert (or replace) a row, evicting LRU rows past the budgets.
+
+        Returns the number of rows evicted by this insertion.  The row just
+        stored is exempt from its own eviction sweep — a budget tighter than
+        one row keeps exactly the newest row.
+        """
+        key = int(source)
+        arr = np.asarray(row)
+        old = self._rows.pop(key, None)
+        if old is not None:
+            self._nbytes -= int(old.nbytes)
+        self._rows[key] = arr
+        self._nbytes += int(arr.nbytes)
+        evicted = 0
+        while len(self._rows) > 1 and self._over_budget():
+            victim, victim_row = self._rows.popitem(last=False)
+            self._nbytes -= int(victim_row.nbytes)
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def _over_budget(self) -> bool:
+        if self.max_rows is not None and len(self._rows) > self.max_rows:
+            return True
+        return self.budget_bytes is not None and self._nbytes > self.budget_bytes
+
+    def clear(self) -> None:
+        """Drop every cached row (counters are kept — they describe the session)."""
+        self._rows.clear()
+        self._nbytes = 0
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters plus the current occupancy."""
+        lookups = self.hits + self.misses
+        return {
+            "cache_rows": len(self._rows),
+            "cache_bytes": self._nbytes,
+            "cache_budget_bytes": self.budget_bytes,
+            "cache_max_rows": self.max_rows,
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_evictions": self.evictions,
+            "cache_hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ParentRowCache(rows={len(self._rows)}, bytes={self._nbytes}, "
+                f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})")

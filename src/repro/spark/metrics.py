@@ -191,6 +191,48 @@ class EngineMetrics:
         return f"EngineMetrics({body})"
 
 
+def quantile(values, q: float) -> float:
+    """Linear-interpolated quantile of a sequence (``q`` in ``[0, 1]``).
+
+    The serving analytics' latency percentiles (p50/p95/p99) come through
+    here; pure-Python on purpose so the metrics layer stays dependency-free
+    and the result is exact for the small/medium sample counts a serving
+    session accumulates.  Raises ``ValueError`` on an empty sequence or an
+    out-of-range ``q``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile q must be in [0, 1], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        raise ValueError("quantile of an empty sequence")
+    pos = (len(ordered) - 1) * q
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def latency_summary(values, percentiles: tuple[float, ...] = (0.5, 0.95, 0.99)) -> dict:
+    """Count/mean/max plus the requested percentiles of a latency sample.
+
+    Returns ``{"count", "mean_s", "max_s", "p50_s", "p95_s", "p99_s"}``
+    (percentile keys follow ``p<percent>_s``); all timing values are 0.0
+    for an empty sample so reports can render before the first query lands.
+    """
+    ordered = sorted(float(v) for v in values)
+    summary: dict = {"count": len(ordered)}
+    if not ordered:
+        summary["mean_s"] = summary["max_s"] = 0.0
+        for p in percentiles:
+            summary[f"p{int(round(p * 100))}_s"] = 0.0
+        return summary
+    summary["mean_s"] = sum(ordered) / len(ordered)
+    summary["max_s"] = ordered[-1]
+    for p in percentiles:
+        summary[f"p{int(round(p * 100))}_s"] = quantile(ordered, p)
+    return summary
+
+
 def metrics_delta(before: dict, after: dict) -> dict:
     """Counter-wise difference of two :meth:`EngineMetrics.as_dict` snapshots.
 

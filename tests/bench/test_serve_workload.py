@@ -1,0 +1,156 @@
+"""Tests for the serve benchmark workload: scenarios, query streams, metrics."""
+
+import pytest
+
+from repro.bench import BenchScenario, available_suites, get_suite
+from repro.bench.runner import scenario_queries, solve_scenario
+from repro.common.config import EngineConfig
+from repro.common.errors import ConfigurationError
+from repro.core.engine import APSPEngine
+from repro.serve import STAGES
+
+
+def serve_scenario(**overrides):
+    kwargs = dict(name="s", solver="cb", n=32, block_size=16,
+                  workload="serve", queries=64, query_sources=4, cache_rows=3)
+    kwargs.update(overrides)
+    return BenchScenario(**kwargs)
+
+
+class TestServeScenarioValidation:
+    def test_serve_fields_survive_and_appear_in_params(self):
+        params = serve_scenario().params()
+        assert params["workload"] == "serve"
+        assert params["queries"] == 64
+        assert params["query_sources"] == 4
+        assert params["cache_rows"] == 3
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError, match="workload"):
+            serve_scenario(workload="stream")
+
+    def test_serve_needs_queries(self):
+        with pytest.raises(ConfigurationError, match="queries"):
+            serve_scenario(queries=0)
+
+    def test_serve_rejects_paths(self):
+        with pytest.raises(ConfigurationError, match="lazily"):
+            serve_scenario(paths=True)
+
+    def test_negative_query_sources_rejected(self):
+        with pytest.raises(ConfigurationError):
+            serve_scenario(query_sources=-1)
+
+    def test_cache_rows_must_be_positive_or_none(self):
+        with pytest.raises(ConfigurationError):
+            serve_scenario(cache_rows=0)
+        assert serve_scenario(cache_rows=None).cache_rows is None
+
+    def test_solve_scenarios_ignore_serve_knobs(self):
+        scenario = BenchScenario(name="s", solver="cb", n=32, block_size=16)
+        assert scenario.workload == "solve"
+        assert scenario.queries == 0
+
+
+class TestWithNScaling:
+    def test_serve_knobs_scale_with_n(self):
+        scaled = serve_scenario(n=32, queries=128, query_sources=8,
+                                cache_rows=4).with_n(64)
+        assert scaled.n == 64
+        assert scaled.queries == 256
+        assert scaled.query_sources == 16
+        assert scaled.cache_rows == 8
+
+    def test_scaling_down_never_hits_zero(self):
+        scaled = serve_scenario(n=64, queries=4, query_sources=1,
+                                cache_rows=1, block_size=16).with_n(8)
+        assert scaled.queries >= 1
+        assert scaled.query_sources >= 1
+        assert scaled.cache_rows >= 1
+
+    def test_solve_scenarios_do_not_scale_serve_knobs(self):
+        scenario = BenchScenario(name="s", solver="cb", n=32, block_size=16)
+        assert scenario.with_n(64).queries == 0
+
+
+class TestServeSuite:
+    def test_registered(self):
+        assert "serve" in available_suites()
+
+    def test_suite_shape(self, monkeypatch):
+        monkeypatch.delenv("APSPARK_BENCH_N", raising=False)
+        suite = get_suite("serve")
+        names = [s.name for s in suite.scenarios]
+        assert names == ["serve-warm", "serve-tight-cache", "serve-cold-scan",
+                         "serve-reachability"]
+        for scenario in suite.scenarios:
+            assert scenario.workload == "serve"
+            assert scenario.queries == 4 * scenario.n
+        tight = suite.scenarios[1]
+        assert tight.cache_rows is not None
+        assert tight.cache_rows < tight.query_sources   # guarantees churn
+        assert suite.scenarios[3].algebra == "reachability"
+
+
+class TestScenarioQueries:
+    def test_deterministic_across_calls(self):
+        scenario = serve_scenario()
+        assert scenario_queries(scenario, 32) == scenario_queries(scenario, 32)
+
+    def test_seed_changes_the_stream(self):
+        a = scenario_queries(serve_scenario(seed=1), 32)
+        b = scenario_queries(serve_scenario(seed=2), 32)
+        assert a != b
+
+    def test_source_pool_is_respected(self):
+        pairs = scenario_queries(serve_scenario(queries=200, query_sources=4), 32)
+        assert len(pairs) == 200
+        assert len({src for src, _ in pairs}) <= 4
+        assert all(0 <= s < 32 and 0 <= d < 32 for s, d in pairs)
+
+    def test_zero_sources_means_the_whole_vertex_set(self):
+        pairs = scenario_queries(serve_scenario(queries=500, query_sources=0), 32)
+        assert len({src for src, _ in pairs}) > 4
+
+
+class TestSolveScenarioServe:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        config = EngineConfig(backend="serial", num_executors=2,
+                              cores_per_executor=2)
+        eng = APSPEngine(config).start()
+        yield eng
+        eng.stop()
+
+    def test_serve_metrics_folded_into_the_result(self, engine):
+        scenario = serve_scenario(n=24, queries=48, query_sources=3,
+                                  cache_rows=2, block_size=8)
+        result = solve_scenario(scenario, engine)
+        assert "serve" in result.phase_seconds
+        assert result.metrics["serve_queries"] == 48
+        assert result.metrics["serve_cache_max_rows"] == 2
+        assert result.metrics["serve_cache_hits"] + \
+            result.metrics["serve_cache_misses"] >= 1
+        for stage in STAGES:
+            assert f"serve_stage_{stage}_s" in result.metrics
+            assert f"serve_stage_{stage}_count" in result.metrics
+        for key in ("serve_latency_p50_s", "serve_latency_p95_s",
+                    "serve_latency_p99_s", "serve_cache_hit_rate",
+                    "serve_cache_evictions"):
+            assert key in result.metrics
+        # stats() sub-dicts must not leak into the flat metrics namespace.
+        assert "serve_stage_seconds" not in result.metrics
+        assert "serve_algebra" not in result.metrics
+
+    def test_tight_cache_actually_evicts(self, engine):
+        scenario = serve_scenario(n=24, queries=96, query_sources=12,
+                                  cache_rows=2, block_size=8)
+        result = solve_scenario(scenario, engine)
+        assert result.metrics["serve_cache_evictions"] > 0
+        assert result.metrics["serve_cache_rows"] <= 2
+
+    def test_solve_workload_has_no_serve_metrics(self, engine):
+        scenario = BenchScenario(name="s", solver="cb", n=24, block_size=8)
+        result = solve_scenario(scenario, engine)
+        assert "serve" not in result.phase_seconds
+        assert not any(k.startswith("serve_") for k in result.metrics)

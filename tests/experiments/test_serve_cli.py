@@ -1,0 +1,110 @@
+"""Tests for the serving CLI: ``apspark route``, ``apspark serve``, ``convert``."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+COMMON = ["--n", "32", "--block-size", "8"]
+
+
+class TestRouteCommand:
+    def test_flat_pairs_print_verified_lines(self, capsys):
+        assert main(["route", "0", "5", "3", "9", *COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "route 0 -> 5" in out
+        assert "route 3 -> 9" in out
+        assert "MISMATCH" not in out
+
+    def test_report_flag_appends_the_analytics_block(self, capsys):
+        assert main(["route", "0", "5", *COMMON, "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "serving report: 1 query on n=32" in out
+        assert "latency:" in out and "cache:" in out and "stages:" in out
+
+    def test_odd_pair_list_is_a_usage_error(self, capsys):
+        assert main(["route", "0", "5", "3", *COMMON]) == 2
+        assert "even-length" in capsys.readouterr().err
+
+    def test_no_queries_is_a_usage_error(self, capsys):
+        assert main(["route", *COMMON]) == 2
+        assert "no queries" in capsys.readouterr().err
+
+    def test_pairs_file_extends_the_workload(self, tmp_path, capsys):
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("1 7\n2 9\n")
+        assert main(["route", "0", "5", *COMMON,
+                     "--pairs-file", str(pairs)]) == 0
+        out = capsys.readouterr().out
+        assert "route 1 -> 7" in out and "route 2 -> 9" in out
+
+    def test_out_of_range_pairs_file_fails_before_solving(self, tmp_path, capsys):
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("0 99\n")
+        assert main(["route", *COMMON, "--pairs-file", str(pairs)]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_algebra_and_cache_knobs(self, capsys):
+        assert main(["route", "0", "9", "1", "4", *COMMON,
+                     "--algebra", "reachability", "--cache-rows", "2"]) == 0
+        assert "reachable" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_replay_prints_the_report(self, capsys):
+        assert main(["serve", *COMMON, "--queries", "40", "--sources", "4",
+                     "--cache-rows", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "serving report: 40 queries on n=32" in out
+        assert "eviction" in out and "max 2 rows" in out
+
+    def test_verify_reports_the_fold_summary(self, capsys):
+        assert main(["serve", *COMMON, "--queries", "30", "--verify"]) == 0
+        assert "30/30 folded route(s) match" in capsys.readouterr().out
+
+    def test_csv_emits_one_flat_row(self, capsys):
+        assert main(["serve", *COMMON, "--queries", "20", "--csv"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 2                       # header + one row
+        header = out[0].split(",")
+        assert "queries" in header
+        assert "cache_hit_rate" in header
+        assert "stage_row_solve_s" in header
+        assert "stage_seconds" not in header       # no nested dicts in CSV
+
+    def test_zero_queries_is_a_usage_error(self, capsys):
+        assert main(["serve", *COMMON, "--queries", "0"]) == 2
+        assert "no queries" in capsys.readouterr().err
+
+    def test_pairs_file_replay(self, tmp_path, capsys):
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("0 1\n0 2\n0 3\n")
+        assert main(["serve", *COMMON, "--pairs-file", str(pairs)]) == 0
+        assert "3 queries" in capsys.readouterr().out
+
+    def test_cache_budget_kb_bounds_the_cache(self, capsys):
+        assert main(["serve", *COMMON, "--queries", "64", "--sources", "16",
+                     "--cache-budget-kb", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "budget 256B" in out
+
+
+class TestConvertCommand:
+    def test_edge_list_to_npz_then_served(self, tmp_path, capsys):
+        src = tmp_path / "demo.txt"
+        # directed=0 mirrors the edges: the default blocked-cb solver only
+        # accepts symmetric (undirected) adjacencies.
+        src.write_text("# directed=0\n0 1 2.5\n1 2 1.0\n2 3 4.0\n0 3 9.5\n")
+        npz = tmp_path / "demo.npz"
+        assert main(["convert", str(src), str(npz)]) == 0
+        assert "n=4, nnz=8" in capsys.readouterr().out
+        assert main(["route", "0", "3", "--input", str(npz),
+                     "--block-size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "route 0 -> 3" in out and "match" in out
+
+    def test_bad_target_extension_fails(self, tmp_path, capsys):
+        src = tmp_path / "demo.txt"
+        src.write_text("0 1 1.0\n")
+        with pytest.raises(SystemExit):
+            main(["convert", str(src)])            # target is required
+        assert main(["convert", str(src), str(tmp_path / "x.json")]) != 0

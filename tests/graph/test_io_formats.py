@@ -1,0 +1,208 @@
+"""Tests for the external graph loaders: edge lists, MatrixMarket, convert."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.graph.io import (convert_graph, load_external_edges, load_graph,
+                            load_mtx, save_matrix, save_sparse_npz)
+from repro.graph.sparse import is_sparse, sparse_to_dense
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestLoadExternalEdges:
+    def test_basic_weighted_directed(self, tmp_path):
+        path = write(tmp_path, "g.txt", "0 1 2.5\n1 2 1.0\n")
+        csr = load_external_edges(path)
+        assert is_sparse(csr)
+        assert csr.shape == (3, 3)
+        assert csr[0, 1] == 2.5 and csr[1, 2] == 1.0
+        assert csr[1, 0] == 0.0                     # directed: no mirror
+
+    def test_unweighted_lines_get_default_weight(self, tmp_path):
+        path = write(tmp_path, "g.txt", "0 1\n1 2\n")
+        csr = load_external_edges(path, default_weight=7.0)
+        assert csr[0, 1] == 7.0
+
+    def test_comments_commas_and_blank_lines(self, tmp_path):
+        path = write(tmp_path, "g.txt",
+                     "# header\n% also a comment\n\n0,1,3.0\n 1 , 2 , 4.0 \n")
+        csr = load_external_edges(path)
+        assert csr[0, 1] == 3.0 and csr[1, 2] == 4.0
+
+    def test_n_token_pins_the_vertex_count(self, tmp_path):
+        path = write(tmp_path, "g.txt", "# n=10\n0 1 1.0\n")
+        assert load_external_edges(path).shape == (10, 10)
+
+    def test_vertex_id_beyond_declared_n_rejected(self, tmp_path):
+        path = write(tmp_path, "g.txt", "# n=3\n0 5 1.0\n")
+        with pytest.raises(ValidationError, match="out of range"):
+            load_external_edges(path)
+
+    def test_directed_token_overrides_keyword(self, tmp_path):
+        path = write(tmp_path, "g.txt", "# directed=0\n0 1 2.0\n")
+        csr = load_external_edges(path, directed=True)
+        assert csr[0, 1] == 2.0 and csr[1, 0] == 2.0
+
+    def test_undirected_keyword_mirrors(self, tmp_path):
+        path = write(tmp_path, "g.txt", "0 1 2.0\n")
+        csr = load_external_edges(path, directed=False)
+        assert csr[1, 0] == 2.0
+
+    def test_duplicate_edges_keep_minimum_weight(self, tmp_path):
+        path = write(tmp_path, "g.txt", "0 1 5.0\n0 1 2.0\n0 1 9.0\n")
+        csr = load_external_edges(path)
+        assert csr.nnz == 1
+        assert csr[0, 1] == 2.0                     # min, not scipy's sum
+
+    def test_self_loops_dropped(self, tmp_path):
+        path = write(tmp_path, "g.txt", "0 0 1.0\n0 1 2.0\n")
+        csr = load_external_edges(path)
+        assert csr.nnz == 1 and csr[0, 0] == 0.0
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = write(tmp_path, "g.txt", "0 1 1.0\n0 1 2 3\n")
+        with pytest.raises(ValidationError, match=r":2:"):
+            load_external_edges(path)
+
+    def test_negative_vertex_id_rejected(self, tmp_path):
+        path = write(tmp_path, "g.txt", "0 -1 1.0\n")
+        with pytest.raises(ValidationError, match=">= 0"):
+            load_external_edges(path)
+
+    def test_empty_file_gives_empty_graph(self, tmp_path):
+        path = write(tmp_path, "g.txt", "# nothing\n")
+        assert load_external_edges(path).shape == (0, 0)
+
+
+class TestLoadMtx:
+    def header(self, field="real", symmetry="general"):
+        return f"%%MatrixMarket matrix coordinate {field} {symmetry}\n"
+
+    def test_general_real(self, tmp_path):
+        path = write(tmp_path, "g.mtx",
+                     self.header() + "% comment\n3 3 2\n1 2 2.5\n2 3 1.5\n")
+        csr = load_mtx(path)
+        assert csr.shape == (3, 3)
+        assert csr[0, 1] == 2.5 and csr[1, 2] == 1.5   # 1-based -> 0-based
+
+    def test_symmetric_pattern(self, tmp_path):
+        path = write(tmp_path, "g.mtx",
+                     self.header("pattern", "symmetric") + "3 3 2\n1 2\n2 3\n")
+        csr = load_mtx(path)
+        assert csr[0, 1] == 1.0 and csr[1, 0] == 1.0   # mirrored, weight 1
+        assert csr.nnz == 4
+
+    def test_integer_field(self, tmp_path):
+        path = write(tmp_path, "g.mtx",
+                     self.header("integer") + "2 2 1\n1 2 4\n")
+        assert load_mtx(path)[0, 1] == 4.0
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = write(tmp_path, "g.mtx", "3 3 1\n1 2 1.0\n")
+        with pytest.raises(ValidationError, match="MatrixMarket header"):
+            load_mtx(path)
+
+    def test_array_layout_rejected(self, tmp_path):
+        path = write(tmp_path, "g.mtx",
+                     "%%MatrixMarket matrix array real general\n2 2\n1.0\n")
+        with pytest.raises(ValidationError, match="coordinate"):
+            load_mtx(path)
+
+    def test_complex_field_rejected(self, tmp_path):
+        path = write(tmp_path, "g.mtx", self.header("complex") + "2 2 0\n")
+        with pytest.raises(ValidationError, match="unsupported"):
+            load_mtx(path)
+
+    def test_non_square_rejected(self, tmp_path):
+        path = write(tmp_path, "g.mtx", self.header() + "2 3 1\n1 2 1.0\n")
+        with pytest.raises(ValidationError, match="square"):
+            load_mtx(path)
+
+    def test_out_of_range_entry_rejected(self, tmp_path):
+        path = write(tmp_path, "g.mtx", self.header() + "2 2 1\n1 5 1.0\n")
+        with pytest.raises(ValidationError, match="out of range"):
+            load_mtx(path)
+
+    def test_missing_size_line_rejected(self, tmp_path):
+        path = write(tmp_path, "g.mtx", self.header() + "% only comments\n")
+        with pytest.raises(ValidationError, match="size line"):
+            load_mtx(path)
+
+
+class TestLoadGraphDispatch:
+    def test_extension_routing(self, tmp_path):
+        dense = np.full((3, 3), np.inf)
+        np.fill_diagonal(dense, 0.0)
+        dense[0, 1] = 2.0
+        npy = str(tmp_path / "g.npy")
+        save_matrix(dense, npy)
+        loaded = load_graph(npy)
+        assert not is_sparse(loaded)
+        assert loaded[0, 1] == 2.0
+
+        txt = write(tmp_path, "g.txt", "0 1 2.0\n# n=3\n")
+        assert is_sparse(load_graph(txt))
+
+        mtx = write(tmp_path, "g.mtx",
+                    "%%MatrixMarket matrix coordinate real general\n"
+                    "3 3 1\n1 2 2.0\n")
+        assert is_sparse(load_graph(mtx))
+
+    def test_npz_round_trip(self, tmp_path):
+        txt = write(tmp_path, "g.txt", "0 1 2.0\n1 2 3.0\n")
+        npz = str(tmp_path / "g.npz")
+        save_sparse_npz(load_graph(txt), npz)
+        csr = load_graph(npz)
+        assert is_sparse(csr) and csr[1, 2] == 3.0
+
+
+class TestConvertGraph:
+    def test_edge_list_to_npz(self, tmp_path):
+        txt = write(tmp_path, "g.txt", "0 1 2.5\n1 2 1.0\n2 3 4.0\n")
+        npz = str(tmp_path / "g.npz")
+        n, nnz = convert_graph(txt, npz)
+        assert (n, nnz) == (4, 3)
+        csr = load_graph(npz)
+        assert csr[0, 1] == 2.5 and csr.nnz == 3
+
+    def test_csr_to_dense_npy(self, tmp_path):
+        txt = write(tmp_path, "g.txt", "0 1 2.5\n# n=3\n")
+        npy = str(tmp_path / "g.npy")
+        n, nnz = convert_graph(txt, npy)
+        assert (n, nnz) == (3, 1)
+        dense = load_graph(npy)
+        assert dense[0, 1] == 2.5
+        assert np.isinf(dense[1, 0])                # canonical expansion
+        assert dense[0, 0] == 0.0
+
+    def test_dense_to_npz_takes_finite_off_diagonal(self, tmp_path):
+        dense = np.full((3, 3), np.inf)
+        np.fill_diagonal(dense, 0.0)
+        dense[0, 2] = 1.5
+        npy = str(tmp_path / "g.npy")
+        save_matrix(dense, npy)
+        npz = str(tmp_path / "g.npz")
+        n, nnz = convert_graph(npy, npz)
+        assert (n, nnz) == (3, 1)
+        assert load_graph(npz)[0, 2] == 1.5
+
+    def test_round_trip_preserves_the_graph(self, tmp_path):
+        txt = write(tmp_path, "g.txt", "0 1 2.0\n1 2 3.0\n2 0 4.0\n")
+        npz = str(tmp_path / "g.npz")
+        npy = str(tmp_path / "g.npy")
+        convert_graph(txt, npz)
+        convert_graph(npz, npy)
+        dense = load_graph(npy)
+        expected = sparse_to_dense(load_graph(npz))
+        assert np.array_equal(dense, expected)
+
+    def test_unknown_target_extension_rejected(self, tmp_path):
+        txt = write(tmp_path, "g.txt", "0 1 1.0\n")
+        with pytest.raises(ValidationError, match="convert target"):
+            convert_graph(txt, str(tmp_path / "g.json"))

@@ -113,12 +113,14 @@ def test_validate_adjacency_dispatches_sparse():
         floyd_warshall_numpy(csr)
 
 
-def test_cli_rejects_unknown_input_extension(tmp_path, capsys):
+def test_cli_rejects_malformed_input_file(tmp_path, capsys):
+    # Unknown extensions now parse as plain-text edge lists (the ingestion
+    # front door), so a rejection means the *content* failed to parse.
     from repro.experiments.cli import main
     path = os.path.join(tmp_path, "graph.txt")
     open(path, "w").write("nope")
     assert main(["solve", "--input", path]) == 2
-    assert "unsupported --input extension" in capsys.readouterr().err
+    assert "cannot load --input" in capsys.readouterr().err
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,136 @@
+"""Tests for the LRU parent-row cache: eviction order, budgets, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.serve import ParentRowCache
+
+
+def row(n=8, fill=0):
+    return np.full(n, fill, dtype=np.int32)
+
+
+class TestBudgetValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"budget_bytes": 0},
+        {"budget_bytes": -1},
+        {"max_rows": 0},
+        {"max_rows": -2},
+    ])
+    def test_non_positive_budgets_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ParentRowCache(**kwargs)
+
+    def test_none_means_unbounded(self):
+        cache = ParentRowCache()
+        for source in range(100):
+            cache.store(source, row())
+        assert len(cache) == 100
+        assert cache.evictions == 0
+
+
+class TestLookupAccounting:
+    def test_every_lookup_is_a_hit_or_a_miss(self):
+        cache = ParentRowCache()
+        cache.store(3, row())
+        assert cache.lookup(3) is not None
+        assert cache.lookup(4) is None
+        assert cache.lookup(3) is not None
+        assert cache.hits == 2
+        assert cache.misses == 1
+        stats = cache.stats()
+        assert stats["cache_hits"] + stats["cache_misses"] == 3
+        assert stats["cache_hit_rate"] == pytest.approx(2 / 3)
+
+    def test_hit_rate_zero_before_any_lookup(self):
+        assert ParentRowCache().stats()["cache_hit_rate"] == 0.0
+
+    def test_contains_does_not_count(self):
+        cache = ParentRowCache()
+        cache.store(1, row())
+        assert 1 in cache and 2 not in cache
+        assert cache.hits == 0 and cache.misses == 0
+
+
+class TestLRUEviction:
+    def test_row_count_budget_evicts_least_recently_used(self):
+        cache = ParentRowCache(max_rows=2)
+        cache.store(0, row())
+        cache.store(1, row())
+        assert cache.store(2, row()) == 1          # evicts 0
+        assert cache.sources() == [1, 2]
+
+    def test_lookup_refreshes_recency(self):
+        cache = ParentRowCache(max_rows=2)
+        cache.store(0, row())
+        cache.store(1, row())
+        cache.lookup(0)                            # 0 is now the MRU
+        cache.store(2, row())                      # so 1 is the victim
+        assert cache.sources() == [0, 2]
+        assert cache.evictions == 1
+
+    def test_byte_budget_evicts_until_under(self):
+        r = row(16)                                # 64 bytes each
+        cache = ParentRowCache(budget_bytes=2 * r.nbytes)
+        cache.store(0, r)
+        cache.store(1, r)
+        assert cache.nbytes == 2 * r.nbytes
+        evicted = cache.store(2, r)
+        assert evicted == 1
+        assert cache.nbytes <= cache.budget_bytes
+        assert cache.sources() == [1, 2]
+
+    def test_newest_row_exempt_from_its_own_sweep(self):
+        """A budget tighter than one row degenerates to a one-row cache."""
+        cache = ParentRowCache(budget_bytes=1)
+        cache.store(0, row(16))
+        assert len(cache) == 1                     # kept despite the budget
+        cache.store(1, row(16))
+        assert cache.sources() == [1]              # old row evicted, new kept
+        assert cache.evictions == 1
+
+    def test_tighter_of_both_budgets_wins(self):
+        r = row(16)
+        cache = ParentRowCache(budget_bytes=10 * r.nbytes, max_rows=2)
+        for source in range(5):
+            cache.store(source, r)
+        assert len(cache) == 2
+        assert cache.evictions == 3
+
+    def test_replacing_a_row_does_not_double_count_bytes(self):
+        cache = ParentRowCache()
+        cache.store(0, row(16))
+        cache.store(0, row(32))
+        assert len(cache) == 1
+        assert cache.nbytes == row(32).nbytes
+
+    def test_eviction_order_is_strict_lru(self):
+        cache = ParentRowCache(max_rows=3)
+        for source in (0, 1, 2):
+            cache.store(source, row())
+        cache.lookup(1)
+        cache.lookup(0)
+        cache.store(3, row())                      # evicts 2 (the coldest)
+        cache.store(4, row())                      # then 1
+        assert cache.sources() == [0, 3, 4]
+
+
+class TestClearAndStats:
+    def test_clear_drops_rows_but_keeps_counters(self):
+        cache = ParentRowCache()
+        cache.store(0, row())
+        cache.lookup(0)
+        cache.lookup(7)
+        cache.clear()
+        assert len(cache) == 0 and cache.nbytes == 0
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_stats_shape(self):
+        stats = ParentRowCache(budget_bytes=1024, max_rows=4).stats()
+        assert set(stats) == {
+            "cache_rows", "cache_bytes", "cache_budget_bytes", "cache_max_rows",
+            "cache_hits", "cache_misses", "cache_evictions", "cache_hit_rate",
+        }
+        assert stats["cache_budget_bytes"] == 1024
+        assert stats["cache_max_rows"] == 4

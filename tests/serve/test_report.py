@@ -1,0 +1,154 @@
+"""Tests for the shared route formatter, pairs-file parsing and the report."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.common.errors import SolverError
+from repro.serve import (ROUTE_ERROR, ROUTE_MISMATCH, ROUTE_OK,
+                         ROUTE_UNREACHABLE, ServeAnalytics, fold_route,
+                         format_route, load_pairs_file, render_report)
+
+
+def chain_adjacency(weights):
+    """Prepared dense (min, +) adjacency of a weighted chain 0-1-2-..."""
+    n = len(weights) + 1
+    adj = np.full((n, n), np.inf)
+    np.fill_diagonal(adj, 0.0)
+    for i, w in enumerate(weights):
+        adj[i, i + 1] = w
+    return adj
+
+
+class TestFoldRoute:
+    def test_dense_min_plus_fold(self):
+        adj = chain_adjacency([2.0, 3.0, 4.0])
+        assert fold_route(adj, (0, 1, 2, 3), "shortest-path") == pytest.approx(9.0)
+
+    def test_dense_missing_edge_raises(self):
+        adj = chain_adjacency([2.0, 3.0])
+        with pytest.raises(SolverError, match="not an edge"):
+            fold_route(adj, (0, 2), "shortest-path")
+
+    def test_trivial_path_folds_to_one(self):
+        adj = chain_adjacency([2.0])
+        assert fold_route(adj, (0,), "shortest-path") == 0.0
+
+    def test_csr_membership_and_fold(self):
+        csr = sp.csr_matrix(([2.0, 3.0], ([0, 1], [1, 2])), shape=(3, 3))
+        assert fold_route(csr, (0, 1, 2), "shortest-path") == pytest.approx(5.0)
+        with pytest.raises(SolverError, match="not an edge"):
+            fold_route(csr, (0, 2), "shortest-path")
+
+    def test_csr_explicit_zero_weight_is_an_edge(self):
+        """A stored 0.0 entry is a real zero-weight edge, not a missing one."""
+        csr = sp.csr_matrix(([0.0], ([0], [1])), shape=(2, 2))
+        assert fold_route(csr, (0, 1), "shortest-path") == 0.0
+
+    def test_bool_reachability_fold(self):
+        adj = np.eye(3, dtype=bool)
+        adj[0, 1] = adj[1, 2] = True
+        assert bool(fold_route(adj, (0, 1, 2), "reachability")) is True
+        with pytest.raises(SolverError, match="not an edge"):
+            fold_route(adj, (2, 0), "reachability")
+
+
+class TestFormatRoute:
+    def test_ok_verdict(self):
+        adj = chain_adjacency([2.0, 3.0])
+        line, verdict = format_route(0, 2, (0, 1, 2), 5.0, adj, "shortest-path")
+        assert verdict == ROUTE_OK
+        assert "route 0 -> 2: 0 -> 1 -> 2" in line
+        assert "2 edge(s)" in line and "match" in line
+
+    def test_mismatch_verdict(self):
+        adj = chain_adjacency([2.0, 3.0])
+        line, verdict = format_route(0, 2, (0, 1, 2), 4.0, adj, "shortest-path")
+        assert verdict == ROUTE_MISMATCH
+        assert "MISMATCH" in line
+
+    def test_unreachable_verdict(self):
+        line, verdict = format_route(0, 2, None, np.inf, chain_adjacency([1.0]),
+                                     "shortest-path")
+        assert verdict == ROUTE_UNREACHABLE
+        assert line == "route 0 -> 2: no path"
+
+    def test_error_verdict_on_non_edge_step(self):
+        adj = chain_adjacency([2.0, 3.0])
+        line, verdict = format_route(0, 2, (0, 2), 5.0, adj, "shortest-path")
+        assert verdict == ROUTE_ERROR
+        assert "error" in line
+
+    def test_bool_closure_renders_reachable(self):
+        adj = np.eye(2, dtype=bool)
+        adj[0, 1] = True
+        line, verdict = format_route(0, 1, (0, 1), np.True_, adj, "reachability")
+        assert verdict == ROUTE_OK
+        assert "reachable" in line
+
+    def test_tolerances_forwarded(self):
+        adj = chain_adjacency([2.0])
+        _, strict = format_route(0, 1, (0, 1), 2.001, adj, "shortest-path")
+        _, loose = format_route(0, 1, (0, 1), 2.001, adj, "shortest-path",
+                                tolerances={"atol": 0.01})
+        assert strict == ROUTE_MISMATCH
+        assert loose == ROUTE_OK
+
+
+class TestLoadPairsFile:
+    def test_whitespace_commas_and_comments(self, tmp_path):
+        f = tmp_path / "pairs.txt"
+        f.write_text("# replay\n0 5\n1,7  # inline comment\n\n 2\t3 \n")
+        assert load_pairs_file(str(f)) == [(0, 5), (1, 7), (2, 3)]
+
+    def test_bad_line_reports_line_number(self, tmp_path):
+        f = tmp_path / "pairs.txt"
+        f.write_text("0 1\n0 1 2\n")
+        with pytest.raises(SolverError, match=r":2:"):
+            load_pairs_file(str(f))
+
+    def test_non_integer_field_rejected(self, tmp_path):
+        f = tmp_path / "pairs.txt"
+        f.write_text("0 x\n")
+        with pytest.raises(SolverError, match=r":1:"):
+            load_pairs_file(str(f))
+
+    def test_range_check_against_n(self, tmp_path):
+        f = tmp_path / "pairs.txt"
+        f.write_text("0 1\n0 9\n")
+        assert load_pairs_file(str(f), n=10) == [(0, 1), (0, 9)]
+        with pytest.raises(SolverError, match="out of range"):
+            load_pairs_file(str(f), n=5)
+
+
+class TestRenderReport:
+    def stats(self, **overrides):
+        analytics = ServeAnalytics()
+        analytics.record_query(0.002, stages={"row_solve": 0.001,
+                                              "path_walk": 0.0005})
+        analytics.record_query(0.0001, unreachable=True)
+        base = {"n": 64, "algebra": "shortest-path"}
+        base.update(analytics.as_dict())
+        base.update({
+            "cache_rows": 1, "cache_bytes": 256, "cache_budget_bytes": 4096,
+            "cache_max_rows": None, "cache_hits": 0, "cache_misses": 1,
+            "cache_evictions": 0, "cache_hit_rate": 0.0,
+        })
+        base.update(overrides)
+        return base
+
+    def test_report_carries_every_section(self):
+        report = render_report(self.stats())
+        assert "2 queries on n=64 [shortest-path], 1 unreachable" in report
+        assert "latency:" in report and "p95" in report and "p99" in report
+        assert "cache: 0 hit(s) / 1 miss(es)" in report
+        assert "4.0KB" in report                   # the budget, humanized
+        assert "stages:" in report and "row_solve 1x" in report
+
+    def test_unbounded_budget_and_errors_called_out(self):
+        report = render_report(self.stats(cache_budget_bytes=None, errors=3))
+        assert "unbounded" in report
+        assert "3 ERROR(S)" in report
+
+    def test_max_rows_budget_rendered(self):
+        assert "max 8 rows" in render_report(self.stats(cache_max_rows=8))
