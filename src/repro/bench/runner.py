@@ -16,7 +16,8 @@ import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.core.engine import APSPEngine
-from repro.graph.generators import erdos_renyi_adjacency
+from repro.graph.generators import (directed_erdos_renyi_adjacency,
+                                    erdos_renyi_adjacency)
 from repro.linalg.algebra import get_algebra
 from repro.linalg.kernels import semiring_closure
 from repro.sequential.floyd_warshall import floyd_warshall_reference
@@ -63,26 +64,39 @@ class ScenarioResult:
         }
 
 
-def graph_domain(algebra) -> str:
-    """The edge-weight domain an algebra's inputs must come from.
+def graph_domain(algebra, *, directed: bool = False) -> str:
+    """The input-graph domain an algebra (and orientation) requires.
 
     Single source of truth for graph generation *and* the run_suite graph
-    cache key, so the two can never disagree.
+    cache key, so the two can never disagree.  The longest-path algebra
+    always needs a DAG; other algebras get a symmetric or directed variant
+    of their weight domain.
     """
-    return ("unit-interval" if get_algebra(algebra).name == "most-reliable"
-            else "weighted")
+    name = get_algebra(algebra).name
+    if name == "longest-path":
+        return "dag"
+    domain = "unit-interval" if name == "most-reliable" else "weighted"
+    return f"{domain}-directed" if directed else domain
 
 
-def graph_for_algebra(n: int, seed: int, algebra="shortest-path") -> np.ndarray:
+def graph_for_algebra(n: int, seed: int, algebra="shortest-path", *,
+                      directed: bool = False) -> np.ndarray:
     """Generate an Erdős–Rényi input graph respecting the algebra's domain.
 
     Most algebras accept the standard weighted input; the (max, ×)
-    ``most-reliable`` algebra needs edge weights in ``[0, 1]``.
+    ``most-reliable`` algebra needs edge weights in ``[0, 1]``; the
+    longest-path algebra needs a DAG (always directed).  ``directed=True``
+    samples each ordered pair independently, giving the asymmetric inputs
+    the ``layout="full"`` grid stores.
     """
-    if graph_domain(algebra) == "unit-interval":
-        return erdos_renyi_adjacency(n, seed=seed, weight_low=0.05,
-                                     weight_high=0.95)
-    return erdos_renyi_adjacency(n, seed=seed)
+    domain = graph_domain(algebra, directed=directed)
+    if domain == "dag":
+        return directed_erdos_renyi_adjacency(n, seed=seed, acyclic=True)
+    weights = ({"weight_low": 0.05, "weight_high": 0.95}
+               if domain.startswith("unit-interval") else {})
+    if domain.endswith("-directed"):
+        return directed_erdos_renyi_adjacency(n, seed=seed, **weights)
+    return erdos_renyi_adjacency(n, seed=seed, **weights)
 
 
 def reference_closure(adjacency: np.ndarray, algebra="shortest-path",
@@ -108,7 +122,8 @@ def verify_tolerances(dtype: str | None) -> dict:
 
 def scenario_graph(scenario: BenchScenario) -> np.ndarray:
     """Generate the input graph for a scenario, respecting its algebra's domain."""
-    return graph_for_algebra(scenario.n, scenario.seed, scenario.algebra)
+    return graph_for_algebra(scenario.n, scenario.seed, scenario.algebra,
+                             directed=scenario.directed)
 
 
 def scenario_reference(scenario: BenchScenario, adjacency: np.ndarray) -> np.ndarray:
@@ -201,7 +216,9 @@ def run_suite(suite: BenchSuite, *, repeats: int | None = None,
                 engine = APSPEngine(config).start()
                 engines[config_key] = engine
 
-            graph_key = (scenario.n, scenario.seed, graph_domain(scenario.algebra))
+            graph_key = (scenario.n, scenario.seed,
+                         graph_domain(scenario.algebra,
+                                      directed=scenario.directed))
             adjacency = graphs.get(graph_key)
             if adjacency is None:
                 adjacency = scenario_graph(scenario)

@@ -68,6 +68,8 @@ class BenchScenario:
     algebra: str = "shortest-path"
     dtype: str | None = None
     storage: str | None = None
+    layout: str | None = None
+    directed: bool = False
     paths: bool = False
     backend: str = "serial"
     num_executors: int = 4
@@ -122,7 +124,8 @@ class BenchScenario:
                             partitioner=self.partitioner,
                             partitions_per_core=self.partitions_per_core,
                             algebra=self.algebra, dtype=self.dtype,
-                            storage=self.storage, paths=self.paths,
+                            storage=self.storage, layout=self.layout,
+                            directed=self.directed, paths=self.paths,
                             tag=self.name)
 
     def params(self) -> dict:
@@ -136,6 +139,8 @@ class BenchScenario:
             "algebra": self.algebra,
             "dtype": self.dtype,
             "storage": self.storage,
+            "layout": self.layout,
+            "directed": self.directed,
             "paths": self.paths,
             "backend": self.backend,
             "num_executors": self.num_executors,
@@ -411,6 +416,45 @@ def _serve_suite() -> BenchSuite:
     )
 
 
+def _directed_suite() -> BenchSuite:
+    """Full-grid vs triangular storage, and genuinely directed inputs.
+
+    The ``*-tri`` / ``*-full`` pairs run the *same symmetric* graph under
+    the two block layouts, so the diff isolates the cost of storing (and
+    updating) all ``q²`` blocks instead of the upper block triangle — the
+    price an undirected workload would pay for choosing ``layout="full"``.
+    The ``*-directed`` scenarios measure the layout on the inputs it exists
+    for: asymmetric Erdős–Rényi graphs (every ordered pair sampled
+    independently), including a witness-tracking twin and the DAG
+    longest-path workload the full grid unlocks.
+    """
+    n = bench_scale_n(48)
+    shape = dict(n=n, block_size=16, num_executors=2, cores_per_executor=2)
+    return BenchSuite(
+        name="directed",
+        description="triangular-vs-full layout twins on symmetric input, "
+                    "plus asymmetric (directed) workloads",
+        scenarios=(
+            BenchScenario(name="blocked-cb-tri", solver="blocked-cb",
+                          layout="triangular", **shape),
+            BenchScenario(name="blocked-cb-full", solver="blocked-cb",
+                          layout="full", **shape),
+            BenchScenario(name="blocked-im-tri", solver="blocked-im",
+                          layout="triangular", **shape),
+            BenchScenario(name="blocked-im-full", solver="blocked-im",
+                          layout="full", **shape),
+            BenchScenario(name="blocked-cb-directed", solver="blocked-cb",
+                          directed=True, **shape),
+            BenchScenario(name="blocked-cb-directed-paths", solver="blocked-cb",
+                          directed=True, paths=True, **shape),
+            BenchScenario(name="fw2d-directed", solver="fw-2d",
+                          directed=True, **shape),
+            BenchScenario(name="longest-path-dag", solver="blocked-cb",
+                          algebra="longest-path", **shape),
+        ),
+    )
+
+
 def _scaling_suite() -> BenchSuite:
     """Table 3 workload: weak scaling of the blocked solvers (n/p fixed)."""
     points = ((4, 64), (8, 128), (16, 256))
@@ -436,6 +480,7 @@ _SUITE_BUILDERS: dict[str, Callable[[], BenchSuite]] = {
     "partitioner": _partitioner_suite,
     "algebras": _algebras_suite,
     "reachability": _reachability_suite,
+    "directed": _directed_suite,
     "scaling": _scaling_suite,
     "serve": _serve_suite,
 }

@@ -13,7 +13,7 @@ from repro.common.config import EngineConfig, default_config
 from repro.common.errors import ConfigurationError, SolverError
 from repro.common.timing import Stopwatch
 from repro.graph import sparse as sparse_mod
-from repro.graph.adjacency import validate_adjacency
+from repro.graph.adjacency import is_symmetric_adjacency, validate_adjacency
 from repro.linalg import witness as witness_mod
 from repro.linalg.algebra import ABSORPTIVE_ALGEBRAS, Semiring, get_algebra
 from repro.linalg.blocks import matrix_to_blocks, blocks_to_matrix, num_blocks
@@ -50,6 +50,14 @@ class SolverOptions:
         ``"packed"`` (uint64 packed-bitset blocks, boolean algebras only), or
         ``None``/``"auto"`` for the algebra's default (packed for
         ``reachability``).
+    layout:
+        Block *grid* layout: ``"triangular"`` (upper block triangle with
+        mirror-transpose lookups — symmetric inputs only), ``"full"`` (all
+        q² blocks, required for directed inputs), or ``None``/``"auto"``
+        to pick from the input's symmetry at ``prepare`` time.
+    directed:
+        Treat the input as a directed graph: skips the symmetry check
+        during adjacency validation and forces the full grid layout.
     paths:
         When true every block carries witness (parent-pointer) planes
         through the whole solve and the result exposes a predecessor matrix
@@ -68,6 +76,8 @@ class SolverOptions:
     algebra: str = "shortest-path"
     dtype: str | None = None
     storage: str | None = None
+    layout: str | None = None
+    directed: bool = False
     paths: bool = False
     validate: bool = False
     extra: dict[str, Any] = field(default_factory=dict)
@@ -97,6 +107,8 @@ class APSPResult:
     algebra: str = "shortest-path"
     dtype: str = "float64"
     storage: str = "dense"
+    layout: str = "triangular"
+    directed: bool = False
     parents: np.ndarray | None = None
     phase_seconds: dict[str, float] = field(default_factory=dict)
     metrics: dict[str, Any] = field(default_factory=dict)
@@ -143,6 +155,10 @@ class APSPResult:
             algebra_bit = f" {self.algebra}[{self.dtype}]"
         if self.storage != "dense":
             algebra_bit += f" {self.storage}"
+        if self.layout != "triangular":
+            algebra_bit += f" {self.layout}-grid"
+        if self.directed:
+            algebra_bit += " directed"
         if self.has_paths:
             algebra_bit += " +paths"
         return (f"{self.solver}: n={self.n} b={self.block_size} q={self.q} "
@@ -177,12 +193,21 @@ class SolvePlan:
     algebra: str = "shortest-path"
     dtype: str = "float64"
     storage: str = "dense"
+    layout: str = "triangular"
+    directed: bool = False
     paths: bool = False
 
     @property
     def sparse_input(self) -> bool:
         """True when the plan carries a CSR adjacency (sparse ingestion path)."""
         return sparse_mod.is_sparse(self.adjacency)
+
+    @property
+    def num_blocks_stored(self) -> int:
+        """Block records the plan's grid stores: q(q+1)/2 triangular, q² full."""
+        if self.layout == "triangular":
+            return self.q * (self.q + 1) // 2
+        return self.q * self.q
 
     def block_records(self):
         """Cut the plan's adjacency into ``((I, J), block)`` records.
@@ -194,16 +219,22 @@ class SolvePlan:
         allocates O(nnz + b²), never a dense ``n x n`` array.  Either path
         emits packed-bitset blocks under the ``"packed"`` storage policy and
         witnessed blocks (value + parent planes, global ids stamped) under
-        ``paths=True``.
+        ``paths=True``.  The triangular layout cuts only the upper block
+        triangle (mirror blocks are served by transposing); the full layout
+        cuts all q² blocks, with single-plane witnesses (no successor plane —
+        an asymmetric closure has no transpose identity to exploit).
         """
+        upper_only = self.layout == "triangular"
+        single_plane = self.paths and not upper_only
         if self.sparse_input:
             return sparse_mod.sparse_to_blocks(
                 self.adjacency, self.block_size, algebra=self.algebra,
-                dtype=self.dtype, storage=self.storage, upper_only=True,
-                witness=self.paths)
+                dtype=self.dtype, storage=self.storage, upper_only=upper_only,
+                witness=self.paths, single_plane=single_plane)
         return matrix_to_blocks(self.adjacency, self.block_size,
-                                upper_only=True, storage=self.storage,
-                                witness=self.paths, algebra=self.algebra)
+                                upper_only=upper_only, storage=self.storage,
+                                witness=self.paths, algebra=self.algebra,
+                                single_plane=single_plane)
 
     def describe(self) -> dict:
         """Geometry summary as a plain dict (for logs, the CLI, and tests)."""
@@ -214,28 +245,38 @@ class SolvePlan:
             "block_size": self.block_size,
             "q": self.q,
             "num_blocks_upper": self.q * (self.q + 1) // 2,
+            "num_blocks_stored": self.num_blocks_stored,
             "num_partitions": self.num_partitions,
             "partitioner": self.partitioner_name,
             "algebra": self.algebra,
             "dtype": self.dtype,
             "storage": self.storage,
+            "layout": self.layout,
+            "directed": self.directed,
             "paths": self.paths,
             "sparse_input": self.sparse_input,
         }
 
 
-def auto_block_size(n: int, total_cores: int, partitions_per_core: int = 2) -> int:
-    """Pick a block size so that the upper-triangular block count ≈ 2x the partition count.
+def auto_block_size(n: int, total_cores: int, partitions_per_core: int = 2,
+                    *, layout: str = "triangular") -> int:
+    """Pick a block size so that the stored block count ≈ 2x the partition count.
 
     The paper tunes ``b`` by hand (Table 2/3); this heuristic reproduces its
     guidance that there should be at least a couple of blocks per partition
-    while keeping blocks as large as possible.
+    while keeping blocks as large as possible.  The full grid stores ~2x the
+    blocks of the upper triangle at the same ``b``, so it reaches the same
+    blocks-per-partition target with a coarser grid.
     """
     if n <= 0:
         raise ConfigurationError("n must be positive")
     target_partitions = max(1, total_cores * max(1, partitions_per_core))
-    # Upper-triangular blocks: q(q+1)/2 ≈ 2 * target_partitions  =>  q ≈ sqrt(4 * target)
-    q = max(1, int(math.ceil(math.sqrt(4.0 * target_partitions))))
+    if layout == "full":
+        # Full grid: q² ≈ 2 * target_partitions  =>  q ≈ sqrt(2 * target)
+        q = max(1, int(math.ceil(math.sqrt(2.0 * target_partitions))))
+    else:
+        # Upper-triangular blocks: q(q+1)/2 ≈ 2 * target_partitions  =>  q ≈ sqrt(4 * target)
+        q = max(1, int(math.ceil(math.sqrt(4.0 * target_partitions))))
     q = min(q, n)
     return max(1, int(math.ceil(n / q)))
 
@@ -252,11 +293,17 @@ class SparkAPSPSolver:
     name = "abstract"
     #: Whether the implementation relies only on fault-tolerant Spark API.
     pure = True
-    #: Path algebras this solver supports.  The distributed solvers require
-    #: symmetric inputs, and any undirected graph with an edge is cyclic, so
-    #: the non-absorptive DAG-only ``longest-path`` algebra is excluded by
-    #: default; subclasses may narrow or widen the set.
+    #: Path algebras this solver supports.  The absorptive algebras are safe
+    #: on arbitrary graphs in either layout; the non-absorptive DAG-only
+    #: ``longest-path`` algebra is defined only on (inherently asymmetric)
+    #: DAGs and therefore only runs on solvers that implement the full grid
+    #: layout — its algebra-level ``layouts=("full",)`` policy enforces that.
+    #: Subclasses may narrow or widen the set.
     algebras: tuple[str, ...] = ABSORPTIVE_ALGEBRAS
+    #: Block grid layouts this solver's ``_run`` understands.  ``"triangular"``
+    #: is the paper's mirrored upper-triangle storage; solvers that also
+    #: handle all q² blocks of an asymmetric matrix declare ``"full"``.
+    layouts: tuple[str, ...] = ("triangular",)
 
     def __init__(self, config: EngineConfig | None = None,
                  options: SolverOptions | None = None) -> None:
@@ -270,13 +317,16 @@ class SparkAPSPSolver:
 
     # ------------------------------------------------------------------
     def _run(self, sc: SparkContext, rdd: RDD, n: int, block_size: int, q: int,
-             partitioner: Partitioner, stopwatch: Stopwatch):
+             partitioner: Partitioner, stopwatch: Stopwatch, *,
+             layout: str = "triangular"):
         raise NotImplementedError
 
     # ------------------------------------------------------------------
-    def _resolve_geometry(self, n: int) -> tuple[int, int, int]:
+    def _resolve_geometry(self, n: int,
+                          layout: str = "triangular") -> tuple[int, int, int]:
         block_size = self.options.block_size or auto_block_size(
-            n, self.config.total_cores, self.options.partitions_per_core)
+            n, self.config.total_cores, self.options.partitions_per_core,
+            layout=layout)
         if block_size > n:
             block_size = n
         q = num_blocks(n, block_size)
@@ -304,10 +354,25 @@ class SparkAPSPSolver:
         dtype = algebra.resolve_dtype(self.options.dtype)
         paths = bool(self.options.paths)
         storage = algebra.resolve_storage(self.options.storage, paths=paths)
-        adj = validate_adjacency(adjacency, require_symmetric=True,
+        directed = bool(self.options.directed)
+        layout = algebra.resolve_layout(self.options.layout, directed=directed)
+        if layout == "auto":
+            # Inspect the input exactly once: symmetric inputs keep the
+            # mirrored triangular storage (bit-identical to the historical
+            # behaviour), asymmetric inputs get the full grid.
+            layout = ("triangular" if is_symmetric_adjacency(adjacency)
+                      else "full")
+        if layout not in type(self).layouts:
+            raise ConfigurationError(
+                f"solver {self.name!r} does not support block layout "
+                f"{layout!r} (supported: {', '.join(type(self).layouts)})")
+        # The full grid carries asymmetric matrices natively, so only the
+        # triangular layout demands (and checks) symmetry.
+        adj = validate_adjacency(adjacency,
+                                 require_symmetric=(layout == "triangular"),
                                  algebra=algebra, dtype=dtype, allow_sparse=True)
         n = adj.shape[0]
-        block_size, q, num_partitions = self._resolve_geometry(n)
+        block_size, q, num_partitions = self._resolve_geometry(n, layout)
         partitioner = self._build_partitioner(q, num_partitions)
         return SolvePlan(
             solver=self.name,
@@ -322,6 +387,8 @@ class SparkAPSPSolver:
             algebra=algebra.name,
             dtype=dtype.name,
             storage=storage,
+            layout=layout,
+            directed=directed,
             paths=paths,
         )
 
@@ -345,16 +412,19 @@ class SparkAPSPSolver:
                 records = list(plan.block_records())
                 rdd = sc.parallelize(records, partitioner=plan.partitioner).cache()
             result_blocks, iterations = self._run(
-                sc, rdd, plan.n, plan.block_size, plan.q, plan.partitioner, stopwatch)
+                sc, rdd, plan.n, plan.block_size, plan.q, plan.partitioner,
+                stopwatch, layout=plan.layout)
             with stopwatch.section("gather"):
                 if isinstance(result_blocks, RDD):
                     result_blocks = result_blocks.collect()
                 algebra = get_algebra(plan.algebra)
                 parents = None
                 paths_repaired = 0
+                symmetric = plan.layout == "triangular"
                 if plan.paths:
                     distances, parents = witness_mod.witness_blocks_to_matrices(
-                        result_blocks, plan.n, plan.block_size, symmetric=True,
+                        result_blocks, plan.n, plan.block_size,
+                        symmetric=symmetric,
                         fill=algebra.zero_like(plan.dtype), dtype=plan.dtype)
                     # Per-cell witnesses are locally valid but can disagree
                     # across cells on equal-value plateaus; rebuild exactly
@@ -365,7 +435,7 @@ class SparkAPSPSolver:
                 else:
                     distances = blocks_to_matrix(result_blocks, plan.n,
                                                  plan.block_size,
-                                                 symmetric=True,
+                                                 symmetric=symmetric,
                                                  fill=algebra.zero_like(plan.dtype),
                                                  dtype=plan.dtype)
             elapsed = time.perf_counter() - start
@@ -390,6 +460,8 @@ class SparkAPSPSolver:
             algebra=plan.algebra,
             dtype=plan.dtype,
             storage=plan.storage,
+            layout=plan.layout,
+            directed=plan.directed,
             parents=parents,
             phase_seconds=stopwatch.as_dict(),
             metrics=metrics,
@@ -399,9 +471,11 @@ class SparkAPSPSolver:
         return result
 
     def solve(self, adjacency: np.ndarray, *, context: SparkContext | None = None) -> APSPResult:
-        """Solve APSP for the given (undirected) adjacency matrix.
+        """Solve APSP for the given adjacency matrix.
 
-        Equivalent to ``execute(prepare(adjacency), context)``.
+        Equivalent to ``execute(prepare(adjacency), context)``.  Directed
+        (asymmetric) inputs need the full grid layout — pass
+        ``SolverOptions(directed=True)`` or ``layout="full"``/``"auto"``.
         """
         return self.execute(self.prepare(adjacency), context)
 
@@ -411,10 +485,13 @@ class SparkAPSPSolver:
         """Cheap structural checks on a closure matrix, generic over the algebra.
 
         Checks the diagonal equals the algebra's ``one``, the matrix is
-        symmetric, and the closure is *stable*: relaxing through any pivot
-        ``k`` changes nothing, i.e. ``d ⊕ (d[:, k] ⊗ d[k, :]) == d`` (under
-        (min, +) this is exactly the triangle inequality).  Exhaustive for
-        small matrices, sampled for large ones.  Raises
+        symmetric (triangular-layout solves only — directed/full-grid
+        closures are legitimately asymmetric), and the closure is *stable*:
+        relaxing through any pivot ``k`` changes nothing, i.e.
+        ``d ⊕ (d[:, k] ⊗ d[k, :]) == d`` (under (min, +) this is exactly the
+        triangle inequality).  The stability triples sample ordered ``(i, j,
+        k)``, so they are direction-correct on asymmetric closures too.
+        Exhaustive for small matrices, sampled for large ones.  Raises
         :class:`~repro.common.errors.SolverError` on violation.
         """
         algebra = get_algebra(result.algebra)
@@ -428,13 +505,14 @@ class SparkAPSPSolver:
         if not diag_ok:
             raise SolverError(
                 f"closure diagonal is not the algebra identity ({algebra.name})")
-        if is_bool:
-            if not np.array_equal(d, d.T):
-                raise SolverError("closure matrix is not symmetric")
-        else:
-            finite_mask = np.isfinite(d) & np.isfinite(d.T)
-            if not np.allclose(d[finite_mask], d.T[finite_mask]):
-                raise SolverError("closure matrix is not symmetric")
+        if result.layout == "triangular":
+            if is_bool:
+                if not np.array_equal(d, d.T):
+                    raise SolverError("closure matrix is not symmetric")
+            else:
+                finite_mask = np.isfinite(d) & np.isfinite(d.T)
+                if not np.allclose(d[finite_mask], d.T[finite_mask]):
+                    raise SolverError("closure matrix is not symmetric")
 
         # Float32 closures accumulate rounding in a solver-dependent order, so
         # the stability check needs a dtype-matched tolerance.

@@ -32,9 +32,12 @@ class BlockedCollectBroadcastSolver(SparkAPSPSolver):
 
     name = "blocked-cb"
     pure = False
+    layouts = ("triangular", "full")
+    algebras = SparkAPSPSolver.algebras + ("longest-path",)
 
     def _run(self, sc: SparkContext, rdd: RDD, n: int, block_size: int, q: int,
-             partitioner: Partitioner, stopwatch: Stopwatch):
+             partitioner: Partitioner, stopwatch: Stopwatch, *,
+             layout: str = "triangular"):
         shared_fs = sc.shared_fs
         algebra = self.algebra
         current = rdd
@@ -65,7 +68,8 @@ class BlockedCollectBroadcastSolver(SparkAPSPSolver):
             with stopwatch.section("phase3-remaining"):
                 others = current.filter(bb.not_in_block_row_or_column(pivot)) \
                     .map_preserving(
-                        _Phase3Update(pivot, shared_fs, rowcol_paths, algebra))
+                        _Phase3Update(pivot, shared_fs, rowcol_paths, algebra,
+                                      layout=layout))
 
             # ---- Reassemble A ---------------------------------------------------
             with stopwatch.section("repartition"):
@@ -112,17 +116,23 @@ class _Phase3Update:
     multi-core execution.
     """
 
-    __slots__ = ("pivot", "shared_fs", "rowcol_paths", "algebra")
+    __slots__ = ("pivot", "shared_fs", "rowcol_paths", "algebra", "layout")
 
     def __init__(self, pivot: int, shared_fs, rowcol_paths: dict,
-                 algebra: Semiring | str | None = None) -> None:
+                 algebra: Semiring | str | None = None, *,
+                 layout: str = "triangular") -> None:
         self.pivot = pivot
         self.shared_fs = shared_fs
         self.rowcol_paths = rowcol_paths
         self.algebra = get_algebra(algebra)
+        self.layout = layout
 
     def _fetch_oriented(self, row: int, col: int) -> np.ndarray:
         """Return ``A_{row, col}`` where exactly one of row/col equals the pivot."""
+        if self.layout == "full":
+            # Every pivot row/column block is staged under its own key; no
+            # mirror-transpose exists for an asymmetric matrix.
+            return self.shared_fs.read(self.rowcol_paths[(row, col)])
         key = (min(row, col), max(row, col))
         block = self.shared_fs.read(self.rowcol_paths[key])
         if (row, col) == key:

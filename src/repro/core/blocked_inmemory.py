@@ -37,17 +37,24 @@ class BlockedInMemorySolver(SparkAPSPSolver):
 
     name = "blocked-im"
     pure = True
+    layouts = ("triangular", "full")
+    algebras = SparkAPSPSolver.algebras + ("longest-path",)
 
     def _run(self, sc: SparkContext, rdd: RDD, n: int, block_size: int, q: int,
-             partitioner: Partitioner, stopwatch: Stopwatch):
+             partitioner: Partitioner, stopwatch: Stopwatch, *,
+             layout: str = "triangular"):
         algebra = self.algebra
+        # Under the full grid the pivot row and column are distinct stored
+        # blocks, so CopyDiag/CopyCol replicate without transposing; the
+        # phase predicates and unpackers are orientation-keyed and work on
+        # either layout unchanged.
         current = rdd
         for pivot in range(q):
             # ---- Phase 1: solve the pivot diagonal block ---------------------
             with stopwatch.section("phase1-diagonal"):
                 diag = current.filter(bb.on_diagonal(pivot)) \
                     .map_preserving(bb.FloydWarshallBlock(algebra)).cache()
-                diag_copies = diag.flatMap(bb.copy_diag(q, pivot)) \
+                diag_copies = diag.flatMap(bb.copy_diag(q, pivot, layout=layout)) \
                     .partitionBy(partitioner)
 
             # ---- Phase 2: update block-row/column of the pivot ----------------
@@ -58,7 +65,9 @@ class BlockedInMemorySolver(SparkAPSPSolver):
                     bb.create_list, bb.list_append, bb.merge_lists, partitioner)
                 updated_rowcol = paired.map_preserving(
                     bb.unpack_phase2(pivot, algebra)).cache()
-                rowcol_copies = updated_rowcol.flatMap(bb.copy_col(q, pivot)) \
+                copier = (bb.copy_col_full(q, pivot) if layout == "full"
+                          else bb.copy_col(q, pivot))
+                rowcol_copies = updated_rowcol.flatMap(copier) \
                     .partitionBy(partitioner)
 
             # ---- Phase 3: update the remaining blocks --------------------------

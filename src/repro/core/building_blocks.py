@@ -63,6 +63,15 @@ def in_column(x: int) -> Callable[[BlockRecord], bool]:
     return predicate
 
 
+def in_row(x: int) -> Callable[[BlockRecord], bool]:
+    """``InRow``: true when the record's block-row index ``I`` equals ``x``."""
+    def predicate(record: BlockRecord) -> bool:
+        """Test one block record against the row filter."""
+        (i, _), _ = record
+        return i == x
+    return predicate
+
+
 def in_block_row_or_column(x: int) -> Callable[[BlockRecord], bool]:
     """Symmetric-storage variant of ``InColumn``.
 
@@ -147,6 +156,45 @@ def extract_col(pivot_block: int, k_local: int) -> Callable[[BlockRecord], list]
     return run
 
 
+def extract_rowcol(pivot_block: int, k_local: int) -> Callable[[BlockRecord], list]:
+    """Full-grid ``ExtractCol``: emit tagged pieces of pivot column *and* row ``k``.
+
+    The directed counterpart of :func:`extract_col`: with all q² blocks
+    stored nothing transposes, so the pivot **column** comes only from
+    blocks in block-column ``pivot_block`` (tag ``("col", I)``) and the
+    pivot **row** only from blocks in block-row ``pivot_block`` (tag
+    ``("row", J)``) — they are different vectors for an asymmetric matrix.
+    The column carries bare values (single-plane witnesses compose parents
+    only, so the column operand needs no pointer plane); the row of a
+    witnessed block carries the pivot's parent row as its ``toward`` plane.
+    """
+    def run(record: BlockRecord) -> list:
+        """Emit this record's tagged pieces of the pivot row/column."""
+        (i, j), block = record
+        pieces = []
+        if witness.is_witnessed(block):
+            if j == pivot_block:
+                pieces.append((("col", i),
+                               np.array(block.values[:, k_local], copy=True)))
+            if i == pivot_block:
+                pieces.append((("row", j), witness.WitnessVector(
+                    np.array(block.values[k_local, :], copy=True),
+                    np.array(block.parents[k_local, :], copy=True))))
+            return pieces
+        if bitset.is_packed(block):
+            if j == pivot_block:
+                pieces.append((("col", i), block.bit_column(k_local)))
+            if i == pivot_block:
+                pieces.append((("row", j), block.bit_row(k_local)))
+            return pieces
+        if j == pivot_block:
+            pieces.append((("col", i), np.array(block[:, k_local], copy=True)))
+        if i == pivot_block:
+            pieces.append((("row", j), np.array(block[k_local, :], copy=True)))
+        return pieces
+    return run
+
+
 def assemble_column(pieces: list[tuple[int, np.ndarray]], n: int, block_size: int,
                     algebra: Semiring | str | None = None) -> np.ndarray:
     """Assemble ``(block-row index, slice)`` pieces into the full length-``n`` column.
@@ -205,6 +253,32 @@ def fw_update_with_column(column: np.ndarray, block_size: int,
                           ) -> Callable[[BlockRecord], BlockRecord]:
     """Factory form of :class:`FloydWarshallUpdateWithColumn` (kept for symmetry)."""
     return FloydWarshallUpdateWithColumn(column, block_size, algebra)
+
+
+class FloydWarshallUpdateWithRowCol:
+    """Directed ``FloydWarshallUpdate``: distinct pivot column and pivot row.
+
+    The full-grid counterpart of :class:`FloydWarshallUpdateWithColumn`: an
+    asymmetric matrix's pivot row is *not* its pivot column, so the rank-1
+    update broadcasts both vectors and slices the row operand from the
+    column vector and the column operand from the row vector.  Picklable for
+    the ``processes`` backend.
+    """
+
+    __slots__ = ("column", "row", "block_size", "algebra")
+
+    def __init__(self, column: np.ndarray, row: np.ndarray, block_size: int,
+                 algebra: Semiring | str | None = None) -> None:
+        self.column = column
+        self.row = row
+        self.block_size = block_size
+        self.algebra = get_algebra(algebra)
+
+    def __call__(self, record: BlockRecord) -> BlockRecord:
+        (i, j), block = record
+        rows = self.column[i * self.block_size: i * self.block_size + block.shape[0]]
+        cols = self.row[j * self.block_size: j * self.block_size + block.shape[1]]
+        return (i, j), fw_rank1_update(block, rows, cols, self.algebra)
 
 
 # ---------------------------------------------------------------------------
@@ -273,22 +347,30 @@ def tag_base(record: BlockRecord) -> tuple[BlockId, tuple[str, np.ndarray]]:
     return key, (TAG_BASE, block)
 
 
-def copy_diag(q: int, pivot: int) -> Callable[[BlockRecord], list]:
-    """``CopyDiag``: create ``q - 1`` copies of the processed diagonal block.
+def copy_diag(q: int, pivot: int, *, layout: str = "triangular",
+              ) -> Callable[[BlockRecord], list]:
+    """``CopyDiag``: create keyed copies of the processed diagonal block.
 
-    Each copy is keyed by a stored block of block-row/column ``pivot``
-    (``(X, pivot)`` for ``X < pivot``, ``(pivot, X)`` for ``X > pivot``) so the
-    subsequent ``combineByKey`` pairs it with the block it must update.
+    Each copy is keyed by a stored block of block-row/column ``pivot`` so
+    the subsequent ``combineByKey`` pairs it with the block it must update.
+    Under the triangular layout that is one key per partner (``(X, pivot)``
+    for ``X < pivot``, ``(pivot, X)`` for ``X > pivot``); under the full
+    grid both ``(X, pivot)`` and ``(pivot, X)`` are distinct stored blocks
+    and each gets its own copy (``2 (q - 1)`` in total).
     """
     def run(record: BlockRecord) -> list:
-        """Emit the q-1 keyed copies of the pivot diagonal block."""
+        """Emit the keyed copies of the pivot diagonal block."""
         (_, _), block = record
         out = []
         for x in range(q):
             if x == pivot:
                 continue
-            key = (x, pivot) if x < pivot else (pivot, x)
-            out.append((key, (TAG_DIAG, block)))
+            if layout == "full":
+                out.append(((x, pivot), (TAG_DIAG, block)))
+                out.append(((pivot, x), (TAG_DIAG, block)))
+            else:
+                key = (x, pivot) if x < pivot else (pivot, x)
+                out.append((key, (TAG_DIAG, block)))
         return out
     return run
 
@@ -326,6 +408,35 @@ def copy_col(q: int, pivot: int) -> Callable[[BlockRecord], list]:
             if x <= owner:
                 # target (x, owner): right operand A_{pivot, owner}
                 out.append((key, (TAG_RIGHT, right)))
+        return out
+    return run
+
+
+def copy_col_full(q: int, pivot: int) -> Callable[[BlockRecord], list]:
+    """Full-grid ``CopyCol``: replicate pivot row/column blocks without transposes.
+
+    With every block stored, orientation is trivial: stored ``(I, pivot)``
+    is the **left** operand ``A_{I,pivot}`` for every phase-3 target
+    ``(I, X)``, and stored ``(pivot, J)`` is the **right** operand
+    ``A_{pivot,J}`` for every target ``(X, J)`` — ``X`` ranging over all
+    block indices except ``pivot`` (including ``X == I``/``X == J``: the
+    off-pivot diagonal blocks are ordinary phase-3 targets).  No ``.T``
+    anywhere, which is what lets single-plane witnessed blocks flow through.
+    """
+    def run(record: BlockRecord) -> list:
+        """Emit the oriented operand copies for the full-grid phase-3 targets."""
+        (i, j), block = record
+        out = []
+        if j == pivot and i != pivot:
+            for x in range(q):
+                if x == pivot:
+                    continue
+                out.append(((i, x), (TAG_LEFT, block)))
+        elif i == pivot and j != pivot:
+            for x in range(q):
+                if x == pivot:
+                    continue
+                out.append(((x, j), (TAG_RIGHT, block)))
         return out
     return run
 
@@ -422,16 +533,21 @@ def _find(entries: list, tag: str):
 # ---------------------------------------------------------------------------
 def matprod_column_contributions(target_column: int,
                                  column_blocks: dict[int, np.ndarray] | Callable[[int], np.ndarray],
-                                 algebra: Semiring | str | None = None,
+                                 algebra: Semiring | str | None = None, *,
+                                 layout: str = "triangular",
                                  ) -> Callable[[BlockRecord], list]:
     """Emit the semiring-product contributions of a stored block to output column ``J``.
 
-    A stored block ``(R, C)`` plays two roles, ``A_RC`` and ``A_CR`` (by
-    transposition).  For output key ``(row, J)`` (upper triangle only) the
-    contribution of role ``A_{row, inner}`` is ``A_{row, inner} ⊗ A_{inner, J}``
-    where ``A_{inner, J}`` is block ``inner`` of the staged column ``J``.
-    ``column_blocks`` is either the dict of staged blocks or a callable
-    fetching them lazily (e.g. from the shared file system).
+    Under the triangular layout a stored block ``(R, C)`` plays two roles,
+    ``A_RC`` and ``A_CR`` (by transposition), and output keys above the
+    diagonal are skipped (covered by the symmetric mirror).  For output key
+    ``(row, J)`` the contribution of role ``A_{row, inner}`` is
+    ``A_{row, inner} ⊗ A_{inner, J}`` where ``A_{inner, J}`` is block
+    ``inner`` of the staged column ``J``.  Under the full grid each stored
+    block plays exactly its one role ``A_RC`` and every output key is real —
+    no transposes, no skips.  ``column_blocks`` is either the dict of staged
+    blocks or a callable fetching them lazily (e.g. from the shared file
+    system).
     """
     algebra = get_algebra(algebra)
 
@@ -444,6 +560,9 @@ def matprod_column_contributions(target_column: int,
     def run(record: BlockRecord) -> list:
         """Emit this record's products into the target column."""
         (r, c), block = record
+        if layout == "full":
+            return [((r, target_column),
+                     semiring_product(block, fetch(c), algebra))]
         roles = [(r, c, block)]
         if r != c:
             roles.append((c, r, block.T))

@@ -28,6 +28,8 @@ class FloydWarshall2DSolver(SparkAPSPSolver):
 
     name = "fw-2d"
     pure = True
+    layouts = ("triangular", "full")
+    algebras = SparkAPSPSolver.algebras + ("longest-path",)
 
     #: Materialize (cache + count) the block RDD every this many pivots to keep
     #: the narrow-lineage chain short.  Spark users achieve the same with
@@ -35,12 +37,40 @@ class FloydWarshall2DSolver(SparkAPSPSolver):
     checkpoint_interval = 16
 
     def _run(self, sc: SparkContext, rdd: RDD, n: int, block_size: int, q: int,
-             partitioner: Partitioner, stopwatch: Stopwatch):
+             partitioner: Partitioner, stopwatch: Stopwatch, *,
+             layout: str = "triangular"):
         algebra = self.algebra
         current = rdd
         for k in range(n):
             pivot_block = k // block_size
             k_local = k % block_size
+
+            if layout == "full":
+                # An asymmetric matrix's pivot row is not its pivot column:
+                # extract both in one pass over the pivot cross (tagged
+                # pieces), assemble and broadcast each, and feed the rank-1
+                # update its two distinct operand vectors.
+                with stopwatch.section("extract-column"):
+                    pieces = current.filter(bb.in_block_row_or_column(pivot_block)) \
+                        .flatMap(bb.extract_rowcol(pivot_block, k_local)).collect()
+                    col_pieces = [(idx, piece) for (tag, idx), piece in pieces
+                                  if tag == "col"]
+                    row_pieces = [(idx, piece) for (tag, idx), piece in pieces
+                                  if tag == "row"]
+                    column = bb.assemble_column(col_pieces, n, block_size, algebra)
+                    row = bb.assemble_column(row_pieces, n, block_size, algebra)
+                with stopwatch.section("broadcast"):
+                    col_broadcast = sc.broadcast(column)
+                    row_broadcast = sc.broadcast(row)
+                with stopwatch.section("update"):
+                    current = current.map_preserving(
+                        bb.FloydWarshallUpdateWithRowCol(
+                            col_broadcast.value, row_broadcast.value,
+                            block_size, algebra))
+                    if (k + 1) % self.checkpoint_interval == 0 or k == n - 1:
+                        current = current.cache()
+                        current.count()
+                continue
 
             with stopwatch.section("extract-column"):
                 pieces = current.filter(bb.in_block_row_or_column(pivot_block)) \

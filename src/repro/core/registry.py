@@ -32,10 +32,20 @@ class SolverInfo:
     description: str = ""
     #: Canonical names of the path algebras this solver supports.
     algebras: tuple[str, ...] = ("shortest-path",)
+    #: Block grid layouts this solver can run (``triangular``/``full``).
+    layouts: tuple[str, ...] = ("triangular",)
 
     def supports_algebra(self, algebra: str) -> bool:
         """True when the solver declares support for the given algebra (or alias)."""
         return resolve_algebra_name(algebra) in self.algebras
+
+    def supports_layout(self, layout: str) -> bool:
+        """True when the solver declares support for the given block layout.
+
+        ``"auto"`` is always supported — it resolves to a concrete layout
+        (which is then re-checked) once the input has been inspected.
+        """
+        return layout == "auto" or layout in self.layouts
 
     def as_dict(self) -> dict:
         """Plain-dict view used by the CLI and reports."""
@@ -44,6 +54,7 @@ class SolverInfo:
             "aliases": ", ".join(self.aliases),
             "pure": self.pure,
             "algebras": ", ".join(self.algebras),
+            "layouts": ", ".join(self.layouts),
             "description": self.description,
         }
 
@@ -81,6 +92,13 @@ def register_solver(cls=None, *, aliases: Iterable[str] = (),
         # Canonicalize the class's declared algebras eagerly so a typo in a
         # solver's `algebras` tuple fails at registration, not at solve time.
         declared = tuple(getattr(solver_cls, "algebras", None) or ("shortest-path",))
+        declared_layouts = tuple(getattr(solver_cls, "layouts", None)
+                                 or ("triangular",))
+        unknown_layouts = set(declared_layouts) - {"triangular", "full"}
+        if unknown_layouts:
+            raise ConfigurationError(
+                f"solver class {solver_cls.__name__} declares unknown "
+                f"layouts {sorted(unknown_layouts)}")
         info = SolverInfo(
             name=canonical,
             cls=solver_cls,
@@ -88,6 +106,7 @@ def register_solver(cls=None, *, aliases: Iterable[str] = (),
             pure=bool(getattr(solver_cls, "pure", True)),
             description=description if description is not None else (doc[0] if doc else ""),
             algebras=tuple(resolve_algebra_name(a) for a in declared),
+            layouts=declared_layouts,
         )
         # Validate before mutating anything, so a rejected registration
         # leaves the registry exactly as it was.
@@ -149,6 +168,11 @@ def get_solver_class(name: str):
 def solver_supports_algebra(solver_name: str, algebra: str) -> bool:
     """True when the (resolved) solver declares support for the (resolved) algebra."""
     return solver_info(solver_name).supports_algebra(algebra)
+
+
+def solver_supports_layout(solver_name: str, layout: str) -> bool:
+    """True when the (resolved) solver declares support for the block layout."""
+    return solver_info(solver_name).supports_layout(layout)
 
 
 def available_solvers() -> list[str]:

@@ -34,13 +34,22 @@ class RepeatedSquaringSolver(SparkAPSPSolver):
 
     name = "repeated-squaring"
     pure = False
+    layouts = ("triangular", "full")
+    algebras = SparkAPSPSolver.algebras + ("longest-path",)
 
     def _run(self, sc: SparkContext, rdd: RDD, n: int, block_size: int, q: int,
-             partitioner: Partitioner, stopwatch: Stopwatch):
+             partitioner: Partitioner, stopwatch: Stopwatch, *,
+             layout: str = "triangular"):
         shared_fs = sc.shared_fs
         algebra = self.algebra
         squarings = max(1, closure_iterations(n))
         current = rdd
+
+        # Triangular storage covers column J with every block touching
+        # row-or-column J (mirrors transpose in); the full grid stores the
+        # column outright, so only blocks with column index J are collected.
+        column_filter = bb.in_column if layout == "full" \
+            else bb.in_block_row_or_column
 
         for iteration in range(squarings):
             column_rdds: list[RDD] = []
@@ -48,8 +57,9 @@ class RepeatedSquaringSolver(SparkAPSPSolver):
                 with stopwatch.section("collect-column"):
                     # Identify the blocks of column-block J and group them on the driver.
                     column_records = current.filter(
-                        bb.in_block_row_or_column(target_column)).collect()
-                    column_blocks = _orient_column(column_records, target_column)
+                        column_filter(target_column)).collect()
+                    column_blocks = _orient_column(column_records, target_column,
+                                                   layout=layout)
                 with stopwatch.section("stage-column"):
                     # Stage the column in the shared file system (not a broadcast).
                     paths = shared_fs.write_blocks(
@@ -61,7 +71,8 @@ class RepeatedSquaringSolver(SparkAPSPSolver):
 
                 with stopwatch.section("matvec"):
                     contributions = current.flatMap(
-                        bb.matprod_column_contributions(target_column, fetch, algebra))
+                        bb.matprod_column_contributions(target_column, fetch,
+                                                        algebra, layout=layout))
                     column_result = contributions.reduceByKey(
                         bb.ElementwiseCombine(algebra), partitioner)
                     column_rdds.append(column_result)
@@ -75,13 +86,16 @@ class RepeatedSquaringSolver(SparkAPSPSolver):
         return current, squarings
 
 
-def _orient_column(column_records, target_column: int) -> dict[int, np.ndarray]:
-    """Build ``{block-row K: A_{K, J}}`` for column ``J`` from symmetric storage.
+def _orient_column(column_records, target_column: int, *,
+                   layout: str = "triangular") -> dict[int, np.ndarray]:
+    """Build ``{block-row K: A_{K, J}}`` for column ``J`` from stored blocks.
 
     Blocks pass through in their stored representation — packed-bitset blocks
     stay packed (their ``.T`` is a packed transpose), so the staged column of
     a reachability solve ships at 1/8th the bytes of ``bool`` blocks, and
     witnessed blocks keep their planes (their ``.T`` swaps parents/succs).
+    Under the full grid the records *are* the column — no transposes, which
+    is what lets single-plane (transpose-free) witnessed blocks stage.
     """
     column_blocks: dict[int, np.ndarray] = {}
     for (i, j), block in column_records:
@@ -89,6 +103,6 @@ def _orient_column(column_records, target_column: int) -> dict[int, np.ndarray]:
             block = np.asarray(block)
         if j == target_column:
             column_blocks[i] = block
-        if i == target_column and j != target_column:
+        if layout != "full" and i == target_column and j != target_column:
             column_blocks[j] = block.T
     return column_blocks

@@ -50,6 +50,18 @@ class SolveRequest:
         packed-bitset blocks — boolean algebras only, 64x denser), or
         ``"auto"``/``None`` for the algebra's default (packed for
         ``reachability``).  Resolved to a concrete policy at construction.
+    layout:
+        Block grid layout: ``"triangular"`` (upper block triangle with
+        mirror-transpose lookups — symmetric inputs only), ``"full"`` (all
+        q² blocks, supports directed inputs), or ``"auto"``/``None`` to
+        pick from the input (symmetric → triangular, asymmetric → full).
+        Checked against both the algebra's and the solver's declared layout
+        support at construction; ``"auto"`` resolves when the solver
+        inspects the matrix in ``prepare``.
+    directed:
+        Treat the input as a directed graph: skips the symmetry check in
+        adjacency validation and forces the full grid layout (an explicit
+        ``layout="triangular"`` request is rejected).
     paths:
         Track path witnesses through the solve: the result carries a
         predecessor matrix and supports
@@ -74,6 +86,8 @@ class SolveRequest:
     algebra: str = "shortest-path"
     dtype: str | None = None
     storage: str | None = None
+    layout: str | None = None
+    directed: bool = False
     paths: bool = False
     validate: bool = False
     tag: str | None = None
@@ -97,6 +111,18 @@ class SolveRequest:
         object.__setattr__(
             self, "storage",
             resolved_algebra.resolve_storage(self.storage, paths=self.paths))
+        # Resolve the grid layout against the algebra, then check the solver
+        # declares it (the same fail-fast shape as the algebra check above).
+        # "auto" may survive here: it resolves in prepare() once the matrix
+        # is inspected, and the solver check re-runs on the concrete layout.
+        object.__setattr__(self, "directed", bool(self.directed))
+        object.__setattr__(
+            self, "layout",
+            resolved_algebra.resolve_layout(self.layout, directed=self.directed))
+        if not info.supports_layout(self.layout):
+            raise ConfigurationError(
+                f"solver {self.solver!r} does not support block layout "
+                f"{self.layout!r} (supported: {', '.join(info.layouts)})")
         object.__setattr__(self, "partitioner",
                            canonical_partitioner_name(str(self.partitioner)))
         if self.block_size is not None and int(self.block_size) < 1:
@@ -140,6 +166,8 @@ class SolveRequest:
             algebra=self.algebra,
             dtype=self.dtype,
             storage=self.storage,
+            layout=self.layout,
+            directed=self.directed,
             paths=self.paths,
             validate=self.validate,
             extra=dict(self.extra),
@@ -155,6 +183,10 @@ class SolveRequest:
             bits.append(f"algebra={self.algebra}[{self.dtype}]")
         if self.storage != "dense":
             bits.append(f"storage={self.storage}")
+        if self.layout != "auto":
+            bits.append(f"layout={self.layout}")
+        if self.directed:
+            bits.append("directed")
         if self.paths:
             bits.append("paths")
         if self.num_partitions is not None:

@@ -47,7 +47,9 @@ def _load_input_graph(path: str):
     """Load a ``--input`` graph through the shared ingestion front door.
 
     ``.npz`` sparse CSR, ``.npy`` dense, ``.mtx`` MatrixMarket, or a
-    plain-text edge list (see :func:`repro.graph.io.load_graph`).
+    plain-text edge list (see :func:`repro.graph.io.load_graph`).  Returns
+    a :class:`repro.graph.io.LoadedGraph` — the adjacency plus the
+    directedness the file resolved to, which feeds ``layout="auto"``.
     """
     from repro.common.errors import ValidationError
     try:
@@ -148,6 +150,15 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("auto", "dense", "packed"),
                          help="block storage layout; auto = the algebra's "
                               "default (packed bitsets for reachability)")
+    p_solve.add_argument("--layout", default=None,
+                         choices=("auto", "triangular", "full"),
+                         help="block grid layout: triangular stores the upper "
+                              "block triangle (symmetric inputs only), full "
+                              "stores all blocks (asymmetric/directed); "
+                              "auto = inspect the input")
+    p_solve.add_argument("--directed", action="store_true",
+                         help="treat the input as directed: forces the full "
+                              "layout and skips the symmetry requirement")
     p_solve.add_argument("--paths", action="store_true",
                          help="track path witnesses: the result carries a "
                               "predecessor matrix (parent pointers) at ~2x "
@@ -181,6 +192,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--algebra", default="shortest-path",
                        choices=available_algebras())
         p.add_argument("--dtype", default=None)
+        p.add_argument("--layout", default=None,
+                       choices=("auto", "triangular", "full"),
+                       help="block grid layout (auto = inspect the input)")
+        p.add_argument("--directed", action="store_true",
+                       help="treat the input as directed (forces full layout)")
         p.add_argument("--backend", choices=BACKENDS, default="serial")
         p.add_argument("--executors", type=int, default=4)
         p.add_argument("--cores", type=int, default=2)
@@ -239,6 +255,11 @@ def build_parser() -> argparse.ArgumentParser:
     b_run.add_argument("--n", type=int, default=None,
                        help="override every scenario's problem size "
                             "(like setting APSPARK_BENCH_N)")
+    b_run.add_argument("--layout", default=None,
+                       choices=("auto", "triangular", "full"),
+                       help="override every scenario's block grid layout")
+    b_run.add_argument("--directed", action="store_true",
+                       help="run every scenario on a directed input graph")
     b_run.add_argument("--verify", action="store_true",
                        help="check each result against the sequential reference")
     b_run.add_argument("--quiet", action="store_true",
@@ -288,6 +309,19 @@ def _bench_main(args) -> int:
         suite = bench.get_suite(args.suite)
         if args.n is not None:
             suite = suite.with_n(args.n)
+        if args.layout is not None or args.directed:
+            from dataclasses import replace
+            changes = {}
+            if args.layout is not None:
+                changes["layout"] = args.layout
+            if args.directed:
+                changes["directed"] = True
+            try:
+                suite = replace(suite, scenarios=tuple(
+                    replace(s, **changes) for s in suite.scenarios))
+            except ConfigurationError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
         progress = (lambda line: None) if args.quiet else print
         results = bench.run_suite(suite, repeats=args.repeats,
                                   verify=args.verify, progress=progress)
@@ -332,11 +366,19 @@ def _serve_main(args) -> int:
     try:
         config = EngineConfig(backend=args.backend, num_executors=args.executors,
                               cores_per_executor=args.cores)
+        directed = bool(args.directed)
+        adjacency = None
+        if args.input is not None:
+            loaded = _load_input_graph(args.input)
+            adjacency = loaded.adjacency
+            directed = directed or loaded.directed
         request = SolveRequest(solver=args.solver, block_size=args.block_size,
-                               algebra=args.algebra, dtype=args.dtype)
-        adjacency = (_load_input_graph(args.input) if args.input is not None
-                     else bench.graph_for_algebra(args.n, args.seed,
-                                                  request.algebra))
+                               algebra=args.algebra, dtype=args.dtype,
+                               layout=args.layout, directed=directed)
+        if adjacency is None:
+            adjacency = bench.graph_for_algebra(args.n, args.seed,
+                                                request.algebra,
+                                                directed=request.directed)
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -459,31 +501,38 @@ def main(argv=None) -> int:
         config = EngineConfig(backend=args.backend, num_executors=args.executors,
                               cores_per_executor=args.cores)
         want_paths = bool(args.paths or args.route is not None)
+        adjacency = None
+        directed = bool(args.directed)
         try:
+            # The input file is loaded first so its own directedness (comment
+            # token / MatrixMarket symmetry / structural sniff) can inform
+            # layout resolution without a second pass over the data.
+            if args.input is not None:
+                loaded = _load_input_graph(args.input)
+                adjacency = loaded.adjacency
+                directed = directed or loaded.directed
             # Fails fast on unsupported solver x algebra / algebra x dtype /
-            # algebra x storage combinations (e.g. the DAG-only longest-path
-            # algebra, which no distributed solver supports, or packed
-            # storage on a numeric algebra — incl. packed + --paths).
+            # algebra x storage / algebra x layout combinations (e.g. the
+            # triangular layout with --directed, or packed storage on a
+            # numeric algebra — incl. packed + --paths).
             request = SolveRequest(solver=args.solver, block_size=args.block_size,
                                    partitioner=args.partitioner,
                                    algebra=args.algebra, dtype=args.dtype,
-                                   storage=args.storage, paths=want_paths)
+                                   storage=args.storage, layout=args.layout,
+                                   directed=directed, paths=want_paths)
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        if args.input is not None:
-            try:
-                adjacency = _load_input_graph(args.input)
-            except ConfigurationError as exc:
-                print(f"error: {exc}", file=sys.stderr)
-                return 2
+        if adjacency is not None:
             n = adjacency.shape[0]
             kind = "sparse CSR" if sparse_graph.is_sparse(adjacency) else "dense"
             nnz = adjacency.nnz if sparse_graph.is_sparse(adjacency) else None
             print(f"loaded {kind} adjacency from {args.input}: n={n}"
-                  + (f", nnz={nnz}" if nnz is not None else ""))
+                  + (f", nnz={nnz}" if nnz is not None else "")
+                  + (", directed" if directed else ""))
         else:
-            adjacency = bench.graph_for_algebra(args.n, args.seed, request.algebra)
+            adjacency = bench.graph_for_algebra(args.n, args.seed, request.algebra,
+                                                directed=request.directed)
         verify = not args.no_verify
         reference = None
         if verify:
@@ -538,7 +587,8 @@ def main(argv=None) -> int:
 
     if args.command == "solvers":
         rows = [info.as_dict() for info in solver_catalog()]
-        _emit(rows, args, columns=["name", "aliases", "pure", "algebras", "description"])
+        _emit(rows, args, columns=["name", "aliases", "pure", "algebras",
+                                   "layouts", "description"])
         return 0
 
     return 2

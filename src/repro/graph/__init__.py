@@ -10,6 +10,7 @@ inputs.
 
 from repro.graph.generators import (
     erdos_renyi_adjacency,
+    directed_erdos_renyi_adjacency,
     paper_edge_probability,
     erdos_renyi_graph,
     random_geometric_adjacency,
@@ -23,11 +24,14 @@ from repro.graph.adjacency import (
     adjacency_from_networkx,
     to_networkx,
     knn_adjacency,
+    is_symmetric_adjacency,
     validate_adjacency,
     num_reachable_pairs,
 )
-from repro.graph.io import (save_edge_list, load_edge_list, save_matrix,
-                            load_matrix, save_sparse_npz, load_sparse_npz)
+from repro.graph.io import (LoadedGraph, save_edge_list, load_edge_list,
+                            save_matrix, load_matrix, save_sparse_npz,
+                            load_sparse_npz, load_graph, load_external_edges,
+                            load_mtx, convert_graph)
 from repro.graph.sparse import (erdos_renyi_sparse, is_sparse,
                                 sparse_to_blocks, sparse_to_dense,
                                 validate_sparse_adjacency)
@@ -41,6 +45,7 @@ __all__ = [
     "save_sparse_npz",
     "load_sparse_npz",
     "erdos_renyi_adjacency",
+    "directed_erdos_renyi_adjacency",
     "paper_edge_probability",
     "erdos_renyi_graph",
     "random_geometric_adjacency",
@@ -52,10 +57,16 @@ __all__ = [
     "adjacency_from_networkx",
     "to_networkx",
     "knn_adjacency",
+    "is_symmetric_adjacency",
     "validate_adjacency",
     "num_reachable_pairs",
     "save_edge_list",
     "load_edge_list",
     "save_matrix",
     "load_matrix",
+    "LoadedGraph",
+    "load_graph",
+    "load_external_edges",
+    "load_mtx",
+    "convert_graph",
 ]

@@ -106,6 +106,26 @@ def knn_adjacency(points: np.ndarray, k: int, *, symmetrize: bool = True) -> np.
     return adj
 
 
+def is_symmetric_adjacency(adjacency) -> bool:
+    """True when the adjacency is symmetric (dense or SciPy sparse).
+
+    This is the sniff behind ``layout="auto"``: a symmetric input keeps the
+    mirrored upper-triangular block storage, an asymmetric one forces the
+    full grid.  Non-finite cells compare equal to each other (two ``inf``
+    entries both mean "no edge"), matching the tolerance used by
+    ``validate_adjacency(require_symmetric=True)``.
+    """
+    from repro.graph import sparse as sparse_mod
+    if sparse_mod.is_sparse(adjacency):
+        return (adjacency != adjacency.T).nnz == 0
+    arr = np.asarray(adjacency)
+    if arr.dtype == np.bool_:
+        return bool(np.array_equal(arr, arr.T))
+    a, at = arr, arr.T
+    both_inf = np.isinf(a) & np.isinf(at)
+    return bool((np.isclose(a, at) | both_inf).all())
+
+
 def validate_adjacency(adjacency: np.ndarray, *, require_symmetric: bool = False,
                        algebra=None, dtype=None,
                        allow_sparse: bool = False) -> np.ndarray:
@@ -143,15 +163,8 @@ def validate_adjacency(adjacency: np.ndarray, *, require_symmetric: bool = False
                               dtype=np.float64 if algebra is None and dtype is None
                               else None)
     resolved.validate_input(arr, "adjacency")
-    if require_symmetric:
-        if arr.dtype == np.bool_:
-            symmetric = bool(np.array_equal(arr, arr.T))
-        else:
-            a, at = arr, arr.T
-            both_inf = np.isinf(a) & np.isinf(at)
-            symmetric = bool((np.isclose(a, at) | both_inf).all())
-        if not symmetric:
-            raise ValidationError("adjacency must be symmetric for undirected solvers")
+    if require_symmetric and not is_symmetric_adjacency(arr):
+        raise ValidationError("adjacency must be symmetric for undirected solvers")
     return resolved.prepare_adjacency(arr, dtype=dtype)
 
 

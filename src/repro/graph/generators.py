@@ -82,6 +82,47 @@ def erdos_renyi_adjacency(n: int, *, p: float | None = None, epsilon: float = 0.
     return adj
 
 
+def directed_erdos_renyi_adjacency(n: int, *, p: float | None = None,
+                                   epsilon: float = 0.1, weighted: bool = True,
+                                   weight_low: float = 1.0,
+                                   weight_high: float = 10.0,
+                                   acyclic: bool = False,
+                                   seed: int | np.random.Generator | None = 0
+                                   ) -> np.ndarray:
+    """Generate the adjacency matrix of a *directed* Erdős–Rényi graph.
+
+    Every ordered off-diagonal pair ``(u, v)`` gets an independent edge with
+    probability ``p`` (default: the paper's ``(1 + epsilon) * ln(n) / n``),
+    so ``A`` is asymmetric with overwhelming probability — the input shape
+    the ``layout="full"`` block grid exists for.  With ``acyclic=True`` only
+    pairs ``u < v`` are sampled, yielding a DAG (topologically ordered by
+    vertex id) suitable for the longest-path algebra.
+    """
+    check_positive_int(n, "n")
+    if p is None:
+        p = paper_edge_probability(n, epsilon)
+    if not (0.0 <= p <= 1.0):
+        raise ValidationError(f"edge probability must be in [0, 1], got {p}")
+    if weighted and weight_low <= 0:
+        raise ValidationError("weight_low must be positive for weighted graphs")
+    if weighted and weight_high < weight_low:
+        raise ValidationError("weight_high must be >= weight_low")
+    rng = make_rng(seed)
+    adj = _empty_adjacency(n)
+    if n == 1 or p == 0.0:
+        return adj
+    mask = rng.random((n, n)) < p
+    np.fill_diagonal(mask, False)
+    if acyclic:
+        mask &= np.triu(np.ones((n, n), dtype=bool), k=1)
+    if weighted:
+        weights = rng.uniform(weight_low, weight_high, size=(n, n))
+    else:
+        weights = np.ones((n, n), dtype=np.float64)
+    adj[mask] = weights[mask]
+    return adj
+
+
 def erdos_renyi_graph(n: int, **kwargs):
     """Generate an Erdős–Rényi graph as a :class:`networkx.Graph`.
 

@@ -11,12 +11,25 @@ sparse CSR ingestion path without a densifying detour.
 from __future__ import annotations
 
 import os
+from typing import Any, NamedTuple
 
 import numpy as np
 
 from repro.common.errors import ValidationError
 from repro.common.validation import check_square_matrix
-from repro.graph.adjacency import adjacency_from_edges
+from repro.graph.adjacency import adjacency_from_edges, is_symmetric_adjacency
+
+
+class LoadedGraph(NamedTuple):
+    """A loaded adjacency plus the directedness the source file resolved to.
+
+    ``directed`` comes from the file itself — a ``directed=`` comment token,
+    MatrixMarket symmetry, or (for opaque binary formats) a symmetry sniff —
+    so callers can feed ``layout="auto"`` without a second pass over the data.
+    """
+
+    adjacency: Any
+    directed: bool
 
 
 def save_edge_list(adjacency: np.ndarray, path: str | os.PathLike, *,
@@ -130,7 +143,7 @@ def _edges_to_csr(rows, cols, vals, n: int):
     return sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
 
 
-def load_external_edges(path: str | os.PathLike, *, directed: bool = True,
+def load_external_edges(path: str | os.PathLike, *, directed: bool = False,
                         default_weight: float = 1.0):
     """Load a plain-text edge list (SNAP/DIMACS style) as a canonical CSR.
 
@@ -139,10 +152,20 @@ def load_external_edges(path: str | os.PathLike, *, directed: bool = True,
     Vertex ids are taken verbatim (0-based), with ``n`` inferred as the
     largest id + 1; a comment token ``n=N`` pins it explicitly and
     ``directed=0/1`` overrides the keyword (so files written by
-    :func:`save_edge_list` load with the right orientation).  Undirected
-    edges are mirrored, duplicates keep their minimum weight, self-loops
-    are dropped.
+    :func:`save_edge_list` load with the right orientation).  The default
+    ``directed=False`` matches :func:`save_edge_list`,
+    :func:`repro.graph.adjacency.adjacency_from_edges` and :func:`load_mtx` —
+    the repo-wide canonical default.  Undirected edges are mirrored,
+    duplicates keep their minimum weight, self-loops are dropped.
     """
+    return _load_external_edges_resolved(
+        path, directed=directed, default_weight=default_weight)[0]
+
+
+def _load_external_edges_resolved(path: str | os.PathLike, *,
+                                  directed: bool = False,
+                                  default_weight: float = 1.0):
+    """:func:`load_external_edges` body, also returning resolved directedness."""
     n: int | None = None
     src: list[int] = []
     dst: list[int] = []
@@ -183,7 +206,7 @@ def load_external_edges(path: str | os.PathLike, *, directed: bool = True,
     if not directed:
         src, dst = src + dst, dst + src
         wts = wts + wts
-    return _edges_to_csr(src, dst, wts, n)
+    return _edges_to_csr(src, dst, wts, n), directed
 
 
 def load_mtx(path: str | os.PathLike):
@@ -193,8 +216,22 @@ def load_mtx(path: str | os.PathLike):
     fields and ``general``/``symmetric`` symmetry — the combinations the
     SuiteSparse collection's graph matrices use.  ``pattern`` entries (no
     stored value) become weight-1 edges; symmetric files are mirrored;
-    indices are converted from MatrixMarket's 1-based convention.
+    indices are converted from MatrixMarket's 1-based convention.  A
+    ``directed=0/1`` token in a ``%`` comment line records directedness the
+    same way edge-list comments do (see :func:`_load_mtx_resolved`).
     """
+    return _load_mtx_resolved(path)[0]
+
+
+def _load_mtx_resolved(path: str | os.PathLike):
+    """:func:`load_mtx` body, also returning resolved directedness.
+
+    ``symmetric`` files are undirected by construction.  For ``general``
+    files a ``directed=0/1`` comment token wins; without one the stored
+    entries are sniffed for symmetry, so a general-symmetry export of an
+    undirected graph still reports ``directed=False``.
+    """
+    directed: bool | None = None
     with open(path, "r", encoding="utf-8") as fh:
         header = fh.readline()
         if not header.startswith("%%MatrixMarket"):
@@ -221,7 +258,12 @@ def load_mtx(path: str | os.PathLike):
         wts: list[float] = []
         for lineno, raw in enumerate(fh, start=2):
             line = raw.strip()
-            if not line or line.startswith("%"):
+            if line.startswith("%"):
+                for token in line.lstrip("%").split():
+                    if token.startswith("directed="):
+                        directed = bool(int(token[len("directed="):]))
+                continue
+            if not line:
                 continue
             fields = line.split()
             if dims is None:
@@ -254,27 +296,39 @@ def load_mtx(path: str | os.PathLike):
     if symmetry == "symmetric":
         src, dst = src + dst, dst + src
         wts = wts + wts
-    return _edges_to_csr(src, dst, wts, dims)
+        directed = False
+    csr = _edges_to_csr(src, dst, wts, dims)
+    if directed is None:
+        directed = not is_symmetric_adjacency(csr)
+    return csr, directed
 
 
-def load_graph(path: str | os.PathLike):
-    """Load a graph by extension, returning CSR or dense as the format dictates.
+def load_graph(path: str | os.PathLike) -> LoadedGraph:
+    """Load a graph by extension, returning :class:`LoadedGraph`.
 
     ``.npz`` -> CSR (:func:`load_sparse_npz`), ``.npy`` -> dense
     (:func:`load_matrix`), ``.mtx`` -> CSR (:func:`load_mtx`), anything else
     -> plain-text edge list as CSR (:func:`load_external_edges`).  This is
     the single ingestion front door the CLI's ``--input`` and ``convert``
     commands use.
+
+    The returned tuple carries the source's directedness alongside the
+    adjacency: text formats resolve it from their ``directed=`` comment
+    tokens (or MatrixMarket symmetry), binary formats (``.npz``/``.npy``)
+    sniff structural symmetry — either way a single pass decides how
+    ``layout="auto"`` should treat the graph.
     """
     name = os.fspath(path)
     lower = name.lower()
     if lower.endswith(".npz"):
-        return load_sparse_npz(name)
+        csr = load_sparse_npz(name)
+        return LoadedGraph(csr, not is_symmetric_adjacency(csr))
     if lower.endswith(".npy"):
-        return load_matrix(name)
+        dense = load_matrix(name)
+        return LoadedGraph(dense, not is_symmetric_adjacency(dense))
     if lower.endswith(".mtx"):
-        return load_mtx(name)
-    return load_external_edges(name)
+        return LoadedGraph(*_load_mtx_resolved(name))
+    return LoadedGraph(*_load_external_edges_resolved(name))
 
 
 def convert_graph(source: str | os.PathLike, target: str | os.PathLike) -> tuple[int, int]:
@@ -285,7 +339,7 @@ def convert_graph(source: str | os.PathLike, target: str | os.PathLike) -> tuple
     dense through the canonical expansion (``inf`` for missing edges).
     """
     from repro.graph import sparse as sparse_mod
-    graph = load_graph(source)
+    graph = load_graph(source).adjacency
     lower = os.fspath(target).lower()
     sparse = sparse_mod.is_sparse(graph)
     if lower.endswith(".npz"):

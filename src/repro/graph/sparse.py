@@ -214,7 +214,8 @@ def sparse_to_blocks(csr, block_size: int, *,
                      dtype: str | np.dtype | None = None,
                      storage: str = "dense",
                      upper_only: bool = True,
-                     witness: bool = False) -> Iterator[tuple[BlockId, object]]:
+                     witness: bool = False,
+                     single_plane: bool = False) -> Iterator[tuple[BlockId, object]]:
     """Cut a validated CSR adjacency into ``((I, J), block)`` records.
 
     The sparse counterpart of
@@ -237,6 +238,10 @@ def sparse_to_blocks(csr, block_size: int, *,
         raise ValidationError(
             "witness tracking has no packed-bitset kernels; "
             "use storage='dense' for paths=True solves")
+    if single_plane and upper_only:
+        raise ValidationError(
+            "single-plane witness blocks cannot be mirrored and therefore "
+            "require the full block grid (upper_only=False)")
     n = csr.shape[0]
     b = check_block_size(block_size, n)
     q = num_blocks(n, b)
@@ -276,7 +281,8 @@ def sparse_to_blocks(csr, block_size: int, *,
         if i == j:
             np.fill_diagonal(block, one)
         if witness:
-            yield (i, j), witness_mod.witness_block(block, i * b, j * b, algebra)
+            yield (i, j), witness_mod.witness_block(block, i * b, j * b, algebra,
+                                                    single_plane=single_plane)
         else:
             yield (i, j), encode_block(block, storage)
 

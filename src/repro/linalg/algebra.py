@@ -142,6 +142,13 @@ class Semiring:
     #: uint64 packed-bitset layout of :mod:`repro.linalg.bitset` (64 cells
     #: per word — only meaningful for one-bit-per-cell boolean algebras).
     storages: tuple[str, ...] = ("dense",)
+    #: Block grid layouts this algebra's solves can run under, first is the
+    #: preferred one for symmetric inputs.  ``"triangular"`` stores the upper
+    #: block triangle and serves mirror blocks via transposes (symmetric
+    #: inputs only); ``"full"`` stores all q² blocks and supports directed
+    #: (asymmetric) inputs.  Algebras whose inputs are inherently directed
+    #: (e.g. the DAG-only longest-path algebra) list ``("full",)``.
+    layouts: tuple[str, ...] = ("triangular", "full")
     #: Witness policy: the arg-reduction matching ⊕ (``"min"`` for a min-⊕,
     #: ``"max"`` for max/or), or ``None`` when the algebra cannot track
     #: "which operand won" and therefore cannot reconstruct paths.  Only
@@ -158,6 +165,10 @@ class Semiring:
         if not self.storages or unknown:
             raise ConfigurationError(
                 f"algebra {self.name!r}: invalid storage policies {self.storages}")
+        unknown_layouts = set(self.layouts) - {"triangular", "full"}
+        if not self.layouts or unknown_layouts:
+            raise ConfigurationError(
+                f"algebra {self.name!r}: invalid layout policies {self.layouts}")
         if self.witness_select not in (None, "min", "max"):
             raise ConfigurationError(
                 f"algebra {self.name!r}: witness_select must be None, 'min' "
@@ -224,6 +235,47 @@ class Semiring:
             raise ConfigurationError(
                 "witness tracking has no packed-bitset kernels; "
                 "request storage='dense' (or 'auto') with paths=True")
+        return requested
+
+    # -- layout policy -----------------------------------------------------
+    @property
+    def default_layout(self) -> str:
+        """The block grid layout this algebra prefers for symmetric inputs."""
+        return self.layouts[0]
+
+    def resolve_layout(self, layout: str | None = None, *,
+                       directed: bool = False) -> str:
+        """Resolve a requested block grid layout against this algebra.
+
+        ``None`` or ``"auto"`` defers to input inspection (symmetric →
+        triangular, asymmetric → full) and therefore stays ``"auto"`` here —
+        unless ``directed=True`` forces the full grid, or the algebra only
+        supports one layout.  Explicit requests must name a supported layout;
+        ``directed=True`` rejects the triangular (mirrored) layout, which
+        only represents symmetric matrices.
+        """
+        if directed and "full" not in self.layouts:
+            raise ConfigurationError(
+                f"algebra {self.name!r} has no full-grid layout; it cannot "
+                "solve directed inputs")
+        if layout is None:
+            requested = "auto"
+        else:
+            requested = str(layout).strip().lower()
+        if requested == "auto":
+            if directed:
+                return "full"
+            if len(self.layouts) == 1:
+                return self.layouts[0]
+            return "auto"
+        if requested not in self.layouts:
+            raise ConfigurationError(
+                f"algebra {self.name!r} supports block layouts "
+                f"{', '.join(self.layouts)}; got {requested!r}")
+        if directed and requested == "triangular":
+            raise ConfigurationError(
+                "directed inputs cannot use the triangular (mirrored) "
+                "layout; request layout='full' (or 'auto') with directed=True")
         return requested
 
     def result_dtype(self, *operands: np.ndarray) -> np.dtype:
@@ -434,6 +486,9 @@ LONGEST_PATH = register_algebra(Semiring(
     zero=float("-inf"), one=0.0,
     input_validator=validate_dag_weights,
     absorptive=False,
+    # DAG inputs are inherently asymmetric: the mirrored triangular layout
+    # cannot represent them, so critical paths always run on the full grid.
+    layouts=("full",),
     witness_select="max",
     description="(max, +) semiring — critical paths; DAG inputs only",
 ), aliases=("maxplus", "max-plus", "critical-path"))

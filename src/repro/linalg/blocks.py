@@ -25,6 +25,12 @@ BlockId = tuple[int, int]
 #: Valid block-storage policies for the decomposition helpers.
 STORAGES = ("dense", "packed")
 
+#: Valid block grid layouts: ``"triangular"`` stores the upper block triangle
+#: and serves mirror blocks by transposition (symmetric matrices only);
+#: ``"full"`` stores all q² blocks and represents directed (asymmetric)
+#: matrices exactly.
+LAYOUTS = ("triangular", "full")
+
 
 def check_storage(storage: str) -> str:
     """Validate a block-storage policy name."""
@@ -32,6 +38,14 @@ def check_storage(storage: str) -> str:
         raise ValidationError(
             f"unknown block storage {storage!r}; expected one of {', '.join(STORAGES)}")
     return storage
+
+
+def check_layout(layout: str) -> str:
+    """Validate a block grid layout name (``auto`` must already be resolved)."""
+    if layout not in LAYOUTS:
+        raise ValidationError(
+            f"unknown block layout {layout!r}; expected one of {', '.join(LAYOUTS)}")
+    return layout
 
 
 def encode_block(block: np.ndarray, storage: str):
@@ -94,25 +108,33 @@ def matrix_to_blocks(matrix: np.ndarray, block_size: int, *,
                      upper_only: bool = True,
                      storage: str = "dense",
                      witness: bool = False,
+                     single_plane: bool = False,
                      algebra=None) -> Iterator[tuple[BlockId, np.ndarray]]:
     """Decompose a square matrix into ``((I, J), block)`` tuples.
 
     With ``upper_only=True`` (the paper's symmetric storage) only blocks with
     ``I <= J`` are produced; the caller is expected to reconstruct ``A_JI`` as
-    ``A_IJ.T`` when needed.  The input's floating/boolean dtype is preserved
-    (``float32`` pipelines stay ``float32``); anything else is upcast to
-    ``float64``.  With ``storage="packed"`` each (boolean) block is emitted
-    as a :class:`~repro.linalg.bitset.PackedBlock` — 64 cells per word.
-    With ``witness=True`` (a ``paths=True`` solve) each block is emitted as
-    a :class:`~repro.linalg.witness.WitnessBlock` whose planes are stamped
-    with the block's *global* vertex ids under ``algebra``; the matrix must
-    then already be in the algebra's domain.
+    ``A_IJ.T`` when needed.  ``upper_only=False`` is the full-grid layout:
+    all q² blocks are emitted, no mirroring.  The input's floating/boolean
+    dtype is preserved (``float32`` pipelines stay ``float32``); anything
+    else is upcast to ``float64``.  With ``storage="packed"`` each (boolean)
+    block is emitted as a :class:`~repro.linalg.bitset.PackedBlock` — 64
+    cells per word.  With ``witness=True`` (a ``paths=True`` solve) each
+    block is emitted as a :class:`~repro.linalg.witness.WitnessBlock` whose
+    planes are stamped with the block's *global* vertex ids under
+    ``algebra``; the matrix must then already be in the algebra's domain.
+    ``single_plane=True`` (full-grid witnesses) stamps parents only —
+    successor planes exist solely to serve mirrored reads.
     """
     check_storage(storage)
     if witness and storage == "packed":
         raise ValidationError(
             "witness tracking has no packed-bitset kernels; "
             "use storage='dense' for paths=True solves")
+    if single_plane and upper_only:
+        raise ValidationError(
+            "single-plane witnesses cannot serve mirrored reads; "
+            "they require the full-grid layout (upper_only=False)")
     arr = check_square_matrix(matrix, dtype=None)
     n = arr.shape[0]
     b = check_block_size(block_size, n)
@@ -122,7 +144,8 @@ def matrix_to_blocks(matrix: np.ndarray, block_size: int, *,
         view = arr[block_range(i, b, n), block_range(j, b, n)]
         if witness:
             # witness_block copies, so the record never aliases the input.
-            yield (i, j), witness_mod.witness_block(view, i * b, j * b, algebra)
+            yield (i, j), witness_mod.witness_block(view, i * b, j * b, algebra,
+                                                    single_plane=single_plane)
             continue
         # Packing copies implicitly; the dense path must not alias the input.
         block = view if storage == "packed" else np.array(view, copy=True)
@@ -196,13 +219,15 @@ class BlockedMatrix:
                     symmetric: bool = True,
                     storage: str = "dense",
                     witness: bool = False,
+                    single_plane: bool = False,
                     algebra=None) -> "BlockedMatrix":
         """Cut a dense matrix into a dictionary-backed blocked matrix.
 
         With ``witness=True`` every stored payload is a
         :class:`~repro.linalg.witness.WitnessBlock` carrying parent/successor
         planes alongside the values (the matrix must already be in the
-        algebra's domain).
+        algebra's domain); ``single_plane=True`` stamps parents only (the
+        full-grid directed layout, which never mirrors).
         """
         arr = check_square_matrix(matrix, dtype=None)
         return cls(
@@ -210,6 +235,7 @@ class BlockedMatrix:
             block_size=check_block_size(block_size, arr.shape[0]),
             blocks=dict(matrix_to_blocks(arr, block_size, upper_only=symmetric,
                                          storage=storage, witness=witness,
+                                         single_plane=single_plane,
                                          algebra=algebra)),
             symmetric=symmetric,
             storage=check_storage(storage),
@@ -228,9 +254,19 @@ class BlockedMatrix:
         transposed view of the stored mirror block: the data is shared (no
         copy), but writing through it would silently corrupt block ``(j, i)``,
         so mutation raises instead — call :meth:`set_block` to update.
+
+        Under the full-grid layout (``symmetric=False``) there is no
+        mirroring: asking for a missing block whose transpose *is* stored
+        raises a :class:`ValidationError` rather than silently answering
+        with the (wrong, transposed) mirror data.
         """
         if (i, j) in self.blocks:
             return self.blocks[(i, j)]
+        if not self.symmetric and (j, i) in self.blocks:
+            raise ValidationError(
+                f"block {(i, j)} is not stored and the full-grid layout has "
+                f"no mirror-transpose lookups; block {(j, i)} is a distinct "
+                "block of an asymmetric matrix, not this block's transpose")
         if self.symmetric and (j, i) in self.blocks:
             stored = self.blocks[(j, i)]
             if bitset.is_packed(stored):

@@ -31,6 +31,12 @@ which is what lets witnessed blocks flow through ``CopyCol``, the mirror
 lookups of :class:`~repro.linalg.blocks.BlockedMatrix`, and the
 repeated-squaring column orientation completely unchanged.
 
+The successor plane exists *only* to serve those mirrored reads.  Under the
+full-grid directed layout nothing is ever mirrored, so blocks carry a
+**single plane** (``succs is None``): every kernel composes parents from
+parents exactly as below and simply skips the successor arithmetic, and
+``.T`` raises rather than fabricate a plane that does not exist.
+
 Composition rules
 -----------------
 For the semiring product ``C = A ⊗ B`` with winning inner index ``k*``::
@@ -91,14 +97,23 @@ class WitnessBlock:
     __slots__ = ("values", "parents", "succs")
 
     def __init__(self, values: np.ndarray, parents: np.ndarray,
-                 succs: np.ndarray) -> None:
+                 succs: np.ndarray | None) -> None:
         values = np.asarray(values)
         if values.ndim != 2:
             raise ValidationError(
                 f"witnessed block values must be 2-D, got ndim={values.ndim}")
         self.values = values
         self.parents = _as_witness_index(parents, values.shape)
-        self.succs = _as_witness_index(succs, values.shape)
+        # succs=None is the *single-plane* witness of the full-grid directed
+        # layout: with no mirror-transpose reads there is nothing for a
+        # successor plane to serve, so it is simply not carried.
+        self.succs = (None if succs is None
+                      else _as_witness_index(succs, values.shape))
+
+    @property
+    def single_plane(self) -> bool:
+        """True when this block carries parents only (full-grid layout)."""
+        return self.succs is None
 
     # -- ndarray-flavoured surface the solvers rely on ---------------------
     @property
@@ -114,7 +129,8 @@ class WitnessBlock:
     @property
     def nbytes(self) -> int:
         """Total bytes across the value and witness planes."""
-        return int(self.values.nbytes + self.parents.nbytes + self.succs.nbytes)
+        succs_bytes = 0 if self.succs is None else self.succs.nbytes
+        return int(self.values.nbytes + self.parents.nbytes + succs_bytes)
 
     @property
     def T(self) -> "WitnessBlock":
@@ -122,21 +138,31 @@ class WitnessBlock:
 
         Swaps the witness planes (see the module docstring): the transposed
         block's predecessors are the stored successors and vice versa.
-        Returns cheap views, mirroring ``ndarray.T``.
+        Returns cheap views, mirroring ``ndarray.T``.  Single-plane blocks
+        cannot transpose — the successor plane the mirror's parents would
+        come from does not exist (and the full-grid layout never mirrors).
         """
+        if self.succs is None:
+            raise ValidationError(
+                "single-plane witness blocks have no successor plane and "
+                "cannot be transposed; the full-grid layout never mirrors")
         return WitnessBlock(self.values.T, self.succs.T, self.parents.T)
 
     def copy(self) -> "WitnessBlock":
-        """Deep copy of all three planes."""
+        """Deep copy of all planes."""
         return WitnessBlock(self.values.copy(), self.parents.copy(),
-                            self.succs.copy())
+                            None if self.succs is None else self.succs.copy())
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, WitnessBlock):
             return NotImplemented
+        if (self.succs is None) != (other.succs is None):
+            return False
+        succs_equal = (self.succs is None
+                       or bool(np.array_equal(self.succs, other.succs)))
         return (bool(np.array_equal(self.values, other.values))
                 and bool(np.array_equal(self.parents, other.parents))
-                and bool(np.array_equal(self.succs, other.succs)))
+                and succs_equal)
 
     def __hash__(self) -> None:  # pragma: no cover - mutable container
         raise TypeError("WitnessBlock is unhashable")
@@ -219,7 +245,8 @@ def require_witness(algebra: Semiring, op: str) -> Semiring:
 # Construction / destruction
 # ---------------------------------------------------------------------------
 def witness_block(values: np.ndarray, row_start: int, col_start: int,
-                  algebra: Semiring | str | None = None) -> WitnessBlock:
+                  algebra: Semiring | str | None = None, *,
+                  single_plane: bool = False) -> WitnessBlock:
     """Stamp initial witnesses onto a *prepared* adjacency block.
 
     ``values`` must already live in the algebra's domain (missing edges are
@@ -227,7 +254,8 @@ def witness_block(values: np.ndarray, row_start: int, col_start: int,
     global indices of the block's first row/column.  A direct edge
     ``i -> j`` starts with ``parents = i`` and ``succs = j`` (the path is the
     edge itself); everything else, including the diagonal, starts at
-    :data:`NO_VERTEX`.
+    :data:`NO_VERTEX`.  ``single_plane=True`` (the full-grid directed
+    layout) stamps parents only.
     """
     algebra = require_witness(get_algebra(algebra), "witness_block")
     vals = np.array(values, copy=True)
@@ -239,6 +267,8 @@ def witness_block(values: np.ndarray, row_start: int, col_start: int,
     edge = vals != algebra.zero_like(vals.dtype)
     edge &= rows_g[:, None] != cols_g[None, :]
     parents = np.where(edge, rows_g[:, None], NO_VERTEX).astype(np.int32)
+    if single_plane:
+        return WitnessBlock(vals, parents, None)
     succs = np.where(edge, cols_g[None, :], NO_VERTEX).astype(np.int32)
     return WitnessBlock(vals, parents, succs)
 
@@ -300,6 +330,19 @@ def witness_blocks_to_matrices(blocks, n: int, block_size: int, *,
 # ---------------------------------------------------------------------------
 # Paired value+witness kernels
 # ---------------------------------------------------------------------------
+def _check_same_planes(a: WitnessBlock, b: WitnessBlock, op: str) -> None:
+    """Reject mixing single-plane and two-plane operands in one kernel.
+
+    A solve runs entirely in one layout, so mixed plane-ness only happens on
+    a bug — and silently dropping (or inventing) a successor plane would be
+    far worse than failing here.
+    """
+    if (a.succs is None) != (b.succs is None):
+        raise ValidationError(
+            f"{op} cannot mix single-plane and two-plane witness blocks; "
+            "a solve runs entirely in one block layout")
+
+
 def witness_combine(a: WitnessBlock, b: WitnessBlock,
                     algebra: Semiring | str | None = None) -> WitnessBlock:
     """Elementwise ⊕ of two witnessed blocks: the winner keeps its pointers.
@@ -312,13 +355,16 @@ def witness_combine(a: WitnessBlock, b: WitnessBlock,
     if a.shape != b.shape:
         raise ValidationError(
             f"MatMin requires equal shapes, got {a.shape} and {b.shape}")
+    _check_same_planes(a, b, "MatMin")
     av, bv = a.values, b.values
     combined = algebra.add(av, bv)
     take_b = (combined == bv) & (combined != av)
+    succs = (None if a.succs is None
+             else np.where(take_b, b.succs, a.succs))
     return WitnessBlock(
         combined,
         np.where(take_b, b.parents, a.parents),
-        np.where(take_b, b.succs, a.succs),
+        succs,
     )
 
 
@@ -334,6 +380,7 @@ def witness_product(a: WitnessBlock, b: WitnessBlock,
     empty-subpath fallbacks described in the module docstring.
     """
     algebra = require_witness(algebra, "witnessed MatProd")
+    _check_same_planes(a, b, "MatProd")
     av = np.asarray(a.values)
     bv = np.asarray(b.values)
     if av.shape[1] != bv.shape[0]:
@@ -346,9 +393,10 @@ def witness_product(a: WitnessBlock, b: WitnessBlock,
     n = bv.shape[1]
     if chunk <= 0:
         raise ValidationError("chunk must be positive")
+    single_plane = a.succs is None
     values = np.empty((m, n), dtype=dtype)
     parents = np.empty((m, n), dtype=np.int32)
-    succs = np.empty((m, n), dtype=np.int32)
+    succs = None if single_plane else np.empty((m, n), dtype=np.int32)
     rows = np.arange(m)[:, None]
     for j0 in range(0, n, chunk):
         j1 = min(j0 + chunk, n)
@@ -360,12 +408,15 @@ def witness_product(a: WitnessBlock, b: WitnessBlock,
         p = b.parents[ks, cols]                 # tail pointers from B
         p_fallback = a.parents[rows, ks]        # k* == j: B-subpath empty
         parents[:, j0:j1] = np.where(p == NO_VERTEX, p_fallback, p)
+        if single_plane:
+            continue
         r = a.succs[rows, ks]                   # head pointers from A
         r_fallback = b.succs[ks, cols]          # k* == i: A-subpath empty
         succs[:, j0:j1] = np.where(r == NO_VERTEX, r_fallback, r)
     no_path = values == algebra.zero_like(dtype)
     parents[no_path] = NO_VERTEX
-    succs[no_path] = NO_VERTEX
+    if succs is not None:
+        succs[no_path] = NO_VERTEX
     return WitnessBlock(values, parents, succs)
 
 
@@ -396,8 +447,9 @@ def witness_floyd_warshall_inplace(block: WitnessBlock,
         improved = relaxed != values
         parents[improved] = np.broadcast_to(
             parents[k, :][None, :], parents.shape)[improved]
-        succs[improved] = np.broadcast_to(
-            succs[:, k][:, None], succs.shape)[improved]
+        if succs is not None:
+            succs[improved] = np.broadcast_to(
+                succs[:, k][:, None], succs.shape)[improved]
         values[...] = relaxed
     return block
 
@@ -412,14 +464,20 @@ def witness_rank1_update(block: WitnessBlock, col_i: WitnessVector,
     predecessor of ``j`` on ``k -> j``) and ``succs`` takes
     ``col_i.toward[i]`` (the successor of ``i`` on ``i -> k``).  Degenerate
     candidates through the pivot's own row/column tie and are discarded.
+
+    Single-plane blocks only compose parents, so their column operand needs
+    no witness plane: ``col_i`` may then be a plain values vector.
     """
     algebra = require_witness(algebra, "witnessed FloydWarshallUpdate")
-    if not (is_witness_vector(col_i) and is_witness_vector(row_j)):
+    single_plane = block.succs is None
+    if not is_witness_vector(row_j) or not (single_plane
+                                            or is_witness_vector(col_i)):
         raise ValidationError(
             "witnessed rank-1 update needs witnessed pivot slices; "
             "extract_col emits them for witnessed blocks")
     bv = block.values
-    cv = col_i.values.reshape(-1)
+    cv = (np.asarray(col_i).reshape(-1) if not is_witness_vector(col_i)
+          else col_i.values.reshape(-1))
     rv = row_j.values.reshape(-1)
     if cv.shape[0] != bv.shape[0] or rv.shape[0] != bv.shape[1]:
         raise ValidationError(
@@ -429,7 +487,8 @@ def witness_rank1_update(block: WitnessBlock, col_i: WitnessVector,
     relaxed = algebra.add(bv, candidate)
     improved = relaxed != bv
     parents = np.where(improved, row_j.toward[None, :], block.parents)
-    succs = np.where(improved, col_i.toward[:, None], block.succs)
+    succs = (None if single_plane
+             else np.where(improved, col_i.toward[:, None], block.succs))
     return WitnessBlock(relaxed, parents, succs)
 
 

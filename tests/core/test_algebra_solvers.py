@@ -21,8 +21,9 @@ from repro.linalg.kernels import semiring_closure
 from repro.sequential.floyd_warshall import floyd_warshall_blocked, floyd_warshall_numpy
 from repro.sequential.repeated_squaring import repeated_squaring_apsp
 
-#: Algebras every distributed solver supports (longest-path is DAG-only and
-#: therefore sequential-only: symmetric inputs are always cyclic).
+#: Absorptive algebras every distributed solver supports on symmetric inputs
+#: (longest-path is also distributed now, but DAG-only — full layout — so it
+#: is exercised separately on acyclic graphs).
 DISTRIBUTED_ALGEBRAS = ("shortest-path", "widest-path", "most-reliable",
                         "reachability")
 SOLVERS = tuple(info.name for info in solver_catalog())
@@ -107,11 +108,21 @@ class TestSequentialEquivalence:
 
 
 class TestFailFast:
-    def test_distributed_solvers_reject_longest_path(self):
+    def test_distributed_solvers_run_longest_path_in_full_layout(self):
+        # The full-grid layout unlocks the DAG-only algebra on every solver:
+        # the request resolves to layout="full" (the algebra's only layout)
+        # and an explicit triangular request fails fast.
         for solver in SOLVERS:
-            assert not solver_supports_algebra(solver, "longest-path")
+            assert solver_supports_algebra(solver, "longest-path")
+            request = SolveRequest(solver=solver, algebra="longest-path")
+            assert request.layout == "full"
             with pytest.raises(ConfigurationError):
-                SolveRequest(solver=solver, algebra="longest-path")
+                SolveRequest(solver=solver, algebra="longest-path",
+                             layout="triangular")
+
+    def test_triangular_layout_rejected_for_directed_requests(self):
+        with pytest.raises(ConfigurationError):
+            SolveRequest(directed=True, layout="triangular")
 
     def test_unknown_algebra_rejected_at_request_time(self):
         with pytest.raises(ConfigurationError):
@@ -128,8 +139,10 @@ class TestFailFast:
 
     def test_registry_metadata_exposes_algebras(self):
         for info in solver_catalog():
-            assert set(info.algebras) == set(DISTRIBUTED_ALGEBRAS)
+            assert set(info.algebras) == set(DISTRIBUTED_ALGEBRAS) | {"longest-path"}
             assert "algebras" in info.as_dict()
+            assert "layouts" in info.as_dict()
+            assert set(info.layouts) == {"triangular", "full"}
 
 
 class TestRoundTrips:
@@ -167,11 +180,22 @@ class TestRoundTrips:
         assert code == 0
         assert "widest-path" in out and "OK" in out
 
-    def test_cli_unsupported_algebra_exits_cleanly(self, capsys):
-        # --algebra longest-path is advertised (it exists) but no distributed
-        # solver supports it: the CLI must fail with a message, not a traceback.
+    def test_cli_longest_path_solves_a_generated_dag(self, capsys):
+        # The generated longest-path input is a DAG, and the full layout
+        # makes the algebra run on the distributed solvers end-to-end.
         from repro.experiments.cli import main
-        code = main(["solve", "--n", "8", "--algebra", "longest-path"])
+        code = main(["solve", "--n", "16", "--algebra", "longest-path",
+                     "--block-size", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "longest-path" in out and "OK" in out
+
+    def test_cli_unsupported_layout_exits_cleanly(self, capsys):
+        # longest-path is full-layout-only: asking for triangular must fail
+        # with a message at request construction, not a traceback.
+        from repro.experiments.cli import main
+        code = main(["solve", "--n", "8", "--algebra", "longest-path",
+                     "--layout", "triangular"])
         captured = capsys.readouterr()
         assert code == 2
         assert "longest-path" in captured.err

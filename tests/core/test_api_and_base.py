@@ -61,10 +61,19 @@ class TestSolveApsp:
         result = solve_apsp(small_er_graph, block_size=16, validate=True)
         assert isinstance(result, APSPResult)
 
-    def test_asymmetric_input_rejected(self):
+    def test_asymmetric_input_rejected_under_triangular_layout(self):
+        # layout="auto" (the default) would solve this on the full grid;
+        # explicitly requesting the mirrored triangular storage must reject
+        # the asymmetric input rather than silently symmetrize it.
         adj = np.array([[0.0, 1.0], [2.0, 0.0]])
         with pytest.raises(ValidationError):
-            solve_apsp(adj)
+            solve_apsp(adj, layout="triangular")
+
+    def test_asymmetric_input_solves_under_auto_layout(self):
+        adj = np.array([[0.0, 1.0], [2.0, 0.0]])
+        result = solve_apsp(adj)
+        assert result.layout == "full"
+        assert np.array_equal(result.distances, adj)
 
     def test_negative_weight_rejected(self):
         adj = np.array([[0.0, -1.0], [-1.0, 0.0]])

@@ -196,7 +196,7 @@ class TestEngineSession:
             assert engine.run_pending() == []
 
     def test_failed_job_recorded_not_raised_in_batch(self, small_er_graph):
-        bad = np.array([[0.0, 1.0], [2.0, 0.0]])  # asymmetric
+        bad = np.array([[0.0, -1.0], [-1.0, 0.0]])  # negative weight
         with APSPEngine() as engine:
             jobs = engine.solve_many([small_er_graph, bad],
                                      SolveRequest(block_size=16))

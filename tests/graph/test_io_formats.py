@@ -16,11 +16,19 @@ def write(tmp_path, name, text):
 
 
 class TestLoadExternalEdges:
-    def test_basic_weighted_directed(self, tmp_path):
+    def test_default_is_undirected(self, tmp_path):
+        # The canonical repo-wide default: undirected, like save_edge_list,
+        # adjacency_from_edges and load_mtx.
         path = write(tmp_path, "g.txt", "0 1 2.5\n1 2 1.0\n")
         csr = load_external_edges(path)
         assert is_sparse(csr)
         assert csr.shape == (3, 3)
+        assert csr[0, 1] == 2.5 and csr[1, 2] == 1.0
+        assert csr[1, 0] == 2.5                     # undirected: mirrored
+
+    def test_directed_keyword_keeps_orientation(self, tmp_path):
+        path = write(tmp_path, "g.txt", "0 1 2.5\n1 2 1.0\n")
+        csr = load_external_edges(path, directed=True)
         assert csr[0, 1] == 2.5 and csr[1, 2] == 1.0
         assert csr[1, 0] == 0.0                     # directed: no mirror
 
@@ -56,13 +64,13 @@ class TestLoadExternalEdges:
 
     def test_duplicate_edges_keep_minimum_weight(self, tmp_path):
         path = write(tmp_path, "g.txt", "0 1 5.0\n0 1 2.0\n0 1 9.0\n")
-        csr = load_external_edges(path)
+        csr = load_external_edges(path, directed=True)
         assert csr.nnz == 1
         assert csr[0, 1] == 2.0                     # min, not scipy's sum
 
     def test_self_loops_dropped(self, tmp_path):
         path = write(tmp_path, "g.txt", "0 0 1.0\n0 1 2.0\n")
-        csr = load_external_edges(path)
+        csr = load_external_edges(path, directed=True)
         assert csr.nnz == 1 and csr[0, 0] == 0.0
 
     def test_malformed_line_reports_location(self, tmp_path):
@@ -143,40 +151,105 @@ class TestLoadGraphDispatch:
         npy = str(tmp_path / "g.npy")
         save_matrix(dense, npy)
         loaded = load_graph(npy)
-        assert not is_sparse(loaded)
-        assert loaded[0, 1] == 2.0
+        assert not is_sparse(loaded.adjacency)
+        assert loaded.adjacency[0, 1] == 2.0
 
         txt = write(tmp_path, "g.txt", "0 1 2.0\n# n=3\n")
-        assert is_sparse(load_graph(txt))
+        assert is_sparse(load_graph(txt).adjacency)
 
         mtx = write(tmp_path, "g.mtx",
                     "%%MatrixMarket matrix coordinate real general\n"
                     "3 3 1\n1 2 2.0\n")
-        assert is_sparse(load_graph(mtx))
+        assert is_sparse(load_graph(mtx).adjacency)
 
     def test_npz_round_trip(self, tmp_path):
         txt = write(tmp_path, "g.txt", "0 1 2.0\n1 2 3.0\n")
         npz = str(tmp_path / "g.npz")
-        save_sparse_npz(load_graph(txt), npz)
-        csr = load_graph(npz)
+        save_sparse_npz(load_graph(txt).adjacency, npz)
+        csr = load_graph(npz).adjacency
         assert is_sparse(csr) and csr[1, 2] == 3.0
+
+
+class TestLoadGraphDirectedness:
+    """load_graph reports directedness in one pass, per source format."""
+
+    def test_edge_list_token_reports_directed(self, tmp_path):
+        txt = write(tmp_path, "g.txt", "# directed=1\n0 1 2.0\n")
+        graph = load_graph(txt)
+        assert graph.directed is True
+        assert graph.adjacency[1, 0] == 0.0
+
+    def test_edge_list_defaults_to_undirected(self, tmp_path):
+        txt = write(tmp_path, "g.txt", "0 1 2.0\n")
+        graph = load_graph(txt)
+        assert graph.directed is False
+        assert graph.adjacency[1, 0] == 2.0
+
+    def test_mtx_symmetric_is_undirected(self, tmp_path):
+        mtx = write(tmp_path, "g.mtx",
+                    "%%MatrixMarket matrix coordinate real symmetric\n"
+                    "3 3 1\n1 2 2.0\n")
+        assert load_graph(mtx).directed is False
+
+    def test_mtx_general_asymmetric_is_directed(self, tmp_path):
+        mtx = write(tmp_path, "g.mtx",
+                    "%%MatrixMarket matrix coordinate real general\n"
+                    "3 3 1\n1 2 2.0\n")
+        assert load_graph(mtx).directed is True
+
+    def test_mtx_general_with_symmetric_content_sniffs_undirected(self, tmp_path):
+        mtx = write(tmp_path, "g.mtx",
+                    "%%MatrixMarket matrix coordinate real general\n"
+                    "3 3 2\n1 2 2.0\n2 1 2.0\n")
+        assert load_graph(mtx).directed is False
+
+    def test_mtx_directed_comment_token_wins(self, tmp_path):
+        mtx = write(tmp_path, "g.mtx",
+                    "%%MatrixMarket matrix coordinate real general\n"
+                    "% directed=1\n"
+                    "3 3 2\n1 2 2.0\n2 1 2.0\n")
+        assert load_graph(mtx).directed is True
+
+    def test_npz_sniffs_symmetry(self, tmp_path):
+        directed_txt = write(tmp_path, "d.txt", "# directed=1\n0 1 2.0\n# n=3\n")
+        npz = str(tmp_path / "d.npz")
+        convert_graph(directed_txt, npz)
+        assert load_graph(npz).directed is True
+
+        undirected_txt = write(tmp_path, "u.txt", "0 1 2.0\n# n=3\n")
+        npz2 = str(tmp_path / "u.npz")
+        convert_graph(undirected_txt, npz2)
+        assert load_graph(npz2).directed is False
+
+    def test_npy_sniffs_symmetry(self, tmp_path):
+        dense = np.full((3, 3), np.inf)
+        np.fill_diagonal(dense, 0.0)
+        dense[0, 1] = 2.0
+        npy = str(tmp_path / "g.npy")
+        save_matrix(dense, npy)
+        assert load_graph(npy).directed is True
+
+        dense[1, 0] = 2.0
+        save_matrix(dense, npy)
+        assert load_graph(npy).directed is False
 
 
 class TestConvertGraph:
     def test_edge_list_to_npz(self, tmp_path):
-        txt = write(tmp_path, "g.txt", "0 1 2.5\n1 2 1.0\n2 3 4.0\n")
+        txt = write(tmp_path, "g.txt",
+                    "# directed=1\n0 1 2.5\n1 2 1.0\n2 3 4.0\n")
         npz = str(tmp_path / "g.npz")
         n, nnz = convert_graph(txt, npz)
         assert (n, nnz) == (4, 3)
-        csr = load_graph(npz)
+        csr = load_graph(npz).adjacency
         assert csr[0, 1] == 2.5 and csr.nnz == 3
 
     def test_csr_to_dense_npy(self, tmp_path):
-        txt = write(tmp_path, "g.txt", "0 1 2.5\n# n=3\n")
+        txt = write(tmp_path, "g.txt", "0 1 2.5\n# n=3 directed=1\n")
         npy = str(tmp_path / "g.npy")
         n, nnz = convert_graph(txt, npy)
         assert (n, nnz) == (3, 1)
-        dense = load_graph(npy)
+        dense = load_graph(npy).adjacency
         assert dense[0, 1] == 2.5
         assert np.isinf(dense[1, 0])                # canonical expansion
         assert dense[0, 0] == 0.0
@@ -190,16 +263,17 @@ class TestConvertGraph:
         npz = str(tmp_path / "g.npz")
         n, nnz = convert_graph(npy, npz)
         assert (n, nnz) == (3, 1)
-        assert load_graph(npz)[0, 2] == 1.5
+        assert load_graph(npz).adjacency[0, 2] == 1.5
 
     def test_round_trip_preserves_the_graph(self, tmp_path):
-        txt = write(tmp_path, "g.txt", "0 1 2.0\n1 2 3.0\n2 0 4.0\n")
+        txt = write(tmp_path, "g.txt",
+                    "# directed=1\n0 1 2.0\n1 2 3.0\n2 0 4.0\n")
         npz = str(tmp_path / "g.npz")
         npy = str(tmp_path / "g.npy")
         convert_graph(txt, npz)
         convert_graph(npz, npy)
-        dense = load_graph(npy)
-        expected = sparse_to_dense(load_graph(npz))
+        dense = load_graph(npy).adjacency
+        expected = sparse_to_dense(load_graph(npz).adjacency)
         assert np.array_equal(dense, expected)
 
     def test_unknown_target_extension_rejected(self, tmp_path):
