@@ -24,7 +24,7 @@ from repro.bench.results import (SCHEMA_VERSION, build_report, default_report_pa
 from repro.bench.runner import (ScenarioResult, graph_for_algebra,
                                 reference_closure, run_suite, scenario_graph,
                                 scenario_reference, solve_scenario,
-                                verify_tolerances)
+                                update_batch_for_algebra, verify_tolerances)
 from repro.bench.scenarios import (BENCH_N_ENV, BenchScenario, BenchSuite,
                                    available_suites, bench_scale_n, get_suite)
 
@@ -52,6 +52,7 @@ __all__ = [
     "scenario_reference",
     "solve_scenario",
     "summarize",
+    "update_batch_for_algebra",
     "validate_report",
     "verify_tolerances",
     "write_report",

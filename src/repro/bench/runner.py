@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.core.engine import APSPEngine
+from repro.core.request import EdgeUpdate
 from repro.graph.generators import (directed_erdos_renyi_adjacency,
                                     erdos_renyi_adjacency)
 from repro.linalg.algebra import get_algebra
@@ -120,6 +121,42 @@ def verify_tolerances(dtype: str | None) -> dict:
     return {"rtol": 1e-4, "atol": 1e-6} if dtype == "float32" else {}
 
 
+def update_batch_for_algebra(n: int, seed: int, algebra="shortest-path",
+                             count: int = 1) -> list[EdgeUpdate]:
+    """A deterministic batch of *improving* edge updates for an algebra.
+
+    Weights are drawn to dominate the generators' edge-weight ranges under
+    the algebra's ⊕ — shorter than any existing shortest-path edge, wider
+    than any widest-path edge, more reliable than any probability edge —
+    so against a :func:`graph_for_algebra` graph every update classifies as
+    an improvement and takes the rank-1 sweep (the path the dynamic suite
+    measures).  Longest-path draws ordered ``u < v`` pairs so insertions
+    keep the DAG acyclic.  Seeded, so benchmark replays and CLI batches are
+    identical across runs and machines.
+    """
+    name = get_algebra(algebra).name
+    rng = np.random.default_rng(seed)
+    edges: list[EdgeUpdate] = []
+    while len(edges) < count:
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u == v:
+            continue
+        if name == "longest-path" and u > v:
+            u, v = v, u
+        if name == "reachability":
+            weight: float | bool = True
+        elif name == "most-reliable":
+            weight = float(rng.uniform(0.96, 0.999))
+        elif name == "widest-path":
+            weight = float(rng.uniform(50.0, 100.0))
+        elif name == "longest-path":
+            weight = float(rng.uniform(20.0, 30.0))
+        else:
+            weight = float(rng.uniform(0.01, 0.5))
+        edges.append(EdgeUpdate(u, v, weight))
+    return edges
+
+
 def scenario_graph(scenario: BenchScenario) -> np.ndarray:
     """Generate the input graph for a scenario, respecting its algebra's domain."""
     return graph_for_algebra(scenario.n, scenario.seed, scenario.algebra,
@@ -161,9 +198,37 @@ def solve_scenario(scenario: BenchScenario, engine: APSPEngine,
     serving layer folded in: a ``"serve"`` entry in ``phase_seconds`` (the
     replay wall time) and flat ``serve_*`` keys in ``metrics`` (hit rate,
     evictions, latency percentiles, per-stage seconds).
+
+    A ``workload="update"`` scenario solves with ``keep_closure=True`` and
+    applies its deterministic improving batch through ``engine.update``
+    under the scenario's mode; the update cost lands in
+    ``phase_seconds["update"]`` and flat ``update_*`` metrics (edge counts,
+    changed rows, the cost model's break-even, and whether the incremental
+    path actually ran).  The returned distances are the *updated* closure —
+    verification must compare against the mutated graph's reference.
     """
     if adjacency is None:
         adjacency = scenario_graph(scenario)
+    if scenario.workload == "update":
+        result = engine.solve(adjacency, scenario.request(), keep_closure=True)
+        batch = update_batch_for_algebra(adjacency.shape[0],
+                                         scenario.seed + 7919,
+                                         scenario.algebra,
+                                         scenario.update_batch)
+        force = None if scenario.update_mode == "auto" else scenario.update_mode
+        report = engine.update(batch, force=force)
+        result.phase_seconds["update"] = report.seconds
+        result.metrics.update({
+            "update_edges": report.edges,
+            "update_improvements": report.improvements,
+            "update_worsenings": report.worsenings,
+            "update_noops": report.noops,
+            "update_changed_rows": report.changed_rows,
+            "update_seconds": report.seconds,
+            "update_break_even_edges": report.break_even_edges,
+            "update_incremental": 1 if report.mode == "incremental" else 0,
+        })
+        return result
     if scenario.workload != "serve":
         return engine.solve(adjacency, scenario.request())
     service = engine.serve(adjacency, scenario.request(),
@@ -233,11 +298,21 @@ def run_suite(suite: BenchSuite, *, repeats: int | None = None,
 
             verified: bool | None = None
             if verify:
-                ref_key = (*graph_key, scenario.algebra, scenario.dtype)
-                reference = references.get(ref_key)
-                if reference is None:
-                    reference = scenario_reference(scenario, adjacency)
-                    references[ref_key] = reference
+                if scenario.workload == "update":
+                    # The update mutated the cached closure; the ground
+                    # truth is the re-closure of the *mutated* adjacency
+                    # (engine.closure holds it in the algebra's domain,
+                    # which the reference solvers accept).  Uncached — the
+                    # batch differs per scenario.
+                    reference = reference_closure(engine.closure.adjacency,
+                                                  scenario.algebra,
+                                                  dtype=scenario.dtype)
+                else:
+                    ref_key = (*graph_key, scenario.algebra, scenario.dtype)
+                    reference = references.get(ref_key)
+                    if reference is None:
+                        reference = scenario_reference(scenario, adjacency)
+                        references[ref_key] = reference
                 verified = get_algebra(scenario.algebra).allclose(
                     solve_result.distances, reference,
                     **verify_tolerances(scenario.dtype))

@@ -56,7 +56,13 @@ class BenchScenario:
     closure solve; ``"serve"`` solves the closure once and then replays a
     deterministic random query stream against the serving layer —
     ``queries`` route lookups drawn from ``query_sources`` distinct sources
-    (0 = all of them) under a parent-row cache capped at ``cache_rows``.
+    (0 = all of them) under a parent-row cache capped at ``cache_rows``;
+    ``"update"`` solves the closure once with ``keep_closure=True`` and then
+    applies a deterministic batch of ``update_batch`` improving edge updates
+    through ``engine.update`` under ``update_mode`` (``"auto"`` lets the
+    cost model pick, ``"incremental"``/``"resolve"`` force the path — the
+    forced pair is the incremental-vs-resolve twin whose ``update_seconds``
+    ratio is the dynamic-maintenance win).
     """
 
     name: str
@@ -81,6 +87,8 @@ class BenchScenario:
     queries: int = 0
     query_sources: int = 0
     cache_rows: int | None = None
+    update_batch: int = 0
+    update_mode: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -91,9 +99,9 @@ class BenchScenario:
             raise ConfigurationError("scenario repeats must be >= 1")
         if self.slowdown_threshold <= 1.0:
             raise ConfigurationError("slowdown_threshold must be > 1.0")
-        if self.workload not in ("solve", "serve"):
+        if self.workload not in ("solve", "serve", "update"):
             raise ConfigurationError(
-                f"scenario workload must be 'solve' or 'serve', "
+                f"scenario workload must be 'solve', 'serve' or 'update', "
                 f"got {self.workload!r}")
         if self.workload == "serve":
             if self.queries < 1:
@@ -103,6 +111,14 @@ class BenchScenario:
                 raise ConfigurationError(
                     "serve scenarios solve parent rows lazily; paths=True "
                     "would materialize the full predecessor matrix")
+        if self.workload == "update":
+            if self.update_batch < 1:
+                raise ConfigurationError(
+                    "an update scenario needs update_batch >= 1")
+            if self.update_mode not in ("auto", "incremental", "resolve"):
+                raise ConfigurationError(
+                    f"update_mode must be 'auto', 'incremental' or "
+                    f"'resolve', got {self.update_mode!r}")
         if self.query_sources < 0:
             raise ConfigurationError("query_sources must be >= 0")
         if self.cache_rows is not None and self.cache_rows < 1:
@@ -151,6 +167,8 @@ class BenchScenario:
             "queries": self.queries,
             "query_sources": self.query_sources,
             "cache_rows": self.cache_rows,
+            "update_batch": self.update_batch,
+            "update_mode": self.update_mode,
         }
 
     def with_n(self, n: int) -> "BenchScenario":
@@ -171,6 +189,10 @@ class BenchScenario:
                 changes["query_sources"] = max(1, round(self.query_sources * scale))
             if self.cache_rows is not None:
                 changes["cache_rows"] = max(1, round(self.cache_rows * scale))
+        if self.workload == "update" and n != self.n and self.update_batch > 1:
+            # Batches sized relative to n (break-even probes) scale with the
+            # graph; single-edge scenarios stay single-edge at every scale.
+            changes["update_batch"] = max(2, round(self.update_batch * n / self.n))
         return replace(self, **changes)
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
@@ -455,6 +477,63 @@ def _directed_suite() -> BenchSuite:
     )
 
 
+def _dynamic_suite() -> BenchSuite:
+    """Dynamic closure maintenance: incremental updates vs full re-closure.
+
+    Every scenario solves the closure once (``keep_closure=True``) and then
+    applies a deterministic batch of improving edge updates through
+    ``engine.update``; the update cost lands in ``phase_seconds["update"]``
+    and the ``update_*`` metrics.  The grid probes the three claims of the
+    dynamic-update layer:
+
+    * ``update-single-incremental`` / ``update-single-resolve`` — the
+      incremental-vs-resolve twin: the identical single-edge update forced
+      down both paths.  The ratio of their ``update_seconds`` is the O(n²)
+      rank-1 sweep vs O(n³) re-closure win (≥ 5x at n=1024 for the dense
+      float64 shortest-path closure);
+    * ``update-batch8-incremental`` — per-edge amortization of a small batch
+      (sequential sweeps share no work, so this should scale ~linearly);
+    * ``update-batch-auto-large`` — a batch of ``n`` edges, mode ``auto``:
+      past the cost model's break-even (~0.46 n) the engine must *choose*
+      the re-solve, so this scenario measurably exercises the fallback;
+    * algebra/storage variants — the rank-1 sweep through the widest-path
+      and most-reliable kernels, and the packed-bitset word-parallel sweep
+      with its dense-mirror writeback.
+
+    Updates mutate the cached closure in place, so each repeat re-solves
+    first; ``repeats=1`` keeps the suite cheap.
+    """
+    n = bench_scale_n(48)
+    shape = dict(solver="blocked-cb", n=n,
+                 block_size=max(16, min(128, n // 4)),
+                 num_executors=2, cores_per_executor=2,
+                 workload="update", repeats=1)
+    return BenchSuite(
+        name="dynamic",
+        description="dynamic edge updates: rank-1 incremental maintenance "
+                    "vs full re-closure (twins, batch sweep, auto fallback)",
+        scenarios=(
+            BenchScenario(name="update-single-incremental",
+                          update_batch=1, update_mode="incremental", **shape),
+            BenchScenario(name="update-single-resolve",
+                          update_batch=1, update_mode="resolve", **shape),
+            BenchScenario(name="update-batch8-incremental",
+                          update_batch=8, update_mode="incremental", **shape),
+            BenchScenario(name="update-batch-auto-large",
+                          update_batch=n, update_mode="auto", **shape),
+            BenchScenario(name="update-widest-single", algebra="widest-path",
+                          update_batch=1, update_mode="incremental", **shape),
+            BenchScenario(name="update-reliable-single",
+                          algebra="most-reliable",
+                          update_batch=1, update_mode="incremental", **shape),
+            BenchScenario(name="update-reachability-packed",
+                          algebra="reachability", dtype="bool",
+                          storage="packed",
+                          update_batch=4, update_mode="incremental", **shape),
+        ),
+    )
+
+
 def _scaling_suite() -> BenchSuite:
     """Table 3 workload: weak scaling of the blocked solvers (n/p fixed)."""
     points = ((4, 64), (8, 128), (16, 256))
@@ -481,6 +560,7 @@ _SUITE_BUILDERS: dict[str, Callable[[], BenchSuite]] = {
     "algebras": _algebras_suite,
     "reachability": _reachability_suite,
     "directed": _directed_suite,
+    "dynamic": _dynamic_suite,
     "scaling": _scaling_suite,
     "serve": _serve_suite,
 }

@@ -69,6 +69,62 @@ def element_bytes(algebra=None, dtype: str | None = None,
     return float(np.dtype(resolved.resolve_dtype(dtype)).itemsize)
 
 
+def rank1_update_seconds(n: int, *, algebra=None, dtype: str | None = None,
+                         storage: str | None = None, orientations: int = 1,
+                         witnessed: bool = False,
+                         calibration: KernelCalibration | None = None) -> float:
+    """Estimated seconds to relax a cached ``n x n`` closure through one edge.
+
+    One edge insertion is a rank-1 sweep — one ⊗ and one ⊕ per closure cell,
+    the min-plus rate's unit of work — per *orientation* (an undirected edge
+    sweeps both directions).  Witness tracking roughly doubles the sweep (the
+    parents/succs planes are gathered and rewritten alongside the values);
+    narrower element storage scales the bandwidth-bound sweep by its byte
+    ratio against the float64 the calibration rates were anchored on.
+    """
+    cal = calibration if calibration is not None else KernelCalibration.paper()
+    seconds = float(n) * n * max(1, int(orientations)) / cal.minplus_rate
+    if witnessed:
+        seconds *= 2.0
+    return seconds * element_bytes(algebra, dtype, storage) / 8.0
+
+
+def full_resolve_seconds(n: int, *, algebra=None, dtype: str | None = None,
+                         storage: str | None = None,
+                         calibration: KernelCalibration | None = None) -> float:
+    """Estimated seconds to rebuild the closure from scratch (``n^3`` sweep).
+
+    The alternative a batched update is weighed against: the sequential
+    Floyd-Warshall at the calibrated rate, scaled by the same storage byte
+    ratio as :func:`rank1_update_seconds` so the comparison stays
+    apples-to-apples under packed or narrow-dtype storage.
+    """
+    cal = calibration if calibration is not None else KernelCalibration.paper()
+    seconds = float(n) ** 3 / cal.floyd_warshall_rate
+    return seconds * element_bytes(algebra, dtype, storage) / 8.0
+
+
+def update_break_even(n: int, *, algebra=None, dtype: str | None = None,
+                      storage: str | None = None, orientations: int = 1,
+                      witnessed: bool = False,
+                      calibration: KernelCalibration | None = None) -> int:
+    """Batch size past which a full re-closure beats per-edge rank-1 sweeps.
+
+    ``full_resolve_seconds / rank1_update_seconds`` — roughly ``0.46 n`` for
+    an undirected dense float64 shortest-path closure under the paper rates,
+    i.e. dynamic maintenance wins until the batch rewrites a sizable
+    fraction of the graph's rows.
+    """
+    per_edge = rank1_update_seconds(n, algebra=algebra, dtype=dtype,
+                                    storage=storage, orientations=orientations,
+                                    witnessed=witnessed, calibration=calibration)
+    resolve = full_resolve_seconds(n, algebra=algebra, dtype=dtype,
+                                   storage=storage, calibration=calibration)
+    if per_edge <= 0.0:
+        return 1
+    return max(1, int(resolve / per_edge))
+
+
 @dataclass
 class IterationEstimate:
     """Breakdown of one outer iteration of a solver."""
@@ -391,6 +447,19 @@ class CostModel:
                                 partitions_per_core=partitions_per_core,
                                 algebra=algebra, dtype=dtype, storage=storage)
         return best
+
+    # ------------------------------------------------------------------ dynamic updates
+    def rank1_update_seconds(self, n: int, **kwargs) -> float:
+        """Per-edge incremental-update estimate under this model's calibration."""
+        return rank1_update_seconds(n, calibration=self.calibration, **kwargs)
+
+    def full_resolve_seconds(self, n: int, **kwargs) -> float:
+        """Full re-closure estimate under this model's calibration."""
+        return full_resolve_seconds(n, calibration=self.calibration, **kwargs)
+
+    def update_break_even(self, n: int, **kwargs) -> int:
+        """Incremental-vs-resolve break-even batch size under this calibration."""
+        return update_break_even(n, calibration=self.calibration, **kwargs)
 
     # ------------------------------------------------------------------ baselines
     def sequential_seconds(self, n: int) -> float:

@@ -120,8 +120,11 @@ def extract_col(pivot_block: int, k_local: int) -> Callable[[BlockRecord], list]
     is column ``k_local`` of the block; for a stored block ``(K, J)`` (which
     represents ``A_JK`` by transposition) the piece is row ``k_local``.
     Slices preserve the block dtype (float32 stays float32); packed-bitset
-    blocks emit dense boolean slices (the broadcast column is a length-``n``
-    vector either way — packing it would save nothing).  Witnessed blocks
+    blocks emit dense boolean slices — the pieces are per-block and tiny, so
+    packing happens once at assembly instead, where
+    :func:`assemble_column` turns a boolean column into a
+    :class:`~repro.linalg.bitset.PackedVector` so the per-pivot broadcast
+    ships 1/8th the bytes.  Witnessed blocks
     emit :class:`~repro.linalg.witness.WitnessVector` pieces whose single
     ``toward`` plane is each vertex's neighbour on its optimal path to the
     pivot vertex: the *successor* column for a column slice, the *parent* row
@@ -202,7 +205,11 @@ def assemble_column(pieces: list[tuple[int, np.ndarray]], n: int, block_size: in
     Cells not covered by any piece hold the algebra's ``zero`` ("no path").
     Witnessed pieces assemble into a full
     :class:`~repro.linalg.witness.WitnessVector` (uncovered ``toward`` cells
-    hold :data:`~repro.linalg.witness.NO_VERTEX`).
+    hold :data:`~repro.linalg.witness.NO_VERTEX`).  Boolean (reachability)
+    columns assemble into a :class:`~repro.linalg.bitset.PackedVector` — the
+    fw-2d solver broadcasts the assembled vector every pivot, and packing
+    shrinks that wire payload 8×; the rank-1 update callables are oblivious
+    because packed-vector slices unpack to dense boolean windows.
     """
     algebra = get_algebra(algebra)
     if pieces and witness.is_witness_vector(pieces[0][1]):
@@ -222,6 +229,8 @@ def assemble_column(pieces: list[tuple[int, np.ndarray]], n: int, block_size: in
     for block_row, piece in pieces:
         start = block_row * block_size
         column[start:start + piece.shape[0]] = piece
+    if dtype.kind == "b":
+        return bitset.PackedVector.from_dense(column)
     return column
 
 

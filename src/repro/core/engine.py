@@ -32,10 +32,11 @@ import numpy as np
 
 from repro.common.config import EngineConfig, default_config
 from repro.common.errors import ConfigurationError, SolverError
+from repro.core import dynamic
 from repro.core.base import APSPResult, SolvePlan, SparkAPSPSolver
+from repro.core.dynamic import ClosureState
 from repro.core.registry import get_solver_class
-from repro.core.request import SolveRequest
-from repro.graph.adjacency import validate_adjacency
+from repro.core.request import SolveRequest, UpdateReport
 from repro.serve.service import RouteAnswer, RouteService
 from repro.spark.context import SparkContext
 
@@ -65,6 +66,8 @@ class APSPJob:
     error: Exception | None = None
     _result: APSPResult | None = field(default=None, repr=False)
     _engine: "APSPEngine | None" = field(default=None, repr=False)
+    capture_plan: bool = field(default=False, repr=False)
+    _plan: SolvePlan | None = field(default=None, repr=False)
 
     @property
     def done(self) -> bool:
@@ -121,6 +124,12 @@ class APSPEngine:
         self._total_solve_seconds = 0.0
         self._started_at: float | None = None
         self._service: RouteService | None = None
+        self._closure: ClosureState | None = None
+        self._update_batches = 0
+        self._update_edges = 0
+        self._updates_incremental = 0
+        self._updates_resolved = 0
+        self._update_seconds = 0.0
 
     # ------------------------------------------------------------------ lifecycle
     def __enter__(self) -> "APSPEngine":
@@ -191,19 +200,34 @@ class APSPEngine:
         return job
 
     def solve(self, adjacency: np.ndarray, request: SolveRequest | None = None,
-              **kwargs: Any) -> APSPResult:
+              *, keep_closure: bool = False, **kwargs: Any) -> APSPResult:
         """Solve one instance synchronously on the session context.
 
         The transient job is dropped from :attr:`jobs` once the result is
         returned (the caller holds the result; keeping a second reference
         per solve would grow session memory without bound), while the
         session counters in :meth:`stats` still record it.
+
+        ``keep_closure=True`` additionally caches the solved closure — the
+        distance matrix, the prepared adjacency, and the predecessor matrix
+        for ``paths=True`` requests — as the session's
+        :class:`~repro.core.dynamic.ClosureState`, enabling subsequent
+        :meth:`update` calls to maintain it incrementally instead of
+        re-solving from scratch.
         """
         job = self.submit(adjacency, request, **kwargs)
+        job.capture_plan = keep_closure
         try:
-            return job.result()
+            result = job.result()
         finally:
             self.jobs.remove(job)
+        if keep_closure:
+            assert job._plan is not None
+            self._closure = ClosureState(
+                distances=result.distances, adjacency=job._plan.adjacency,
+                request=job.request, layout=result.layout,
+                parents=result.parents)
+        return result
 
     def solve_many(self, items: Iterable[np.ndarray | tuple[np.ndarray, SolveRequest]],
                    request: SolveRequest | None = None, **kwargs: Any) -> list[APSPJob]:
@@ -281,13 +305,16 @@ class APSPEngine:
             raise ConfigurationError(
                 "serve() computes parent rows lazily per queried source; "
                 "request paths=False (the default) instead of paths=True")
-        result = self.solve(adjacency, req)
+        result = self.solve(adjacency, req, keep_closure=True)
         # Row solves read edges from the same domain the solver saw: prepared
         # dense (missing = algebra zero) or canonical CSR — never densified.
-        edges = validate_adjacency(adjacency, algebra=req.algebra,
-                                   dtype=req.dtype, allow_sparse=True)
-        service = RouteService(result.distances, edges, req.algebra,
-                               budget_bytes=budget_bytes, max_rows=max_rows,
+        # Binding the service to the cached ClosureState's arrays (same
+        # ndarray identity) is what keeps it coherent across update():
+        # in-place closure/adjacency mutations are visible without copies.
+        assert self._closure is not None
+        service = RouteService(result.distances, self._closure.raw_adjacency,
+                               req.algebra, budget_bytes=budget_bytes,
+                               max_rows=max_rows,
                                result=result if keep_result else None)
         self._service = service
         return service
@@ -307,6 +334,131 @@ class APSPEngine:
                 "to solve a closure and start answering route queries")
         return self._service
 
+    # ------------------------------------------------------------------ updates
+    @property
+    def closure(self) -> ClosureState | None:
+        """The cached closure from the last ``keep_closure`` solve / serve()."""
+        return self._closure
+
+    def update(self, edges, *, force: str | None = None,
+               calibration=None) -> UpdateReport:
+        """Apply a batch of edge updates to the session's cached closure.
+
+        ``edges`` is an iterable of :class:`~repro.core.request.EdgeUpdate`
+        objects or ``(u, v, weight)`` tuples (``weight=None`` or a bare
+        ``(u, v)`` pair deletes the edge).  Requires a cached closure from
+        ``solve(..., keep_closure=True)`` or :meth:`serve`.
+
+        Mode selection is cost-model driven: a batch of k improvements costs
+        ``O(k n²)`` rank-1 sweeps against the cached closure versus ``O(n³)``
+        for a re-solve, so batches below the estimated break-even size
+        (:func:`~repro.cluster.costmodel.update_break_even`, roughly
+        ``0.46 n`` edges for an undirected dense float64 closure) run
+        incrementally and larger ones fall back to a full re-closure.
+        Worsenings (weight increases / deletions) use the restricted path —
+        only rows whose optimal routes crossed the old edge are recomputed —
+        and escalate to a re-solve when that set grows past a quarter of all
+        rows.  ``force="incremental"`` / ``force="resolve"`` overrides the
+        model (a non-absorptive algebra such as longest-path still refuses
+        ``"incremental"``: rank-1 sweeps are unsound there).
+
+        An open serving session bound to this closure is kept coherent:
+        exactly the changed rows are invalidated from its parent-row cache.
+        Returns an :class:`~repro.core.request.UpdateReport` with the
+        decision, per-kind edge counts, and the cost-model estimates.
+        """
+        state = self._closure
+        if state is None:
+            raise SolverError(
+                "no cached closure to update; run solve(..., keep_closure="
+                "True) or serve(...) first")
+        if force not in (None, "incremental", "resolve"):
+            raise ConfigurationError(
+                f"force must be None, 'incremental' or 'resolve', got {force!r}")
+        batch = dynamic.coerce_edges(edges)
+        estimates = dynamic.update_estimates(state, len(batch),
+                                             calibration=calibration)
+        if not batch:
+            return UpdateReport(
+                mode="noop", reason="empty batch", edges=0,
+                improvements=0, worsenings=0, noops=0, changed_rows=0,
+                estimated_incremental_seconds=0.0,
+                estimated_resolve_seconds=estimates["resolve_seconds"],
+                break_even_edges=estimates["break_even_edges"])
+        if force == "incremental" and not state.algebra.absorptive:
+            raise ConfigurationError(
+                f"algebra {state.algebra.name!r} is not absorptive: a rank-1 "
+                f"sweep may route a path through a vertex twice, which only "
+                f"absorptive semirings ignore; use force='resolve' or "
+                f"automatic mode")
+        if force is not None:
+            mode, reason = force, f"forced {force}"
+        elif not state.algebra.absorptive:
+            mode = "resolve"
+            reason = (f"algebra {state.algebra.name} is not absorptive; "
+                      f"rank-1 sweeps are unsound")
+        elif len(batch) >= estimates["break_even_edges"]:
+            mode = "resolve"
+            reason = (f"batch of {len(batch)} edges >= break-even "
+                      f"{estimates['break_even_edges']}")
+        else:
+            mode = "incremental"
+            reason = (f"batch of {len(batch)} edges < break-even "
+                      f"{estimates['break_even_edges']}")
+        start = time.perf_counter()
+        changed_rows: np.ndarray | None = None  # None = every row changed
+        if mode == "incremental":
+            outcome = dynamic.apply_incremental(
+                state, batch, allow_fallback=force != "incremental")
+            if outcome.fallback_reason is not None:
+                mode, reason = "resolve", outcome.fallback_reason
+                self._resolve_closure(state)
+            else:
+                changed_rows = np.flatnonzero(outcome.changed)
+        else:
+            outcome = dynamic.fold_edges(
+                state, batch,
+                dynamic.UpdateOutcome(changed=np.ones(state.n, dtype=bool)))
+            self._resolve_closure(state)
+        elapsed = time.perf_counter() - start
+        state.updates_applied += 1
+        state.edges_applied += len(batch)
+        self._update_batches += 1
+        self._update_edges += len(batch)
+        self._update_seconds += elapsed
+        if mode == "incremental":
+            self._updates_incremental += 1
+        else:
+            self._updates_resolved += 1
+        if (self._service is not None
+                and self._service.distances is state.distances):
+            self._service.notify_update(changed_rows,
+                                        adjacency=state.adjacency)
+        return UpdateReport(
+            mode=mode, reason=reason, edges=len(batch),
+            improvements=outcome.improvements,
+            worsenings=outcome.worsenings, noops=outcome.noops,
+            changed_rows=(state.n if changed_rows is None
+                          else int(changed_rows.size)),
+            affected_rows=outcome.affected_rows,
+            repaired_parent_rows=outcome.repaired_parent_rows,
+            seconds=elapsed,
+            estimated_incremental_seconds=estimates["incremental_seconds"],
+            estimated_resolve_seconds=estimates["resolve_seconds"],
+            break_even_edges=estimates["break_even_edges"])
+
+    def _resolve_closure(self, state: ClosureState) -> APSPResult:
+        """Full re-closure of the state's (already mutated) adjacency.
+
+        The prepared domain adjacency round-trips through the normal solve
+        path — zero-valued cells are absorbed by ⊕ and the diagonal is
+        re-pinned to ``one`` — and the fresh closure is copied *into* the
+        cached arrays so serving-layer bindings survive.
+        """
+        result = self.solve(state.adjacency, state.request)
+        state.replace_closure(result)
+        return result
+
     # ------------------------------------------------------------------ planning
     def plan(self, adjacency: np.ndarray, request: SolveRequest | None = None,
              **kwargs: Any) -> SolvePlan:
@@ -324,7 +476,13 @@ class APSPEngine:
         job.status = JOB_RUNNING
         start = time.perf_counter()
         try:
-            result = solver.execute(solver.prepare(job.adjacency), self.context)
+            plan = solver.prepare(job.adjacency)
+            result = solver.execute(plan, self.context)
+            if job.capture_plan:
+                # The plan carries the *prepared* adjacency (algebra domain /
+                # canonical CSR) — exactly what dynamic updates classify
+                # against, so keep_closure solves retain it.
+                job._plan = plan
         except Exception as exc:  # noqa: BLE001 — surfaced via job.result()
             job.elapsed_seconds = time.perf_counter() - start
             job.status = JOB_FAILED
@@ -366,6 +524,14 @@ class APSPEngine:
         stats.update(self.metrics)
         if self._service is not None:
             stats["serve"] = self._service.stats()
+        if self._update_batches:
+            stats["updates"] = {
+                "batches": self._update_batches,
+                "edges": self._update_edges,
+                "incremental": self._updates_incremental,
+                "resolves": self._updates_resolved,
+                "update_seconds": self._update_seconds,
+            }
         return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -197,6 +197,101 @@ class SolveRequest:
 
 
 @dataclass(frozen=True)
+class EdgeUpdate:
+    """One edge mutation for :meth:`~repro.core.engine.APSPEngine.update`.
+
+    ``weight`` is a *canonical* edge weight — the same domain graph
+    generators and edge-list files use, where the algebra decides what
+    "better" means — or ``None`` to delete the edge entirely.  Whether the
+    update is an improvement (rank-1 sweep), a worsening (restricted row
+    recompute) or a no-op is classified against the cached adjacency at
+    apply time, not here: the same ``EdgeUpdate`` value means different
+    things under different algebras.
+    """
+
+    u: int
+    v: int
+    weight: float | bool | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("u", "v"):
+            value = getattr(self, name)
+            try:
+                coerced = int(value)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"edge endpoint {name} must be an integer, got {value!r}"
+                ) from None
+            if coerced < 0:
+                raise ConfigurationError(
+                    f"edge endpoint {name} must be >= 0, got {coerced}")
+            object.__setattr__(self, name, coerced)
+        if self.u == self.v:
+            raise ConfigurationError(
+                f"self-loop update ({self.u}, {self.v}) is meaningless: the "
+                "closure diagonal is pinned to the algebra's one")
+        if self.weight is not None:
+            try:
+                object.__setattr__(self, "weight", float(self.weight))
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"edge weight must be a number or None, got "
+                    f"{self.weight!r}") from None
+
+    @property
+    def is_deletion(self) -> bool:
+        """True when this update removes the edge (``weight is None``)."""
+        return self.weight is None
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if self.weight is None:
+            return f"delete {self.u} -- {self.v}"
+        return f"edge {self.u} -- {self.v} = {self.weight}"
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """What one :meth:`~repro.core.engine.APSPEngine.update` batch did.
+
+    ``mode`` records which path actually ran (``"incremental"`` rank-1
+    sweeps or ``"resolve"`` full re-closure) and ``reason`` why — the cost
+    model's break-even verdict, an explicit ``force=``, or a structural
+    restriction (non-absorptive algebra, oversized affected set).  Counters
+    split the batch by classification; ``changed_rows`` is how many closure
+    rows actually moved, which is also exactly the number of serving-cache
+    rows invalidated.
+    """
+
+    mode: str
+    reason: str
+    edges: int
+    improvements: int
+    worsenings: int
+    noops: int
+    changed_rows: int
+    affected_rows: int = 0
+    repaired_parent_rows: int = 0
+    seconds: float = 0.0
+    estimated_incremental_seconds: float | None = None
+    estimated_resolve_seconds: float | None = None
+    break_even_edges: int | None = None
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        bits = [f"{self.mode} ({self.reason})",
+                f"edges={self.edges}",
+                f"+{self.improvements}/-{self.worsenings}/={self.noops}",
+                f"changed_rows={self.changed_rows}"]
+        if self.worsenings:
+            bits.append(f"affected_rows={self.affected_rows}")
+        if self.repaired_parent_rows:
+            bits.append(f"repaired={self.repaired_parent_rows}")
+        bits.append(f"{self.seconds:.4f}s")
+        return " ".join(bits)
+
+
+@dataclass(frozen=True)
 class RouteQuery:
     """One serving-layer query: "how do I get from ``src`` to ``dst``?".
 

@@ -35,7 +35,7 @@ from repro.common.errors import ConfigurationError
 from repro.common.timing import format_seconds
 from repro.core.api import available_solvers, solver_catalog
 from repro.core.engine import APSPEngine
-from repro.core.request import SolveRequest
+from repro.core.request import EdgeUpdate, SolveRequest
 from repro.experiments import figure2, figure3, table2, table3_figure5
 from repro.experiments.report import format_table, rows_to_csv
 from repro.graph import io as graph_io
@@ -232,6 +232,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--csv", action="store_true",
                          help="emit the stats snapshot as CSV instead of the "
                               "report")
+
+    p_update = sub.add_parser(
+        "update", help="dynamic closure maintenance: solve once, then apply "
+                       "edge updates as rank-1 sweeps (or a cost-model-"
+                       "driven re-solve)")
+    p_update.add_argument("--n", type=int, default=128,
+                          help="size of the generated graph (ignored with "
+                               "--input)")
+    p_update.add_argument("--input", default=None, metavar="PATH",
+                          help="update this graph's closure instead of a "
+                               "generated one (.npz CSR, .npy dense, .mtx, "
+                               "or an edge list)")
+    p_update.add_argument("--seed", type=int, default=0)
+    p_update.add_argument("--solver", choices=available_solvers(),
+                          default="blocked-cb")
+    p_update.add_argument("--block-size", type=int, default=None)
+    p_update.add_argument("--algebra", default="shortest-path",
+                          choices=available_algebras())
+    p_update.add_argument("--dtype", default=None)
+    p_update.add_argument("--storage", default=None,
+                          choices=("auto", "dense", "packed"))
+    p_update.add_argument("--layout", default=None,
+                          choices=("auto", "triangular", "full"))
+    p_update.add_argument("--directed", action="store_true",
+                          help="treat the input as directed (updates touch "
+                               "one orientation instead of both)")
+    p_update.add_argument("--paths", action="store_true",
+                          help="maintain the predecessor matrix through the "
+                               "updates as well")
+    p_update.add_argument("--backend", choices=BACKENDS, default="serial")
+    p_update.add_argument("--executors", type=int, default=4)
+    p_update.add_argument("--cores", type=int, default=2)
+    p_update.add_argument("--edge", nargs=3, action="append", default=None,
+                          metavar=("U", "V", "W"),
+                          help="insert or relax one edge (repeatable); "
+                               "W of 'del'/'inf' deletes it")
+    p_update.add_argument("--delete", nargs=2, type=int, action="append",
+                          default=None, metavar=("U", "V"),
+                          help="delete one edge (repeatable)")
+    p_update.add_argument("--batch", type=int, default=0,
+                          help="also apply this many seeded improving edges "
+                               "(the dynamic bench suite's workload)")
+    p_update.add_argument("--mode", choices=("auto", "incremental", "resolve"),
+                          default="auto",
+                          help="auto lets the cost model pick; incremental/"
+                               "resolve force the path")
+    p_update.add_argument("--verify", action="store_true",
+                          help="check the updated closure against a full "
+                               "re-closure of the mutated graph")
 
     p_convert = sub.add_parser(
         "convert", help="convert an external graph (.mtx / edge list / .npy) "
@@ -459,6 +508,78 @@ def _serve_main(args) -> int:
     return 0 if ok else 1
 
 
+def _update_main(args) -> int:
+    """Driver for ``apspark update``: one kept closure, one update batch.
+
+    Solves the instance with ``keep_closure=True``, folds the command line
+    into a batch (explicit ``--edge``/``--delete`` first, then ``--batch``
+    seeded improving edges), applies it through ``engine.update`` and prints
+    the decision: chosen mode, reason, per-kind edge counts, and the cost
+    model's incremental-vs-resolve estimates next to the measured time.
+    """
+    from repro.common.errors import SolverError, ValidationError
+    try:
+        config = EngineConfig(backend=args.backend, num_executors=args.executors,
+                              cores_per_executor=args.cores)
+        directed = bool(args.directed)
+        adjacency = None
+        if args.input is not None:
+            loaded = _load_input_graph(args.input)
+            adjacency = loaded.adjacency
+            directed = directed or loaded.directed
+        request = SolveRequest(solver=args.solver, block_size=args.block_size,
+                               algebra=args.algebra, dtype=args.dtype,
+                               storage=args.storage, layout=args.layout,
+                               directed=directed, paths=bool(args.paths))
+        if adjacency is None:
+            adjacency = bench.graph_for_algebra(args.n, args.seed,
+                                                request.algebra,
+                                                directed=request.directed)
+        edges = []
+        for u, v, w in (args.edge or []):
+            weight = None if str(w).lower() in ("del", "inf", "none") else float(w)
+            edges.append(EdgeUpdate(int(u), int(v), weight))
+        for u, v in (args.delete or []):
+            edges.append(EdgeUpdate(int(u), int(v), None))
+        if args.batch > 0:
+            edges.extend(bench.update_batch_for_algebra(
+                adjacency.shape[0], args.seed + 7919, request.algebra,
+                args.batch))
+        if not edges:
+            raise ConfigurationError(
+                "no updates: pass --edge U V W, --delete U V and/or --batch K")
+    except (ConfigurationError, ValidationError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    force = None if args.mode == "auto" else args.mode
+    try:
+        with APSPEngine(config) as engine:
+            result = engine.solve(adjacency, request, keep_closure=True)
+            print(f"solved n={result.n} ({request.algebra}) in "
+                  f"{format_seconds(result.elapsed_seconds)}; closure cached")
+            report = engine.update(edges, force=force)
+            state = engine.closure
+            print(f"update: {report.describe()}")
+            print(f"  estimated incremental "
+                  f"{format_seconds(report.estimated_incremental_seconds)} vs "
+                  f"re-solve {format_seconds(report.estimated_resolve_seconds)}"
+                  f"; break-even at {report.break_even_edges} edge(s)")
+            ok = True
+            if args.verify:
+                algebra = get_algebra(request.algebra)
+                reference = bench.reference_closure(state.adjacency,
+                                                    request.algebra,
+                                                    dtype=request.dtype)
+                ok = algebra.allclose(state.distances, reference,
+                                      **bench.verify_tolerances(request.dtype))
+                print(f"verified against the re-closure of the mutated graph: "
+                      f"{'OK' if ok else 'MISMATCH'}")
+            return 0 if ok else 1
+    except (ConfigurationError, ValidationError, SolverError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _emit(rows, args, columns=None) -> None:
     if args.csv:
         sys.stdout.write(rows_to_csv(rows, columns))
@@ -571,6 +692,9 @@ def main(argv=None) -> int:
 
     if args.command in ("route", "serve"):
         return _serve_main(args)
+
+    if args.command == "update":
+        return _update_main(args)
 
     if args.command == "convert":
         from repro.common.errors import ValidationError

@@ -32,12 +32,16 @@ from repro.graph.io import (LoadedGraph, save_edge_list, load_edge_list,
                             save_matrix, load_matrix, save_sparse_npz,
                             load_sparse_npz, load_graph, load_external_edges,
                             load_mtx, convert_graph)
-from repro.graph.sparse import (erdos_renyi_sparse, is_sparse,
+from repro.graph.sparse import (erdos_renyi_sparse, grid_sparse, is_sparse,
+                                knn_sparse, random_geometric_sparse,
                                 sparse_to_blocks, sparse_to_dense,
                                 validate_sparse_adjacency)
 
 __all__ = [
     "erdos_renyi_sparse",
+    "grid_sparse",
+    "knn_sparse",
+    "random_geometric_sparse",
     "is_sparse",
     "sparse_to_blocks",
     "sparse_to_dense",

@@ -234,9 +234,89 @@ class PackedBlock:
         return f"PackedBlock(shape={self.shape}, words={self.words.shape})"
 
 
+class PackedVector:
+    """A packed boolean broadcast vector: 64 cells per ``uint64`` word.
+
+    The 1-D counterpart of :class:`PackedBlock`, carrying the fw-2d pivot
+    column for the ``reachability`` algebra: ``words`` is a flat
+    ``(ceil(n / 64),)`` word array, ``n`` the logical bit count.  Instances
+    pickle by those two attributes, so a broadcast column crosses the
+    ``processes`` backend's IPC at 1/8th the bytes of the ``bool`` vector it
+    replaces.  Slicing (``vec[a:b]``) returns a *dense* boolean slice — the
+    per-block windows of the rank-1 update are tiny next to the broadcast
+    itself, and block boundaries are not word-aligned, so the packed form is
+    kept only for the wire.
+    """
+
+    __slots__ = ("words", "n")
+
+    def __init__(self, words: np.ndarray, n: int) -> None:
+        words = np.asarray(words, dtype=_U64)
+        n = int(n)
+        if words.ndim != 1 or words.shape[0] != packed_width(n):
+            raise ValidationError(
+                f"word vector has shape {words.shape}, expected "
+                f"({packed_width(n)},) for {n} bits")
+        self.words = words
+        self.n = n
+
+    @classmethod
+    def from_dense(cls, bits: np.ndarray) -> "PackedVector":
+        """Pack a 1-D boolean (or truthy) vector."""
+        arr = np.asarray(bits)
+        if arr.ndim != 1:
+            raise ValidationError(
+                f"packed vector source must be 1-D, got ndim={arr.ndim}")
+        return cls(pack_bits(arr)[0], arr.shape[0])
+
+    def to_dense(self) -> np.ndarray:
+        """Unpack back to a boolean vector of length ``n``."""
+        return unpack_bits(self.words[None, :], self.n)[0]
+
+    # -- ndarray-flavoured surface the update kernels rely on --------------
+    @property
+    def shape(self) -> tuple[int]:
+        """Logical length as a 1-tuple (ndarray-compatible)."""
+        return (self.n,)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The *logical* element dtype (the words themselves are uint64)."""
+        return np.dtype(np.bool_)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the packed word vector (what the broadcast ships)."""
+        return int(self.words.nbytes)
+
+    def __getitem__(self, index: slice) -> np.ndarray:
+        """Dense boolean window ``[start:stop]`` via a word-window unpack."""
+        if not isinstance(index, slice):
+            raise ValidationError("packed vectors only support slice indexing")
+        start, stop, step = index.indices(self.n)
+        if step != 1:
+            raise ValidationError("packed vectors only support unit-step slices")
+        w0 = start // WORD_BITS
+        w1 = packed_width(stop)
+        window_bits = min(self.n, w1 * WORD_BITS) - w0 * WORD_BITS
+        bits = unpack_bits(self.words[None, w0:w1], window_bits)[0]
+        return bits[start - w0 * WORD_BITS: stop - w0 * WORD_BITS]
+
+    def __reduce__(self):
+        return (PackedVector, (self.words, self.n))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PackedVector(n={self.n}, words={self.words.shape})"
+
+
 def is_packed(block) -> bool:
     """True when ``block`` is a :class:`PackedBlock`."""
     return isinstance(block, PackedBlock)
+
+
+def is_packed_vector(piece) -> bool:
+    """True when ``piece`` is a :class:`PackedVector`."""
+    return isinstance(piece, PackedVector)
 
 
 def as_packed(block) -> PackedBlock:
@@ -391,6 +471,34 @@ def packed_rank1_update(block: PackedBlock, col_i: np.ndarray,
         out.words[sel] |= pack_bits(row)[0]
         out.invalidate_popcount()
     return out
+
+
+def packed_rank1_update_inplace(block: PackedBlock, col_i: np.ndarray,
+                                row_j: np.ndarray) -> np.ndarray:
+    """In-place packed rank-1 update returning the changed-row mask.
+
+    The dynamic-update sibling of :func:`packed_rank1_update`: mutates
+    ``block.words`` directly and reports which logical rows gained at least
+    one bit — the mask the serving layer uses to invalidate exactly the
+    parent-row cache entries the update touched.
+    """
+    col = np.asarray(col_i).reshape(-1).astype(bool)
+    row = np.asarray(row_j).reshape(-1).astype(bool)
+    if col.shape[0] != block.shape[0] or row.shape[0] != block.shape[1]:
+        raise ValidationError(
+            f"pivot slices have lengths {col.shape[0]}/{row.shape[0]} "
+            f"but block is {block.shape}")
+    changed = np.zeros(block.shape[0], dtype=bool)
+    sel = np.flatnonzero(col)
+    if sel.size:
+        packed_row = pack_bits(row)[0]
+        relaxed = block.words[sel] | packed_row
+        grew = np.any(relaxed != block.words[sel], axis=1)
+        if grew.any():
+            block.words[sel] = relaxed
+            block.invalidate_popcount()
+            changed[sel[grew]] = True
+    return changed
 
 
 def packed_closure(adjacency: np.ndarray) -> np.ndarray:

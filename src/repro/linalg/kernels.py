@@ -140,6 +140,46 @@ def fw_rank1_update(block: np.ndarray, col_i: np.ndarray, row_j: np.ndarray,
     return algebra.add(block, candidate)
 
 
+def fw_rank1_update_inplace(block, col_i, row_j,
+                            algebra: Semiring | str | None = None) -> np.ndarray:
+    """In-place ``FloydWarshallUpdate`` returning the changed-row mask.
+
+    The dynamic-update sibling of :func:`fw_rank1_update`: mutates ``block``
+    (dense ndarray, :class:`~repro.linalg.bitset.PackedBlock` or
+    :class:`~repro.linalg.witness.WitnessBlock`) directly and reports which
+    rows improved, so the caller can invalidate exactly the serving-cache
+    rows a batched edge update touched.  Dense blocks must already be in one
+    of the algebra's dtypes — a silent conversion would mutate a copy.
+    """
+    algebra = get_algebra(algebra)
+    if witness.is_witnessed(block):
+        return witness.witness_rank1_update_inplace(block, col_i, row_j, algebra)
+    if bitset.is_packed(block):
+        if "packed" not in algebra.storages:
+            raise ValidationError(
+                f"algebra {algebra.name!r} has no packed rank-1 update kernel")
+        return bitset.packed_rank1_update_inplace(block, col_i, row_j)
+    if not isinstance(block, np.ndarray) or block.dtype.name not in algebra.dtypes:
+        raise ValidationError(
+            f"fw_rank1_update_inplace cannot mutate a "
+            f"{np.asarray(block).dtype.name} array in place under algebra "
+            f"{algebra.name!r} (supported dtypes: {', '.join(algebra.dtypes)})")
+    if block.ndim != 2:
+        raise ValidationError("block must be 2-D")
+    col = np.asarray(col_i, dtype=block.dtype).reshape(-1)
+    row = np.asarray(row_j, dtype=block.dtype).reshape(-1)
+    if col.shape[0] != block.shape[0] or row.shape[0] != block.shape[1]:
+        raise ValidationError(
+            f"pivot slices have lengths {col.shape[0]}/{row.shape[0]} "
+            f"but block is {block.shape}")
+    candidate = algebra.mul(col[:, None], row[None, :])
+    relaxed = algebra.add(block, candidate)
+    changed = np.any(relaxed != block, axis=1)
+    if changed.any():
+        block[...] = relaxed
+    return changed
+
+
 def min_plus_then_min(block: np.ndarray, other: np.ndarray,
                       algebra: Semiring | str | None = None) -> np.ndarray:
     """The ``MinPlus`` building block: ``(A_IJ ⊗ B) ⊕ A_IJ``.

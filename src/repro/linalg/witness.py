@@ -492,6 +492,47 @@ def witness_rank1_update(block: WitnessBlock, col_i: WitnessVector,
     return WitnessBlock(relaxed, parents, succs)
 
 
+def witness_rank1_update_inplace(block: WitnessBlock, col_i, row_j: WitnessVector,
+                                 algebra: Semiring | str | None = None,
+                                 ) -> np.ndarray:
+    """In-place witnessed rank-1 update returning the changed-row mask.
+
+    The dynamic-update sibling of :func:`witness_rank1_update`: mutates all
+    planes of ``block`` directly (values relaxed, parents/succs rewritten on
+    strict improvement) and reports which rows improved, so the caller can
+    invalidate exactly the serving-cache rows a batched edge update touched.
+    Single-plane blocks accept a plain values vector for ``col_i``, exactly
+    as the immutable variant does.
+    """
+    algebra = require_witness(algebra, "witnessed FloydWarshallUpdate")
+    single_plane = block.succs is None
+    if not is_witness_vector(row_j) or not (single_plane
+                                            or is_witness_vector(col_i)):
+        raise ValidationError(
+            "witnessed rank-1 update needs witnessed pivot slices; "
+            "extract_col emits them for witnessed blocks")
+    bv = block.values
+    cv = (np.asarray(col_i).reshape(-1) if not is_witness_vector(col_i)
+          else col_i.values.reshape(-1))
+    rv = row_j.values.reshape(-1)
+    if cv.shape[0] != bv.shape[0] or rv.shape[0] != bv.shape[1]:
+        raise ValidationError(
+            f"pivot slices have lengths {cv.shape[0]}/{rv.shape[0]} "
+            f"but block is {block.shape}")
+    candidate = algebra.mul(cv[:, None], rv[None, :])
+    relaxed = algebra.add(bv, candidate)
+    improved = relaxed != bv
+    changed = improved.any(axis=1)
+    if changed.any():
+        block.parents[improved] = np.broadcast_to(
+            row_j.toward[None, :], block.parents.shape)[improved]
+        if not single_plane:
+            block.succs[improved] = np.broadcast_to(
+                col_i.toward[:, None], block.succs.shape)[improved]
+        bv[...] = relaxed
+    return changed
+
+
 def blocked_witness_floyd_warshall(block: WitnessBlock, block_size: int,
                                    algebra: Semiring | str | None = None,
                                    ) -> WitnessBlock:

@@ -48,6 +48,7 @@ class ParentRowCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -108,6 +109,29 @@ class ParentRowCache:
             return True
         return self.budget_bytes is not None and self._nbytes > self.budget_bytes
 
+    def invalidate(self, source: int | None = None) -> int:
+        """Drop the row for ``source`` — or every row when ``source`` is None.
+
+        The dynamic-update hook: when an edge update changes closure rows,
+        their cached parent rows describe paths that may no longer exist and
+        must be dropped rather than evicted (an eviction is a budget
+        decision; an invalidation is a correctness one — they are counted
+        separately).  Returns the number of rows dropped; invalidating an
+        uncached source is a no-op, not an error.
+        """
+        if source is None:
+            dropped = len(self._rows)
+            self._rows.clear()
+            self._nbytes = 0
+            self.invalidations += dropped
+            return dropped
+        row = self._rows.pop(int(source), None)
+        if row is None:
+            return 0
+        self._nbytes -= int(row.nbytes)
+        self.invalidations += 1
+        return 1
+
     def clear(self) -> None:
         """Drop every cached row (counters are kept — they describe the session)."""
         self._rows.clear()
@@ -125,6 +149,7 @@ class ParentRowCache:
             "cache_hits": self.hits,
             "cache_misses": self.misses,
             "cache_evictions": self.evictions,
+            "cache_invalidations": self.invalidations,
             "cache_hit_rate": (self.hits / lookups) if lookups else 0.0,
         }
 

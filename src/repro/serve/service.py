@@ -153,6 +153,33 @@ class RouteService:
         self.cache.store(source, row)
         return row
 
+    def notify_update(self, changed_rows=None, *, adjacency=None) -> int:
+        """Drop parent rows whose sources a dynamic closure update changed.
+
+        The engine calls this after :meth:`~repro.core.engine.APSPEngine.update`
+        mutated the closure in place: the distances array the service reads
+        is already current (same ndarray), but cached parent rows for the
+        changed sources describe paths that may no longer be optimal — or,
+        after a deletion, no longer exist.  ``changed_rows`` is an iterable
+        of source indices (``None`` = drop every cached row, the re-solve
+        fallback).  ``adjacency`` rebinds the edge source when the update
+        replaced it — e.g. the first update against a CSR-ingested closure
+        densifies the adjacency into the algebra's domain, and row solves
+        must follow it.  Returns the number of rows dropped.
+        """
+        if adjacency is not None:
+            if adjacency.shape != self.distances.shape:
+                raise ValidationError(
+                    f"updated adjacency shape {adjacency.shape} does not "
+                    f"match the closure shape {self.distances.shape}")
+            self.adjacency = adjacency
+        if changed_rows is None:
+            return self.cache.invalidate()
+        dropped = 0
+        for source in np.asarray(changed_rows).reshape(-1).tolist():
+            dropped += self.cache.invalidate(int(source))
+        return dropped
+
     def _check_vertex(self, vertex: int, name: str) -> int:
         vertex = int(vertex)
         if not 0 <= vertex < self.n:

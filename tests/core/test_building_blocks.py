@@ -243,3 +243,34 @@ class TestMatprodColumnContributions:
         emit = bb.matprod_column_contributions(1, lambda k: column[k])
         out = emit(((0, 1), blocks[(0, 1)]))
         assert len(out) == 2  # both roles contribute to column 1
+
+
+class TestPackedBroadcastColumn:
+    """Boolean columns assemble packed; float columns stay dense."""
+
+    def test_bool_column_assembles_to_packed_vector(self):
+        from repro.linalg.bitset import is_packed_vector
+        pieces = [(0, np.array([True, False, True, False])),
+                  (1, np.array([False, True, False, True]))]
+        column = bb.assemble_column(pieces, 8, 4, "reachability")
+        assert is_packed_vector(column)
+        assert np.array_equal(
+            column[0:8],
+            [True, False, True, False, False, True, False, True])
+        assert column.nbytes == 8                      # one uint64 word
+
+    def test_float_column_stays_dense(self):
+        column = bb.assemble_column([(0, np.array([1.0, 2.0]))], 8, 4)
+        assert isinstance(column, np.ndarray) and column.dtype == np.float64
+
+    def test_update_callable_slices_packed_column(self):
+        from repro.linalg.bitset import PackedBlock
+        rng = np.random.default_rng(8)
+        dense = rng.random((8, 8)) < 0.4
+        np.fill_diagonal(dense, True)
+        pieces = [(0, dense[0:4, 5].copy()), (1, dense[4:8, 5].copy())]
+        column = bb.assemble_column(pieces, 8, 4, "reachability")
+        update = bb.fw_update_with_column(column, 4, "reachability")
+        _, updated = update(((0, 1), PackedBlock.from_dense(dense[0:4, 4:8])))
+        expected = dense[0:4, 4:8] | (dense[0:4, 5][:, None] & dense[4:8, 5][None, :])
+        assert np.array_equal(updated.to_dense(), expected)

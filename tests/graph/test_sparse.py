@@ -11,10 +11,14 @@ from repro.common.config import EngineConfig
 from repro.common.errors import ValidationError
 from repro.core.engine import APSPEngine
 from repro.core.request import SolveRequest
-from repro.graph.generators import paper_edge_probability
+from repro.graph.adjacency import knn_adjacency
+from repro.graph.generators import (grid_adjacency, paper_edge_probability,
+                                    random_geometric_adjacency)
 from repro.graph.io import load_sparse_npz, save_sparse_npz
-from repro.graph.sparse import (erdos_renyi_sparse, is_sparse, sparse_to_blocks,
-                                sparse_to_dense, validate_sparse_adjacency)
+from repro.graph.sparse import (erdos_renyi_sparse, grid_sparse, is_sparse,
+                                knn_sparse, random_geometric_sparse,
+                                sparse_to_blocks, sparse_to_dense,
+                                validate_sparse_adjacency)
 from repro.linalg.algebra import get_algebra
 from repro.linalg.bitset import is_packed
 from repro.linalg.blocks import matrix_to_blocks
@@ -242,3 +246,59 @@ def test_sparse_plan_keeps_csr_not_dense():
     assert plan.sparse_input
     assert is_sparse(plan.adjacency)
     assert plan.describe()["sparse_input"] is True
+
+
+# ---------------------------------------------------------------------------
+# CSR twins of the remaining dense generators
+# ---------------------------------------------------------------------------
+class TestSparseGeneratorTwins:
+    def test_grid_matches_dense(self):
+        for rows, cols in [(1, 1), (1, 6), (4, 7), (5, 5)]:
+            csr = grid_sparse(rows, cols, weight=2.5)
+            assert is_sparse(csr)
+            assert np.array_equal(sparse_to_dense(csr),
+                                  grid_adjacency(rows, cols, weight=2.5))
+
+    def test_random_geometric_matches_dense_for_same_seed(self):
+        for n, dim in [(2, 2), (40, 2), (64, 3)]:
+            csr = random_geometric_sparse(n, dim=dim, seed=9)
+            dense = random_geometric_adjacency(n, dim=dim, seed=9)
+            assert np.array_equal(sparse_to_dense(csr), dense)
+
+    def test_random_geometric_explicit_radius(self):
+        csr = random_geometric_sparse(50, radius=0.3, seed=4)
+        dense = random_geometric_adjacency(50, radius=0.3, seed=4)
+        assert np.array_equal(sparse_to_dense(csr), dense)
+
+    def test_knn_matches_dense(self):
+        rng = np.random.default_rng(4)
+        pts = rng.random((50, 3))
+        for k in (1, 4, 10):
+            for symmetrize in (True, False):
+                csr = knn_sparse(pts, k, symmetrize=symmetrize)
+                dense = knn_adjacency(pts, k, symmetrize=symmetrize)
+                assert np.allclose(sparse_to_dense(csr), dense)
+
+    def test_knn_handles_duplicate_points(self):
+        rng = np.random.default_rng(1)
+        base = rng.random((6, 2))
+        pts = np.vstack([base, base])            # every point duplicated
+        csr = knn_sparse(pts, 3)
+        dense = sparse_to_dense(csr)
+        assert (dense == dense.T).all()
+        # Each row found k real neighbours, never itself.
+        assert (np.isfinite(dense).sum(axis=1) >= 3).all()
+
+    def test_knn_validation(self):
+        with pytest.raises(ValidationError):
+            knn_sparse(np.ones(5), 2)            # 1-D points
+        with pytest.raises(ValidationError):
+            knn_sparse(np.ones((4, 2)), 4)       # k >= n
+
+    def test_generated_csr_solves_end_to_end(self):
+        csr = random_geometric_sparse(36, seed=2)
+        with APSPEngine(EngineConfig()) as eng:
+            result = eng.solve(csr, SolveRequest(solver="blocked-cb",
+                                                 block_size=12))
+        expected = semiring_closure(sparse_to_dense(csr), "shortest-path")
+        assert np.allclose(result.distances, expected)

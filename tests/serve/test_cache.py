@@ -131,6 +131,39 @@ class TestClearAndStats:
         assert set(stats) == {
             "cache_rows", "cache_bytes", "cache_budget_bytes", "cache_max_rows",
             "cache_hits", "cache_misses", "cache_evictions", "cache_hit_rate",
+            "cache_invalidations",
         }
         assert stats["cache_budget_bytes"] == 1024
         assert stats["cache_max_rows"] == 4
+
+
+class TestInvalidation:
+    def test_invalidate_single_source(self):
+        cache = ParentRowCache()
+        cache.store(0, row())
+        cache.store(1, row())
+        assert cache.invalidate(0) == 1
+        assert cache.lookup(0) is None and cache.lookup(1) is not None
+        assert cache.invalidations == 1
+
+    def test_invalidate_uncached_source_is_a_noop(self):
+        cache = ParentRowCache()
+        cache.store(0, row())
+        assert cache.invalidate(5) == 0
+        assert cache.invalidations == 0 and len(cache) == 1
+
+    def test_invalidate_all(self):
+        cache = ParentRowCache()
+        for source in range(4):
+            cache.store(source, row())
+        assert cache.invalidate() == 4
+        assert len(cache) == 0 and cache.invalidations == 4
+
+    def test_invalidations_do_not_count_as_evictions(self):
+        cache = ParentRowCache(max_rows=2)
+        cache.store(0, row())
+        cache.store(1, row())
+        cache.store(2, row())          # evicts 0
+        cache.invalidate(1)
+        assert cache.evictions == 1 and cache.invalidations == 1
+        assert cache.stats()["cache_invalidations"] == 1

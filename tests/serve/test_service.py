@@ -290,3 +290,40 @@ class TestRouteQuery:
     def test_invalid_endpoints_rejected(self, kwargs):
         with pytest.raises(ConfigurationError):
             RouteQuery(**kwargs)
+
+
+class TestNotifyUpdate:
+    def _service(self, adjacency):
+        closure = floyd_warshall_reference(adjacency)
+        edges = validate_adjacency(adjacency, algebra="shortest-path")
+        return RouteService(closure, edges, "shortest-path")
+
+    def test_changed_rows_drop_only_those_sources(self, adjacency):
+        service = self._service(adjacency)
+        service.route(0, 5)
+        service.route(7, 3)
+        dropped = service.notify_update([0, 9])
+        assert dropped == 1                      # only source 0 was cached
+        assert service.stats()["cache_invalidations"] == 1
+
+    def test_none_means_drop_everything(self, adjacency):
+        service = self._service(adjacency)
+        service.route(0, 5)
+        service.route(7, 3)
+        assert service.notify_update() == 2
+
+    def test_adjacency_rebind_shape_checked(self, adjacency):
+        service = self._service(adjacency)
+        with pytest.raises(ValidationError):
+            service.notify_update([0], adjacency=np.eye(3))
+
+    def test_rebound_adjacency_serves_new_routes(self, adjacency):
+        service = self._service(adjacency)
+        new_adjacency = validate_adjacency(adjacency, algebra="shortest-path")
+        new_adjacency[0, 5] = new_adjacency[5, 0] = 0.001
+        closure = service.distances
+        closure[:] = floyd_warshall_reference(new_adjacency)
+        service.notify_update(adjacency=new_adjacency)
+        answer = service.route(0, 5)
+        assert tuple(answer.path) == (0, 5)
+        assert np.isclose(answer.distance, 0.001)
