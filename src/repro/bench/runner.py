@@ -275,10 +275,16 @@ def run_suite(suite: BenchSuite, *, repeats: int | None = None,
     try:
         for scenario in suite.scenarios:
             config = scenario.engine_config()
-            config_key = (config.backend, config.num_executors, config.cores_per_executor)
+            # Fault parameters are part of the pool key: a faulted scenario
+            # must not inherit (or pollute) a fault-free scenario's context.
+            config_key = (config.backend, config.num_executors,
+                          config.cores_per_executor,
+                          scenario.failure_rate, scenario.crash_rate,
+                          scenario.seed if scenario.fault_plan() else None)
             engine = engines.get(config_key)
             if engine is None:
-                engine = APSPEngine(config).start()
+                engine = APSPEngine(config,
+                                    fault_plan=scenario.fault_plan()).start()
                 engines[config_key] = engine
 
             graph_key = (scenario.n, scenario.seed,

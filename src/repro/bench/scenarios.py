@@ -89,6 +89,8 @@ class BenchScenario:
     cache_rows: int | None = None
     update_batch: int = 0
     update_mode: str = "auto"
+    failure_rate: float = 0.0
+    crash_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -123,6 +125,11 @@ class BenchScenario:
             raise ConfigurationError("query_sources must be >= 0")
         if self.cache_rows is not None and self.cache_rows < 1:
             raise ConfigurationError("cache_rows must be >= 1 or None")
+        for rate_name in ("failure_rate", "crash_rate"):
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{rate_name} must be in [0, 1], got {rate}")
         # Validate eagerly: a bad grid should fail at definition time, long
         # before any engine spins up.
         self.engine_config()
@@ -133,6 +140,20 @@ class BenchScenario:
         """The engine configuration this scenario runs under."""
         return EngineConfig(backend=self.backend, num_executors=self.num_executors,
                             cores_per_executor=self.cores_per_executor)
+
+    def fault_plan(self):
+        """The scenario's :class:`~repro.spark.faults.FaultPlan`, or None.
+
+        None (the common case) keeps the engine on the fault-free fast path;
+        a nonzero ``failure_rate`` / ``crash_rate`` builds a seeded
+        rate-based plan, so faulted runs are deterministic per scenario seed
+        (the baseline compare depends on it).
+        """
+        if self.failure_rate <= 0.0 and self.crash_rate <= 0.0:
+            return None
+        from repro.spark.faults import FaultPlan
+        return FaultPlan(failure_rate=self.failure_rate,
+                         crash_rate=self.crash_rate, seed=self.seed)
 
     def request(self) -> SolveRequest:
         """The typed solve request this scenario submits."""
@@ -169,6 +190,8 @@ class BenchScenario:
             "cache_rows": self.cache_rows,
             "update_batch": self.update_batch,
             "update_mode": self.update_mode,
+            "failure_rate": self.failure_rate,
+            "crash_rate": self.crash_rate,
         }
 
     def with_n(self, n: int) -> "BenchScenario":
@@ -534,6 +557,52 @@ def _dynamic_suite() -> BenchSuite:
     )
 
 
+def _faults_suite() -> BenchSuite:
+    """Fault-tolerance overhead and recovery cost.
+
+    Two questions, two scenario groups:
+
+    * ``faultfree-*`` — the identical blocked-cb workload as the backend
+      suite, run through the full fault-tolerance machinery with *no* plan:
+      retries armed, timeouts derived, integrity footers written and
+      verified.  Gated against baseline, this is the "fault-free overhead
+      stays within noise" acceptance knob;
+    * ``kill1pct-*`` — the same workload with a seeded 1% task-kill
+      schedule: each affected first attempt dies as a worker crash (a real
+      process kill on the ``processes`` backend, rebuilding the pool) and is
+      recovered through lineage retry.  Wall time measures recovery cost;
+      the folded ``worker_restarts`` / ``tasks_recomputed`` metrics land in
+      the report so baselines also pin how much recovery actually happened.
+      A loose gate (3x): recovery cost is pool-rebuild dominated and noisy.
+    """
+    n = bench_scale_n(96)
+    shape = dict(solver="blocked-cb", n=n, block_size=max(16, min(64, n // 4)),
+                 num_executors=2, cores_per_executor=2)
+    return BenchSuite(
+        name="faults",
+        description="fault-tolerance: fault-free machinery overhead and "
+                    "1% task-kill recovery on threads/processes",
+        scenarios=(
+            BenchScenario(name="faultfree-threads", backend="threads", **shape),
+            BenchScenario(name="faultfree-processes", backend="processes",
+                          **shape),
+            # Seed chosen so the 1% schedule deterministically kills tasks
+            # early in the solve (ids 11 and 20) at every bench scale —
+            # with the default seed the first hit lands past the ~64 tasks
+            # a CI-sized solve launches and the scenario would measure
+            # nothing.
+            BenchScenario(name="kill1pct-threads", backend="threads",
+                          crash_rate=0.01, seed=1242,
+                          slowdown_threshold=3.0, **shape),
+            BenchScenario(name="kill1pct-processes", backend="processes",
+                          crash_rate=0.01, seed=1242,
+                          slowdown_threshold=3.0, **shape),
+            BenchScenario(name="failrate5pct-threads", backend="threads",
+                          failure_rate=0.05, slowdown_threshold=3.0, **shape),
+        ),
+    )
+
+
 def _scaling_suite() -> BenchSuite:
     """Table 3 workload: weak scaling of the blocked solvers (n/p fixed)."""
     points = ((4, 64), (8, 128), (16, 256))
@@ -561,6 +630,7 @@ _SUITE_BUILDERS: dict[str, Callable[[], BenchSuite]] = {
     "reachability": _reachability_suite,
     "directed": _directed_suite,
     "dynamic": _dynamic_suite,
+    "faults": _faults_suite,
     "scaling": _scaling_suite,
     "serve": _serve_suite,
 }

@@ -11,9 +11,10 @@ from __future__ import annotations
 import dataclasses
 import os
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigurationError
+from repro.common.retry import BackoffPolicy
 
 #: Execution backends supported by the scheduler.
 BACKENDS = ("serial", "threads", "processes")
@@ -56,6 +57,30 @@ class EngineConfig:
         When true, a task failure inside an impure solver raises
         :class:`~repro.common.errors.LineageError` instead of being retried,
         modelling the paper's fault-tolerance caveat.
+    retry:
+        The :class:`~repro.common.retry.BackoffPolicy` governing every retry
+        site (task re-execution, worker-crash recovery, staged-block repair).
+        A policy with the default seed 0 is re-seeded deterministically from
+        :attr:`seed` by the scheduler so distinct engine sessions decorrelate.
+    task_timeout_seconds:
+        Explicit soft per-task timeout.  ``None`` derives it from the cost
+        model's predicted task wall × :attr:`task_timeout_multiplier` when a
+        solver publishes a prediction; without either, no soft timeout.
+    task_timeout_multiplier:
+        Factor applied to the cost model's predicted per-task wall to obtain
+        the soft timeout (stragglers slower than this trigger speculation).
+    speculation:
+        Launch a speculative copy of a task whose soft timeout expired
+        (``threads``/``processes`` backends); first result wins.
+    stage_timeout_seconds:
+        Hard deadline for one stage.  Expiry raises a diagnosable
+        :class:`~repro.common.errors.TaskTimeoutError` instead of hanging.
+    staging_lineage_limit:
+        Bound on the shared-filesystem lineage registry (staged values the
+        driver retains for re-staging lost/corrupt blocks).
+    staging_restage_limit:
+        Re-stages allowed per staged block before the loss becomes a
+        :class:`~repro.common.errors.LineageError`.
     """
 
     backend: str = "serial"
@@ -67,6 +92,13 @@ class EngineConfig:
     default_parallelism: int | None = None
     fail_on_impure_fault: bool = True
     seed: int = 1234
+    retry: BackoffPolicy = field(default_factory=BackoffPolicy)
+    task_timeout_seconds: float | None = None
+    task_timeout_multiplier: float = 4.0
+    speculation: bool = True
+    stage_timeout_seconds: float | None = None
+    staging_lineage_limit: int = 256
+    staging_restage_limit: int = 3
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -78,6 +110,16 @@ class EngineConfig:
             raise ConfigurationError("cores_per_executor must be >= 1")
         if self.local_storage_bytes is not None and self.local_storage_bytes < 0:
             raise ConfigurationError("local_storage_bytes must be >= 0 or None")
+        if self.task_timeout_seconds is not None and self.task_timeout_seconds <= 0:
+            raise ConfigurationError("task_timeout_seconds must be > 0 or None")
+        if self.task_timeout_multiplier <= 0:
+            raise ConfigurationError("task_timeout_multiplier must be > 0")
+        if self.stage_timeout_seconds is not None and self.stage_timeout_seconds <= 0:
+            raise ConfigurationError("stage_timeout_seconds must be > 0 or None")
+        if self.staging_lineage_limit < 0:
+            raise ConfigurationError("staging_lineage_limit must be >= 0")
+        if self.staging_restage_limit < 0:
+            raise ConfigurationError("staging_restage_limit must be >= 0")
 
     @property
     def total_cores(self) -> int:

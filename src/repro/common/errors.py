@@ -54,6 +54,58 @@ class FaultInjectedError(ReproError):
         self.task_id = task_id
 
 
+class WorkerCrashError(SolverError):
+    """A worker process died mid-task (real or injected).
+
+    On the ``processes`` backend this wraps ``BrokenProcessPool``: the pool
+    that hosted the attempt is garbage, the scheduler rebuilds it, and the
+    attempt is retried — lineage recomputation, since the task's input was
+    materialized on the driver when the stage was built.  On in-process
+    backends the fault injector raises it directly to simulate the same
+    executor-loss event.
+    """
+
+    def __init__(self, message: str = "worker process died", *,
+                 task_id: int | None = None) -> None:
+        super().__init__(message)
+        self.task_id = task_id
+
+
+class TaskTimeoutError(SolverError):
+    """A stage exceeded its hard deadline (diagnosable fail-fast).
+
+    Carries enough context to debug the hang: which stage kind, how many of
+    its tasks completed, and the deadline that was blown.  Distinct from the
+    *soft* per-task timeout, which never raises — it launches a speculative
+    copy instead.
+    """
+
+    def __init__(self, message: str, *, stage_kind: str | None = None,
+                 completed: int | None = None, total: int | None = None,
+                 timeout_seconds: float | None = None) -> None:
+        super().__init__(message)
+        self.stage_kind = stage_kind
+        self.completed = completed
+        self.total = total
+        self.timeout_seconds = timeout_seconds
+
+
+class StagingError(ReproError):
+    """A staged shared-filesystem block is missing or failed checksum verification.
+
+    Retryable *if* the driver still holds the staged value in its bounded
+    lineage registry (the block is then re-staged and the task re-run);
+    otherwise it escalates to :class:`LineageError`, the paper's impure-solver
+    caveat.  ``name`` is the key or path the reader asked for.
+    """
+
+    def __init__(self, message: str, *, name: str | None = None,
+                 corrupt: bool = False) -> None:
+        super().__init__(message)
+        self.name = name
+        self.corrupt = corrupt
+
+
 class LineageError(ReproError):
     """A lost partition could not be recomputed from lineage.
 

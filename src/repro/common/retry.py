@@ -1,0 +1,88 @@
+"""Deterministic-jitter exponential backoff shared by every retry site.
+
+Spark retries a failed task up to ``spark.task.maxFailures`` times; real
+deployments space those attempts out so a transiently-overloaded executor (or
+a shared file system mid-failover) is not hammered at full rate.  The engine's
+retry sites — task re-execution after an injected fault, worker-crash
+recovery, staged-block re-reads — all draw their sleep schedule from one
+:class:`BackoffPolicy` so behaviour is uniform and, crucially for this
+reproduction, *deterministic*: the jitter term is seeded through
+:func:`repro.common.rng.derive_seed` from ``(seed, site key, attempt)``, so a
+given fault schedule produces the same sleeps (and the same metrics) on every
+run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import derive_seed, make_rng
+
+#: Maximum attempts per task (Spark's default ``spark.task.maxFailures`` is 4).
+DEFAULT_MAX_ATTEMPTS = 4
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``delay(attempt)`` for attempt ``k`` (1-based: the delay *before* retry
+    ``k``) is ``min(max_seconds, base_seconds * multiplier**(k-1))`` scaled
+    down by up to ``jitter`` (a fraction in ``[0, 1]``) using a generator
+    seeded from ``(seed, key, attempt)`` — two processes replaying the same
+    schedule sleep identically, yet distinct tasks (distinct ``key``) decorrelate.
+
+    The defaults are sized for this in-process simulator: short enough that a
+    test exercising all four attempts costs ~100 ms, long enough to be
+    observable in metrics and to give a genuinely broken pool time to reap.
+    """
+
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    base_seconds: float = 0.01
+    multiplier: float = 2.0
+    max_seconds: float = 0.25
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_seconds < 0.0:
+            raise ConfigurationError("base_seconds must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        if self.max_seconds < 0.0:
+            raise ConfigurationError("max_seconds must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, *, key: int = 0) -> float:
+        """Seconds to sleep before retry ``attempt`` (1-based) at site ``key``.
+
+        Deterministic: the same ``(seed, key, attempt)`` triple always yields
+        the same delay.  ``attempt <= 0`` (the first execution) sleeps 0.
+        """
+        if attempt <= 0:
+            return 0.0
+        raw = min(self.max_seconds,
+                  self.base_seconds * self.multiplier ** (attempt - 1))
+        if raw <= 0.0 or self.jitter <= 0.0:
+            return raw
+        rng = make_rng(derive_seed(self.seed, int(key), int(attempt)))
+        return raw * (1.0 - self.jitter * float(rng.random()))
+
+    def sleep(self, attempt: int, *, key: int = 0) -> float:
+        """Sleep for :meth:`delay` seconds and return the slept duration."""
+        seconds = self.delay(attempt, key=key)
+        if seconds > 0.0:
+            time.sleep(seconds)
+        return seconds
+
+    def reseed(self, seed: int) -> "BackoffPolicy":
+        """This policy with a different jitter seed (config -> scheduler wiring)."""
+        if seed == self.seed:
+            return self
+        import dataclasses
+        return dataclasses.replace(self, seed=int(seed))

@@ -12,6 +12,7 @@ import numpy as np
 from repro.common.config import EngineConfig, default_config
 from repro.common.errors import ConfigurationError, SolverError
 from repro.common.timing import Stopwatch
+from repro.cluster.costmodel import predicted_task_seconds
 from repro.graph import sparse as sparse_mod
 from repro.graph.adjacency import is_symmetric_adjacency, validate_adjacency
 from repro.linalg import witness as witness_mod
@@ -411,9 +412,16 @@ class SparkAPSPSolver:
             with stopwatch.section("setup"):
                 records = list(plan.block_records())
                 rdd = sc.parallelize(records, partitioner=plan.partitioner).cache()
-            result_blocks, iterations = self._run(
-                sc, rdd, plan.n, plan.block_size, plan.q, plan.partitioner,
-                stopwatch, layout=plan.layout)
+            # Publish the cost model's predicted per-task wall for the solve:
+            # the scheduler derives its soft (speculation) timeout from it.
+            wall_hint = predicted_task_seconds(
+                plan.n, plan.block_size,
+                num_partitions=plan.partitioner.num_partitions,
+                algebra=plan.algebra, dtype=plan.dtype, storage=plan.storage)
+            with sc.scheduler.task_wall_hint(wall_hint):
+                result_blocks, iterations = self._run(
+                    sc, rdd, plan.n, plan.block_size, plan.q, plan.partitioner,
+                    stopwatch, layout=plan.layout)
             with stopwatch.section("gather"):
                 if isinstance(result_blocks, RDD):
                     result_blocks = result_blocks.collect()

@@ -164,6 +164,51 @@ class ClosureState:
         if self.packed is not None:
             self.packed = bitset.PackedBlock.from_dense(self.distances)
 
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Copy every mutable artifact, so a failed update can roll back.
+
+        The engine takes one snapshot per update batch (an O(n²) copy —
+        bounded by the cost of a single rank-1 sweep) and calls
+        :meth:`restore` if anything in the batch, including a re-solve
+        fallback, raises.  A CSR adjacency is captured by reference: edge
+        mutations always go through the dense plane (see :attr:`adjacency`),
+        so the CSR object itself is never written in place.
+        """
+        dense = self._dense_adjacency
+        return {
+            "distances": self.distances.copy(),
+            "parents": None if self.parents is None else self.parents.copy(),
+            "csr_adjacency": self._adjacency if dense is None else None,
+            "dense_adjacency": None if dense is None else dense.copy(),
+            "undirected": self._undirected,
+            "updates_applied": self.updates_applied,
+            "edges_applied": self.edges_applied,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Roll back to a :meth:`snapshot`, preserving array identity.
+
+        ``distances``/``parents`` (and a dense adjacency) are restored with
+        ``np.copyto`` so a serving layer bound to the same ndarrays keeps
+        reading the last good closure; a CSR adjacency that a failed update
+        densified mid-flight is re-bound to the untouched original object.
+        """
+        np.copyto(self.distances, snapshot["distances"])
+        if self.parents is not None and snapshot["parents"] is not None:
+            np.copyto(self.parents, snapshot["parents"])
+        if snapshot["dense_adjacency"] is not None:
+            np.copyto(self._dense_adjacency, snapshot["dense_adjacency"])
+            self._adjacency = self._dense_adjacency
+        else:
+            self._adjacency = snapshot["csr_adjacency"]
+            self._dense_adjacency = None
+        if self.packed is not None:
+            self.packed = bitset.PackedBlock.from_dense(self.distances)
+        self._undirected = snapshot["undirected"]
+        self.updates_applied = snapshot["updates_applied"]
+        self.edges_applied = snapshot["edges_applied"]
+
 
 @dataclass
 class UpdateOutcome:

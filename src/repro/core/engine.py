@@ -104,6 +104,10 @@ class APSPEngine:
         config object is never mutated: temporary shared-filesystem
         directories are owned (and cleaned up) by the underlying context,
         not written back into the config.
+    fault_plan:
+        Optional :class:`~repro.spark.faults.FaultPlan` injected into the
+        session's context — the chaos driver and the fault-tolerance tests
+        use this to schedule crashes/timeouts/corruptions deterministically.
 
     Use as a context manager (``with APSPEngine(cfg) as engine: ...``) or
     call :meth:`start` / :meth:`stop` explicitly.  All solves of a session
@@ -112,8 +116,10 @@ class APSPEngine:
     :class:`~repro.core.base.APSPResult` still reports its own delta.
     """
 
-    def __init__(self, config: EngineConfig | None = None) -> None:
+    def __init__(self, config: EngineConfig | None = None,
+                 fault_plan=None) -> None:
         self.config = config or default_config()
+        self._fault_plan = fault_plan
         self._context: SparkContext | None = None
         self._closed = False
         self._job_counter = itertools.count(1)
@@ -129,6 +135,7 @@ class APSPEngine:
         self._update_edges = 0
         self._updates_incremental = 0
         self._updates_resolved = 0
+        self._updates_failed = 0
         self._update_seconds = 0.0
 
     # ------------------------------------------------------------------ lifecycle
@@ -165,7 +172,7 @@ class APSPEngine:
         """Create the session's Spark context (idempotent; reopens after stop())."""
         self._closed = False
         if self._context is None:
-            self._context = SparkContext(self.config)
+            self._context = SparkContext(self.config, self._fault_plan)
             self._started_at = time.perf_counter()
         return self
 
@@ -407,19 +414,34 @@ class APSPEngine:
                       f"{estimates['break_even_edges']}")
         start = time.perf_counter()
         changed_rows: np.ndarray | None = None  # None = every row changed
-        if mode == "incremental":
-            outcome = dynamic.apply_incremental(
-                state, batch, allow_fallback=force != "incremental")
-            if outcome.fallback_reason is not None:
-                mode, reason = "resolve", outcome.fallback_reason
-                self._resolve_closure(state)
+        bound_service = (self._service if self._service is not None
+                         and self._service.distances is state.distances
+                         else None)
+        # The whole batch is transactional: any failure — mid-sweep or in the
+        # re-solve fallback — rolls the closure back to this snapshot, so a
+        # bound RouteService keeps answering from the last good closure
+        # (degraded, but never torn).
+        snapshot = state.snapshot()
+        try:
+            if mode == "incremental":
+                outcome = dynamic.apply_incremental(
+                    state, batch, allow_fallback=force != "incremental")
+                if outcome.fallback_reason is not None:
+                    mode, reason = "resolve", outcome.fallback_reason
+                    self._resolve_closure(state)
+                else:
+                    changed_rows = np.flatnonzero(outcome.changed)
             else:
-                changed_rows = np.flatnonzero(outcome.changed)
-        else:
-            outcome = dynamic.fold_edges(
-                state, batch,
-                dynamic.UpdateOutcome(changed=np.ones(state.n, dtype=bool)))
-            self._resolve_closure(state)
+                outcome = dynamic.fold_edges(
+                    state, batch,
+                    dynamic.UpdateOutcome(changed=np.ones(state.n, dtype=bool)))
+                self._resolve_closure(state)
+        except Exception as exc:  # noqa: BLE001 — rolled back, then re-raised
+            state.restore(snapshot)
+            self._updates_failed += 1
+            if bound_service is not None:
+                bound_service.mark_degraded(exc)
+            raise
         elapsed = time.perf_counter() - start
         state.updates_applied += 1
         state.edges_applied += len(batch)
@@ -430,10 +452,10 @@ class APSPEngine:
             self._updates_incremental += 1
         else:
             self._updates_resolved += 1
-        if (self._service is not None
-                and self._service.distances is state.distances):
-            self._service.notify_update(changed_rows,
+        if bound_service is not None:
+            bound_service.notify_update(changed_rows,
                                         adjacency=state.adjacency)
+            bound_service.mark_healthy()
         return UpdateReport(
             mode=mode, reason=reason, edges=len(batch),
             improvements=outcome.improvements,
@@ -524,12 +546,13 @@ class APSPEngine:
         stats.update(self.metrics)
         if self._service is not None:
             stats["serve"] = self._service.stats()
-        if self._update_batches:
+        if self._update_batches or self._updates_failed:
             stats["updates"] = {
                 "batches": self._update_batches,
                 "edges": self._update_edges,
                 "incremental": self._updates_incremental,
                 "resolves": self._updates_resolved,
+                "failed": self._updates_failed,
                 "update_seconds": self._update_seconds,
             }
         return stats

@@ -282,6 +282,48 @@ def build_parser() -> argparse.ArgumentParser:
                           help="check the updated closure against a full "
                                "re-closure of the mutated graph")
 
+    p_chaos = sub.add_parser(
+        "chaos", help="run solve+update+query twice (clean vs seeded fault "
+                      "schedule) and fail unless the faulted run is "
+                      "bit-identical")
+    p_chaos.add_argument("--n", type=int, default=96)
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="seeds the graph, the workload, and every "
+                              "fault decision — same seed, same schedule")
+    p_chaos.add_argument("--solver", choices=available_solvers(),
+                         default="blocked-cb")
+    p_chaos.add_argument("--block-size", type=int, default=None)
+    p_chaos.add_argument("--algebra", default="shortest-path",
+                         choices=available_algebras())
+    p_chaos.add_argument("--backend", choices=BACKENDS, default="threads")
+    p_chaos.add_argument("--executors", type=int, default=2)
+    p_chaos.add_argument("--cores", type=int, default=2)
+    p_chaos.add_argument("--failure-rate", type=float, default=0.0,
+                         help="probability any task's first attempt raises "
+                              "an injected failure")
+    p_chaos.add_argument("--crash-rate", type=float, default=0.0,
+                         help="probability any task's first attempt dies as "
+                              "a worker crash")
+    p_chaos.add_argument("--failures", type=int, default=2,
+                         help="inject this many plain task failures")
+    p_chaos.add_argument("--crashes", type=int, default=1,
+                         help="inject this many worker crashes (real "
+                              "process kills on the processes backend)")
+    p_chaos.add_argument("--delays", type=int, default=0,
+                         help="inject this many straggler delays "
+                              "(exercises speculation)")
+    p_chaos.add_argument("--delay-seconds", type=float, default=0.3)
+    p_chaos.add_argument("--corrupt-writes", type=int, default=1,
+                         help="corrupt this many staged blocks on disk "
+                              "(impure solvers only)")
+    p_chaos.add_argument("--drop-writes", type=int, default=1,
+                         help="delete this many staged blocks after writing")
+    p_chaos.add_argument("--update-batches", type=int, default=2)
+    p_chaos.add_argument("--edges-per-batch", type=int, default=4)
+    p_chaos.add_argument("--queries", type=int, default=32)
+    p_chaos.add_argument("--quiet", action="store_true",
+                         help="suppress the per-leg progress lines")
+
     p_convert = sub.add_parser(
         "convert", help="convert an external graph (.mtx / edge list / .npy) "
                         "to .npz CSR or .npy dense for --input")
@@ -580,6 +622,36 @@ def _update_main(args) -> int:
         return 2
 
 
+def _chaos_main(args) -> int:
+    """Driver for ``apspark chaos``: exit 0 only when recovery was exact."""
+    from repro.common.errors import SolverError, ValidationError
+    from repro.experiments import chaos
+    try:
+        plan = chaos.build_fault_plan(
+            args.seed, failure_rate=args.failure_rate,
+            crash_rate=args.crash_rate, crashes=args.crashes,
+            failures=args.failures, delays=args.delays,
+            corrupt_writes=args.corrupt_writes, drop_writes=args.drop_writes,
+            delay_seconds=args.delay_seconds)
+        report = chaos.run_chaos(
+            n=args.n, seed=args.seed, solver=args.solver,
+            backend=args.backend, algebra=args.algebra,
+            block_size=args.block_size, executors=args.executors,
+            cores=args.cores, fault_plan=plan,
+            update_batches=args.update_batches,
+            edges_per_batch=args.edges_per_batch, queries=args.queries,
+            progress=(lambda line: None) if args.quiet else print)
+    except (ConfigurationError, ValidationError, SolverError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    lines = report.lines()
+    if args.quiet:
+        lines = lines[-1:]  # just the verdict
+    for line in lines:
+        print(line, file=sys.stdout if report.exact else sys.stderr)
+    return 0 if report.exact else 1
+
+
 def _emit(rows, args, columns=None) -> None:
     if args.csv:
         sys.stdout.write(rows_to_csv(rows, columns))
@@ -695,6 +767,9 @@ def main(argv=None) -> int:
 
     if args.command == "update":
         return _update_main(args)
+
+    if args.command == "chaos":
+        return _chaos_main(args)
 
     if args.command == "convert":
         from repro.common.errors import ValidationError

@@ -14,6 +14,7 @@ description of cache behaviour.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -33,6 +34,13 @@ class ParentRowCache:
     max_rows:
         Maximum number of cached rows; ``None`` = unbounded.  Both limits
         may be combined; the tighter one wins.
+
+    The cache is internally locked: every public method takes a reentrant
+    mutex, so concurrent route() threads in
+    :class:`~repro.serve.service.RouteService` can share one instance
+    without torn LRU state or miscounted bytes.  Counter *consistency*
+    across calls (e.g. check-then-store) is still the caller's job — the
+    service holds its own lock for those sequences.
     """
 
     def __init__(self, budget_bytes: int | None = None,
@@ -43,6 +51,7 @@ class ParentRowCache:
             raise ConfigurationError("cache max_rows must be >= 1 or None")
         self.budget_bytes = None if budget_bytes is None else int(budget_bytes)
         self.max_rows = None if max_rows is None else int(max_rows)
+        self._mutex = threading.RLock()
         self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
         self._nbytes = 0
         self.hits = 0
@@ -52,19 +61,23 @@ class ParentRowCache:
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._rows)
+        with self._mutex:
+            return len(self._rows)
 
     def __contains__(self, source: int) -> bool:
-        return int(source) in self._rows
+        with self._mutex:
+            return int(source) in self._rows
 
     @property
     def nbytes(self) -> int:
         """Total bytes currently held across cached rows."""
-        return self._nbytes
+        with self._mutex:
+            return self._nbytes
 
     def sources(self) -> list[int]:
         """Cached sources in eviction order (least recently used first)."""
-        return list(self._rows)
+        with self._mutex:
+            return list(self._rows)
 
     # ------------------------------------------------------------------
     def lookup(self, source: int) -> np.ndarray | None:
@@ -74,13 +87,24 @@ class ParentRowCache:
         ``hits + misses == lookups``.
         """
         key = int(source)
-        row = self._rows.get(key)
-        if row is None:
-            self.misses += 1
-            return None
-        self._rows.move_to_end(key)
-        self.hits += 1
-        return row
+        with self._mutex:
+            row = self._rows.get(key)
+            if row is None:
+                self.misses += 1
+                return None
+            self._rows.move_to_end(key)
+            self.hits += 1
+            return row
+
+    def peek(self, source: int) -> np.ndarray | None:
+        """Return the cached row without touching recency or hit/miss counters.
+
+        Used by dedup re-checks: a solver thread that already counted its
+        miss must not count a second one when confirming nobody beat it to
+        the store.
+        """
+        with self._mutex:
+            return self._rows.get(int(source))
 
     def store(self, source: int, row: np.ndarray) -> int:
         """Insert (or replace) a row, evicting LRU rows past the budgets.
@@ -91,18 +115,19 @@ class ParentRowCache:
         """
         key = int(source)
         arr = np.asarray(row)
-        old = self._rows.pop(key, None)
-        if old is not None:
-            self._nbytes -= int(old.nbytes)
-        self._rows[key] = arr
-        self._nbytes += int(arr.nbytes)
-        evicted = 0
-        while len(self._rows) > 1 and self._over_budget():
-            victim, victim_row = self._rows.popitem(last=False)
-            self._nbytes -= int(victim_row.nbytes)
-            evicted += 1
-        self.evictions += evicted
-        return evicted
+        with self._mutex:
+            old = self._rows.pop(key, None)
+            if old is not None:
+                self._nbytes -= int(old.nbytes)
+            self._rows[key] = arr
+            self._nbytes += int(arr.nbytes)
+            evicted = 0
+            while len(self._rows) > 1 and self._over_budget():
+                victim, victim_row = self._rows.popitem(last=False)
+                self._nbytes -= int(victim_row.nbytes)
+                evicted += 1
+            self.evictions += evicted
+            return evicted
 
     def _over_budget(self) -> bool:
         if self.max_rows is not None and len(self._rows) > self.max_rows:
@@ -119,39 +144,42 @@ class ParentRowCache:
         separately).  Returns the number of rows dropped; invalidating an
         uncached source is a no-op, not an error.
         """
-        if source is None:
-            dropped = len(self._rows)
-            self._rows.clear()
-            self._nbytes = 0
-            self.invalidations += dropped
-            return dropped
-        row = self._rows.pop(int(source), None)
-        if row is None:
-            return 0
-        self._nbytes -= int(row.nbytes)
-        self.invalidations += 1
-        return 1
+        with self._mutex:
+            if source is None:
+                dropped = len(self._rows)
+                self._rows.clear()
+                self._nbytes = 0
+                self.invalidations += dropped
+                return dropped
+            row = self._rows.pop(int(source), None)
+            if row is None:
+                return 0
+            self._nbytes -= int(row.nbytes)
+            self.invalidations += 1
+            return 1
 
     def clear(self) -> None:
         """Drop every cached row (counters are kept — they describe the session)."""
-        self._rows.clear()
-        self._nbytes = 0
+        with self._mutex:
+            self._rows.clear()
+            self._nbytes = 0
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Hit/miss/eviction counters plus the current occupancy."""
-        lookups = self.hits + self.misses
-        return {
-            "cache_rows": len(self._rows),
-            "cache_bytes": self._nbytes,
-            "cache_budget_bytes": self.budget_bytes,
-            "cache_max_rows": self.max_rows,
-            "cache_hits": self.hits,
-            "cache_misses": self.misses,
-            "cache_evictions": self.evictions,
-            "cache_invalidations": self.invalidations,
-            "cache_hit_rate": (self.hits / lookups) if lookups else 0.0,
-        }
+        with self._mutex:
+            lookups = self.hits + self.misses
+            return {
+                "cache_rows": len(self._rows),
+                "cache_bytes": self._nbytes,
+                "cache_budget_bytes": self.budget_bytes,
+                "cache_max_rows": self.max_rows,
+                "cache_hits": self.hits,
+                "cache_misses": self.misses,
+                "cache_evictions": self.evictions,
+                "cache_invalidations": self.invalidations,
+                "cache_hit_rate": (self.hits / lookups) if lookups else 0.0,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ParentRowCache(rows={len(self._rows)}, bytes={self._nbytes}, "

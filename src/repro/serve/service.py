@@ -27,6 +27,7 @@ per-stage attribution), so ``stats()`` can say not just *how slow* but
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -119,6 +120,16 @@ class RouteService:
         self.cache = ParentRowCache(budget_bytes=budget_bytes, max_rows=max_rows)
         self.analytics = ServeAnalytics()
         self.closure_result = result
+        # One lock serializes cache/analytics/degradation mutations (queries
+        # under the threads backend arrive concurrently); per-source locks
+        # dedup row solves so N simultaneous misses for one source pay one
+        # O(n²) solve, while misses for different sources still parallelize.
+        self._lock = threading.RLock()
+        self._row_locks: dict[int, threading.Lock] = {}
+        self._degraded = False
+        self._last_error: str | None = None
+        self._failed_update_batches = 0
+        self._degraded_since: float | None = None
 
     # ------------------------------------------------------------------ rows
     def parent_row(self, source: int, *,
@@ -129,28 +140,45 @@ class RouteService:
         chains, repairs it by BFS layering if a plateau made them cyclic,
         and stores the result.  ``stages`` (when given) receives the
         per-stage seconds of whatever work this call actually did.
+
+        Concurrent misses for the same source are deduplicated: the first
+        caller solves under that source's lock, everyone else waits and then
+        finds the row cached (their second lookup counts as the hit it is).
         """
         source = self._check_vertex(source, "source")
-        row = self.cache.lookup(source)
-        if row is not None:
-            return row
-        start = time.perf_counter()
-        row = witness.solve_parent_row(source, self.distances, self.adjacency,
-                                       self.algebra)
-        reachable = self.distances[source] != self._zero
-        consistent = witness.consistent_parent_row(row, source,
-                                                   reachable=reachable)
-        solve_seconds = time.perf_counter() - start
-        if stages is not None:
-            stages["row_solve"] = stages.get("row_solve", 0.0) + solve_seconds
-        if not consistent:
+        with self._lock:
+            if self.cache.peek(source) is not None:
+                return self.cache.lookup(source)
+            row_lock = self._row_locks.setdefault(source, threading.Lock())
+        with row_lock:
+            with self._lock:
+                if self.cache.peek(source) is not None:
+                    # A concurrent solver beat us to the store while we
+                    # waited on the row lock; count the hit it is.
+                    return self.cache.lookup(source)
+                # We are the solver for this source: count this call's one
+                # miss now (every parent_row call is exactly one hit or one
+                # miss, no matter how many threads pile onto a cold source).
+                self.cache.lookup(source)
             start = time.perf_counter()
-            row = witness.rebuild_parent_row(source, self.distances,
-                                             self.adjacency, self.algebra)
+            row = witness.solve_parent_row(source, self.distances,
+                                           self.adjacency, self.algebra)
+            reachable = self.distances[source] != self._zero
+            consistent = witness.consistent_parent_row(row, source,
+                                                       reachable=reachable)
+            solve_seconds = time.perf_counter() - start
             if stages is not None:
-                stages["repair"] = (stages.get("repair", 0.0)
-                                    + time.perf_counter() - start)
-        self.cache.store(source, row)
+                stages["row_solve"] = stages.get("row_solve", 0.0) + solve_seconds
+            if not consistent:
+                start = time.perf_counter()
+                row = witness.rebuild_parent_row(source, self.distances,
+                                                 self.adjacency, self.algebra)
+                if stages is not None:
+                    stages["repair"] = (stages.get("repair", 0.0)
+                                        + time.perf_counter() - start)
+            with self._lock:
+                self.cache.store(source, row)
+                self._row_locks.pop(source, None)
         return row
 
     def notify_update(self, changed_rows=None, *, adjacency=None) -> int:
@@ -167,18 +195,48 @@ class RouteService:
         densifies the adjacency into the algebra's domain, and row solves
         must follow it.  Returns the number of rows dropped.
         """
-        if adjacency is not None:
-            if adjacency.shape != self.distances.shape:
-                raise ValidationError(
-                    f"updated adjacency shape {adjacency.shape} does not "
-                    f"match the closure shape {self.distances.shape}")
-            self.adjacency = adjacency
-        if changed_rows is None:
-            return self.cache.invalidate()
-        dropped = 0
-        for source in np.asarray(changed_rows).reshape(-1).tolist():
-            dropped += self.cache.invalidate(int(source))
-        return dropped
+        with self._lock:
+            if adjacency is not None:
+                if adjacency.shape != self.distances.shape:
+                    raise ValidationError(
+                        f"updated adjacency shape {adjacency.shape} does not "
+                        f"match the closure shape {self.distances.shape}")
+                self.adjacency = adjacency
+            if changed_rows is None:
+                return self.cache.invalidate()
+            dropped = 0
+            for source in np.asarray(changed_rows).reshape(-1).tolist():
+                dropped += self.cache.invalidate(int(source))
+            return dropped
+
+    # ------------------------------------------------------------------ degradation
+    def mark_degraded(self, error: BaseException) -> None:
+        """Enter degraded mode: a closure update failed and was rolled back.
+
+        The service keeps answering every query from the last good closure
+        (the rollback restored it in place); this only records *that* the
+        closure is stale and why, for :meth:`stats` to surface.
+        """
+        with self._lock:
+            self._degraded = True
+            self._last_error = f"{type(error).__name__}: {error}"
+            self._failed_update_batches += 1
+            if self._degraded_since is None:
+                self._degraded_since = time.perf_counter()
+
+    def mark_healthy(self) -> None:
+        """Leave degraded mode: an update committed, the closure is fresh again."""
+        with self._lock:
+            self._degraded = False
+            self._last_error = None
+            self._failed_update_batches = 0
+            self._degraded_since = None
+
+    @property
+    def degraded(self) -> bool:
+        """True while the service answers from a stale (but consistent) closure."""
+        with self._lock:
+            return self._degraded
 
     def _check_vertex(self, vertex: int, name: str) -> int:
         vertex = int(vertex)
@@ -210,13 +268,17 @@ class RouteService:
         distance = self.distances[src, dst]
         if src == dst:
             elapsed = time.perf_counter() - start
-            self.analytics.record_query(elapsed, stages=stages)
+            with self._lock:
+                self.analytics.record_query(elapsed, stages=stages)
             return RouteAnswer(src, dst, distance, (src,), None, False, elapsed)
         if distance == self._zero:
             elapsed = time.perf_counter() - start
-            self.analytics.record_query(elapsed, stages=stages, unreachable=True)
+            with self._lock:
+                self.analytics.record_query(elapsed, stages=stages,
+                                            unreachable=True)
             return RouteAnswer(src, dst, distance, None, None, False, elapsed)
-        hit = src in self.cache
+        with self._lock:
+            hit = src in self.cache
         try:
             row = self.parent_row(src, stages=stages)
             walk_start = time.perf_counter()
@@ -230,7 +292,8 @@ class RouteService:
                 repair_start = time.perf_counter()
                 row = witness.rebuild_parent_row(src, self.distances,
                                                  self.adjacency, self.algebra)
-                self.cache.store(src, row)
+                with self._lock:
+                    self.cache.store(src, row)
                 stages["repair"] = (stages.get("repair", 0.0)
                                     + time.perf_counter() - repair_start)
                 walk_start = time.perf_counter()
@@ -238,11 +301,13 @@ class RouteService:
             stages["path_walk"] = (stages.get("path_walk", 0.0)
                                    + time.perf_counter() - walk_start)
         except SolverError:
-            self.analytics.record_query(time.perf_counter() - start,
-                                        stages=stages, error=True)
+            with self._lock:
+                self.analytics.record_query(time.perf_counter() - start,
+                                            stages=stages, error=True)
             raise
         elapsed = time.perf_counter() - start
-        self.analytics.record_query(elapsed, stages=stages)
+        with self._lock:
+            self.analytics.record_query(elapsed, stages=stages)
         return RouteAnswer(src, dst, distance, tuple(path), hit,
                            "repair" in stages, elapsed)
 
@@ -268,11 +333,21 @@ class RouteService:
 
         The acceptance surface of the serving layer: latency percentiles,
         hit rate, eviction counts, and per-stage cost attribution, plus the
-        current cache occupancy against its budget.
+        current cache occupancy against its budget and the degradation state
+        (``degraded``/``last_error``/``staleness``) maintained by the
+        engine's transactional update path.
         """
-        stats = {"n": self.n, "algebra": self.algebra.name}
-        stats.update(self.analytics.as_dict())
-        stats.update(self.cache.stats())
+        with self._lock:
+            stats = {"n": self.n, "algebra": self.algebra.name}
+            stats.update(self.analytics.as_dict())
+            stats.update(self.cache.stats())
+            stats["degraded"] = self._degraded
+            stats["last_error"] = self._last_error
+            stats["staleness"] = {
+                "missed_update_batches": self._failed_update_batches,
+                "degraded_seconds": (time.perf_counter() - self._degraded_since
+                                     if self._degraded_since is not None else 0.0),
+            }
         return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

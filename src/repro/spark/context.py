@@ -36,6 +36,7 @@ class SparkContext:
         self.metrics = EngineMetrics()
         self.fault_injector = FaultInjector(fault_plan)
         self.scheduler = TaskScheduler(self.config, self.metrics, self.fault_injector)
+        self.scheduler.add_repair_hook(self._repair_staged_block)
         self.shuffle_manager = ShuffleManager(self.config, self.metrics)
         self._shared_fs: SharedFileSystem | None = None
         self._shared_fs_root: str | None = None
@@ -115,8 +116,23 @@ class SparkContext:
             self._owns_shared_fs = self.config.shared_fs_dir is None
             self._shared_fs_root = self.config.resolve_shared_fs_dir()
             self._shared_fs = SharedFileSystem(
-                os.path.join(self._shared_fs_root, "sharedfs"), self.metrics)
+                os.path.join(self._shared_fs_root, "sharedfs"), self.metrics,
+                fault_injector=self.fault_injector,
+                lineage_limit=self.config.staging_lineage_limit,
+                restage_limit=self.config.staging_restage_limit)
         return self._shared_fs
+
+    def _repair_staged_block(self, exc) -> bool:
+        """Scheduler repair hook: re-stage a block a worker reported lost.
+
+        Worker processes hold no lineage registry, so a missing/corrupt
+        staged block surfaces as a :class:`~repro.common.errors.StagingError`
+        on the driver; this hook rewrites the block from the driver's bounded
+        registry so the retried task finds it intact.
+        """
+        if self._shared_fs is None or getattr(exc, "name", None) is None:
+            return False
+        return self._shared_fs.restage(exc.name)
 
     def clear_shared_fs(self) -> None:
         """Drop every staged shared-filesystem object (if any were created).

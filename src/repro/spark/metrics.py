@@ -31,6 +31,9 @@ class EngineMetrics:
     Attributes are grouped by subsystem:
 
     * tasks/stages — ``tasks_launched``, ``tasks_failed``, ``tasks_retried``, ``stages``
+    * fault tolerance — ``tasks_recomputed``, ``worker_restarts``,
+      ``speculative_launched``/``speculative_wins``, ``task_timeouts``,
+      ``sharedfs_restages``/``sharedfs_integrity_failures``
     * shuffle — ``shuffle_count``, ``shuffle_records``, ``shuffle_bytes``,
       ``spilled_bytes_per_executor`` (cumulative local-storage usage per node)
     * driver traffic — ``collect_count``, ``collect_bytes``, ``broadcast_count``,
@@ -49,6 +52,11 @@ class EngineMetrics:
             self.tasks_launched = 0
             self.tasks_failed = 0
             self.tasks_retried = 0
+            self.tasks_recomputed = 0
+            self.worker_restarts = 0
+            self.speculative_launched = 0
+            self.speculative_wins = 0
+            self.task_timeouts = 0
             self.stages: list[StageRecord] = []
             self.shuffle_count = 0
             self.shuffle_records = 0
@@ -61,6 +69,8 @@ class EngineMetrics:
             self.sharedfs_files_written = 0
             self.sharedfs_bytes_written = 0
             self.sharedfs_bytes_read = 0
+            self.sharedfs_restages = 0
+            self.sharedfs_integrity_failures = 0
             self.cached_partitions = 0
             self.cached_bytes = 0
 
@@ -79,6 +89,31 @@ class EngineMetrics:
         """Count one task retry."""
         with self._lock:
             self.tasks_retried += 1
+
+    def task_recomputed(self) -> None:
+        """Count one lineage recomputation (retry caused by lost work, not an injected fault)."""
+        with self._lock:
+            self.tasks_recomputed += 1
+
+    def worker_restarted(self) -> None:
+        """Count one worker-pool rebuild after a worker-process death."""
+        with self._lock:
+            self.worker_restarts += 1
+
+    def speculation_launched(self) -> None:
+        """Count one speculative task copy launched after a soft timeout."""
+        with self._lock:
+            self.speculative_launched += 1
+
+    def speculation_won(self) -> None:
+        """Count one speculative copy finishing before its straggling original."""
+        with self._lock:
+            self.speculative_wins += 1
+
+    def task_timed_out(self) -> None:
+        """Count one hard-deadline expiry (stage failed fast)."""
+        with self._lock:
+            self.task_timeouts += 1
 
     def stage_finished(self, stage_id: int, kind: str, num_tasks: int, duration: float) -> None:
         """Record one finished stage and its wall time."""
@@ -134,6 +169,16 @@ class EngineMetrics:
         with self._lock:
             self.sharedfs_bytes_read += nbytes
 
+    def sharedfs_restaged(self) -> None:
+        """Count one staged block rewritten from the driver's lineage registry."""
+        with self._lock:
+            self.sharedfs_restages += 1
+
+    def sharedfs_integrity_failure(self) -> None:
+        """Count one staged block found missing or corrupt by a reader."""
+        with self._lock:
+            self.sharedfs_integrity_failures += 1
+
     # -- caching ---------------------------------------------------------------------
     def partition_cached(self, nbytes: int) -> None:
         """Record one cached partition of the given size."""
@@ -169,6 +214,11 @@ class EngineMetrics:
                 "tasks_launched": self.tasks_launched,
                 "tasks_failed": self.tasks_failed,
                 "tasks_retried": self.tasks_retried,
+                "tasks_recomputed": self.tasks_recomputed,
+                "worker_restarts": self.worker_restarts,
+                "speculative_launched": self.speculative_launched,
+                "speculative_wins": self.speculative_wins,
+                "task_timeouts": self.task_timeouts,
                 "num_stages": len(self.stages),
                 "shuffle_count": self.shuffle_count,
                 "shuffle_records": self.shuffle_records,
@@ -181,6 +231,8 @@ class EngineMetrics:
                 "sharedfs_files_written": self.sharedfs_files_written,
                 "sharedfs_bytes_written": self.sharedfs_bytes_written,
                 "sharedfs_bytes_read": self.sharedfs_bytes_read,
+                "sharedfs_restages": self.sharedfs_restages,
+                "sharedfs_integrity_failures": self.sharedfs_integrity_failures,
                 "cached_partitions": self.cached_partitions,
                 "cached_bytes": self.cached_bytes,
             }

@@ -1,11 +1,12 @@
-"""Stage/task scheduler with pluggable execution backends and task retry.
+"""Stage/task scheduler with pluggable execution backends and fault tolerance.
 
 Stages are lists of independent tasks (one per partition).  The scheduler runs
 them serially, on a thread pool, or — for tasks carrying a picklable payload
 (:class:`~repro.spark.remote.RemoteTask`) — on a process pool, consults the
-fault injector before every attempt, retries failed attempts (lineage-based
-recomputation happens simply by re-running the task closure), and records
-stage timings in the metrics.
+fault injector before every attempt, retries failed attempts with
+deterministic-jitter exponential backoff (lineage-based recomputation happens
+simply by re-running the task closure), and records stage timings in the
+metrics.
 
 Backend execution model
 -----------------------
@@ -21,6 +22,30 @@ Backend execution model
     metric deltas are merged back into the driver's counters.  Plain closure
     tasks keep running on the coordination threads, so solvers that cannot
     express picklable payloads remain correct.
+
+Fault tolerance
+---------------
+Three failure classes are survived per attempt:
+
+* **Worker death** — a ``BrokenProcessPool`` (real or injected via
+  :meth:`FaultInjector.crash_requested`) retires the broken pool under a
+  generation counter (concurrent victims retire it once), a fresh pool is
+  built lazily, and only the in-flight tasks re-run — that *is* lineage
+  recomputation here, because every task's input was materialized on the
+  driver when the stage was built.  Counted as ``worker_restarts`` /
+  ``tasks_recomputed``.
+* **Stragglers** — when a soft per-task timeout is known (explicit config, or
+  the cost model's predicted task wall × ``task_timeout_multiplier``), an
+  attempt that overruns it races a speculative copy; first result wins and
+  the loser is cancelled (threads can't be killed, so a *running* loser is
+  simply discarded when it finishes).  A hard stage deadline
+  (``stage_timeout_seconds``) instead fails fast with a diagnosable
+  :class:`~repro.common.errors.TaskTimeoutError`.
+* **Lost staging** — a :class:`~repro.common.errors.StagingError` from a
+  worker-side shared-fs read is repaired through registered driver-side
+  hooks (re-stage from the bounded lineage registry) and the task retried;
+  an unrepairable loss escalates to
+  :class:`~repro.common.errors.LineageError`, the paper's impure caveat.
 """
 
 from __future__ import annotations
@@ -30,17 +55,30 @@ import os
 import sys
 import threading
 import time
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor, Future,
+                                ProcessPoolExecutor, ThreadPoolExecutor, wait)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from contextlib import contextmanager
 from typing import Callable, Sequence
 
 from repro.common.config import EngineConfig
-from repro.common.errors import FaultInjectedError, SolverError
+from repro.common.errors import (FaultInjectedError, LineageError, SolverError,
+                                 StagingError, TaskTimeoutError,
+                                 WorkerCrashError)
+from repro.common.rng import derive_seed
 from repro.spark.faults import FaultInjector
 from repro.spark.metrics import EngineMetrics
 from repro.spark.remote import RemoteTask, pack_payload, run_packed
 
 #: Maximum attempts per task (Spark's default ``spark.task.maxFailures`` is 4).
+#: Kept as the default of :class:`~repro.common.retry.BackoffPolicy.max_attempts`.
 MAX_TASK_ATTEMPTS = 4
+
+#: Floor for a soft timeout derived from a cost-model hint: local task walls
+#: for test-sized problems are sub-millisecond, and speculating on them would
+#: double work for nothing.  Only genuine stalls should trip the derived
+#: timeout; an explicit ``task_timeout_seconds`` is honoured verbatim.
+MIN_DERIVED_SOFT_TIMEOUT = 0.25
 
 
 def _mp_context():
@@ -65,6 +103,11 @@ def _sanitize_main_for_spawn() -> None:
         main.__file__ = None
 
 
+def _die_worker() -> None:  # pragma: no cover - executes in a worker process
+    """Kill the hosting worker process without cleanup (injected crash)."""
+    os._exit(86)
+
+
 class TaskScheduler:
     """Runs stages of independent tasks on the configured backend."""
 
@@ -73,10 +116,22 @@ class TaskScheduler:
         self.config = config
         self.metrics = metrics
         self.faults = fault_injector or FaultInjector()
+        retry = config.retry
+        if retry.seed == 0:
+            # Decorrelate sessions deterministically: jitter derives from the
+            # engine seed unless the policy was explicitly seeded.
+            retry = retry.reseed(derive_seed(config.seed, 0xB0FF))
+        self.retry = retry
         self._stage_counter = 0
         self._pool: ThreadPoolExecutor | None = None
+        self._spec_pool: ThreadPoolExecutor | None = None
+        self._spec_pool_lock = threading.Lock()
         self._proc_pool: ProcessPoolExecutor | None = None
         self._proc_pool_lock = threading.Lock()
+        self._proc_pool_generation = 0
+        self._task_wall_hint: float | None = None
+        self._repair_hooks: list[Callable[[StagingError], bool]] = []
+        self._abandoned = False
         if config.backend in ("threads", "processes"):
             self._pool = ThreadPoolExecutor(max_workers=max(1, config.total_cores),
                                             thread_name_prefix="apspark-exec")
@@ -91,8 +146,9 @@ class TaskScheduler:
         """The worker-process pool, created lazily on first remote dispatch.
 
         Worker startup (forkserver/spawn imports the package) is paid once per
-        scheduler; the pool then lives until :meth:`shutdown`, exactly like
-        the thread pool — the context owns both lifecycles.
+        pool *generation*; a pool broken by worker death is retired (see
+        :meth:`_retire_process_pool`) and the next dispatch builds a fresh one
+        here — the recovery half of worker-crash tolerance.
         """
         with self._proc_pool_lock:
             if self._proc_pool is None:
@@ -103,7 +159,72 @@ class TaskScheduler:
                     max_workers=workers, mp_context=_mp_context())
             return self._proc_pool
 
-    # ------------------------------------------------------------------
+    def _retire_process_pool(self, generation: int) -> None:
+        """Discard a broken process pool (once per generation) for lazy rebuild.
+
+        Every in-flight task on a dead pool observes ``BrokenProcessPool``
+        concurrently; the generation counter makes sure only the first
+        observer retires the pool (and counts the ``worker_restart``), so a
+        single worker death never cascades into several rebuilds.
+        """
+        with self._proc_pool_lock:
+            if self._proc_pool is None or self._proc_pool_generation != generation:
+                return
+            pool, self._proc_pool = self._proc_pool, None
+            self._proc_pool_generation += 1
+        self.metrics.worker_restarted()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _speculation_pool(self) -> ThreadPoolExecutor:
+        """Threads hosting speculated attempts (primary + copy per task)."""
+        with self._spec_pool_lock:
+            if self._spec_pool is None:
+                workers = 2 * max(1, self.config.total_cores)
+                self._spec_pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="apspark-spec")
+            return self._spec_pool
+
+    # ------------------------------------------------------------------ hints/hooks
+    @contextmanager
+    def task_wall_hint(self, seconds: float | None):
+        """Scope a cost-model prediction of one task's wall time.
+
+        Solvers publish their per-task estimate around a solve; the scheduler
+        derives the soft (speculation) timeout from it.  Nested scopes
+        restore the previous hint on exit.
+        """
+        previous = self._task_wall_hint
+        self._task_wall_hint = seconds if seconds and seconds > 0 else None
+        try:
+            yield
+        finally:
+            self._task_wall_hint = previous
+
+    def add_repair_hook(self, hook: Callable[[StagingError], bool]) -> None:
+        """Register a driver-side repairer for worker-reported staging losses."""
+        self._repair_hooks.append(hook)
+
+    def _repair_staging(self, exc: StagingError) -> bool:
+        """Try every repair hook; True when one restored the staged block."""
+        for hook in self._repair_hooks:
+            try:
+                if hook(exc):
+                    return True
+            except Exception:  # noqa: BLE001 — a failing repairer is a failed repair
+                continue
+        return False
+
+    def _soft_timeout(self) -> float | None:
+        """Per-task soft timeout: explicit config, else derived from the hint."""
+        if self.config.task_timeout_seconds is not None:
+            return self.config.task_timeout_seconds
+        hint = self._task_wall_hint
+        if hint is None:
+            return None
+        return max(MIN_DERIVED_SOFT_TIMEOUT,
+                   hint * self.config.task_timeout_multiplier)
+
+    # ------------------------------------------------------------------ execution
     def _invoke(self, task: Callable[[], object]) -> object:
         """Execute one task attempt on the right executor for this backend.
 
@@ -113,49 +234,165 @@ class TaskScheduler:
         so the fallback guarantee holds at the data level, not just for the
         function.  Retried attempts re-ship the same payload: its input was
         materialized on the driver when the stage was built, so replaying it
-        is exactly the lineage recomputation of this simulator.
+        is exactly the lineage recomputation of this simulator.  A dead
+        worker (``BrokenProcessPool``) retires the pool and resurfaces as a
+        retryable :class:`WorkerCrashError`.
         """
         if isinstance(task, RemoteTask) and self.supports_remote:
             payload = pack_payload(task.fn, task.args)
             if payload is not None:
-                future = self._process_pool().submit(run_packed, payload)
-                result, delta = future.result()
+                with self._proc_pool_lock:
+                    generation = self._proc_pool_generation
+                try:
+                    future = self._process_pool().submit(run_packed, payload)
+                    result, delta = future.result()
+                except BrokenExecutor as exc:
+                    self._retire_process_pool(generation)
+                    raise WorkerCrashError(
+                        f"worker process died mid-task: {exc or type(exc).__name__}"
+                    ) from exc
                 self.metrics.merge_delta(delta)
                 return task.finish(result)
         return task()
 
+    def _injected_crash(self, task_id: int) -> None:
+        """Kill a real worker (processes backend) or simulate executor loss.
+
+        On the ``processes`` backend this submits :func:`_die_worker` to the
+        live pool — the worker's ``os._exit`` breaks the pool for real, so
+        recovery exercises the genuine ``BrokenProcessPool`` path, not a
+        stand-in exception.
+        """
+        if self.supports_remote:
+            with self._proc_pool_lock:
+                generation = self._proc_pool_generation
+            try:
+                self._process_pool().submit(_die_worker).result()
+            except BrokenExecutor as exc:
+                self._retire_process_pool(generation)
+                raise WorkerCrashError(
+                    f"injected worker crash for task {task_id}",
+                    task_id=task_id) from exc
+        raise WorkerCrashError(
+            f"injected worker crash for task {task_id} (simulated executor loss)",
+            task_id=task_id)
+
+    def _execute_attempt(self, task: Callable[[], object], task_id: int,
+                         delay: float) -> object:
+        """One attempt, with straggler injection and optional speculation."""
+        soft = self._soft_timeout()
+        if (soft is None or not self.config.speculation or self._pool is None):
+            if delay > 0.0:
+                time.sleep(delay)
+            return self._invoke(task)
+        return self._speculative_invoke(task, delay, soft)
+
+    def _speculative_invoke(self, task: Callable[[], object], delay: float,
+                            soft: float) -> object:
+        """Race a straggling attempt against a speculative copy; first wins.
+
+        The loser is cancelled if still queued; a loser already *running*
+        cannot be killed (threads), so it finishes in the speculation pool
+        and its result is discarded — the cost of speculation, as in Spark.
+        """
+        pool = self._speculation_pool()
+
+        def primary() -> object:
+            """The original attempt (carries any injected straggler delay)."""
+            if delay > 0.0:
+                time.sleep(delay)
+            return self._invoke(task)
+
+        first = pool.submit(primary)
+        try:
+            return first.result(timeout=soft)
+        except FuturesTimeoutError:
+            pass
+        self.metrics.speculation_launched()
+        second = pool.submit(self._invoke, task)
+        done, _pending = wait([first, second], return_when=FIRST_COMPLETED)
+        if first in done:
+            second.cancel()
+            return first.result()
+        self.metrics.speculation_won()
+        first.cancel()
+        return second.result()
+
     def _run_task(self, task: Callable[[], object]) -> object:
-        """Run a single task with fault injection and retry."""
+        """Run a single task with fault injection, backoff, and retry."""
         task_id = self.faults.next_task_id()
         last_error: Exception | None = None
-        for attempt in range(MAX_TASK_ATTEMPTS):
+        attempts = max(1, self.retry.max_attempts)
+        for attempt in range(attempts):
             try:
                 self.metrics.task_launched()
                 if attempt > 0:
                     self.metrics.task_retried()
+                    if isinstance(last_error, (WorkerCrashError, StagingError)):
+                        # Re-running after lost work *is* the lineage
+                        # recomputation of this simulator.
+                        self.metrics.task_recomputed()
+                    self.retry.sleep(attempt, key=task_id)
                 self.faults.maybe_fail(task_id, attempt)
-                return self._invoke(task)
+                if self.faults.crash_requested(task_id, attempt):
+                    self._injected_crash(task_id)
+                delay = self.faults.delay_requested(task_id, attempt)
+                return self._execute_attempt(task, task_id, delay)
             except FaultInjectedError as exc:
                 self.metrics.task_failed()
                 last_error = exc
                 continue
+            except WorkerCrashError as exc:
+                self.metrics.task_failed()
+                last_error = exc
+                continue
+            except StagingError as exc:
+                self.metrics.task_failed()
+                if not self._repair_staging(exc):
+                    raise LineageError(
+                        f"task {task_id} lost staged block {exc.name!r} and no "
+                        "driver-side lineage could re-stage it; impure solvers "
+                        "cannot recover such data") from exc
+                last_error = exc
+                continue
         raise SolverError(
-            f"task {task_id} failed {MAX_TASK_ATTEMPTS} times") from last_error
+            f"task {task_id} failed {attempts} times") from last_error
 
-    @staticmethod
-    def _gather(futures: Sequence[Future]) -> list:
+    def _gather(self, futures: Sequence[Future], *, kind: str,
+                deadline: float | None, total: int) -> list:
         """Collect every future's result, then re-raise the first failure.
 
         Waiting on *all* futures before raising keeps the stage
         exception-safe: sibling tasks finish (or fail) and record their
         metrics, no work is left running unobserved in the pool, and the
-        executor is immediately reusable for the next stage.
+        executor is immediately reusable for the next stage.  The one
+        exception is the hard stage deadline: blowing it abandons the stage
+        immediately (queued tasks cancelled, the scheduler marked so
+        :meth:`shutdown` will not wait on hung threads) and raises a
+        diagnosable :class:`TaskTimeoutError`.
         """
         results: list = []
         first_error: Exception | None = None
+        completed = 0
         for future in futures:
             try:
-                results.append(future.result())
+                if deadline is None:
+                    results.append(future.result())
+                else:
+                    remaining = deadline - time.monotonic()
+                    results.append(future.result(timeout=max(0.0, remaining)))
+                completed += 1
+            except FuturesTimeoutError:
+                for pending in futures:
+                    pending.cancel()
+                self.metrics.task_timed_out()
+                self._abandoned = True
+                timeout = self.config.stage_timeout_seconds
+                raise TaskTimeoutError(
+                    f"stage {kind!r} exceeded its hard timeout of {timeout}s "
+                    f"with {completed}/{total} tasks complete",
+                    stage_kind=kind, completed=completed, total=total,
+                    timeout_seconds=timeout) from None
             except Exception as exc:  # noqa: BLE001 — re-raised below
                 if first_error is None:
                     first_error = exc
@@ -167,15 +404,27 @@ class TaskScheduler:
         """Run all ``tasks`` and return their results in order."""
         self._stage_counter += 1
         stage_id = self._stage_counter
+        hard = self.config.stage_timeout_seconds
+        deadline = (time.monotonic() + hard) if hard is not None else None
         start = time.perf_counter()
         try:
             if not tasks:
                 results: list = []
             elif self._pool is not None and len(tasks) > 1:
                 futures = [self._pool.submit(self._run_task, task) for task in tasks]
-                results = self._gather(futures)
+                results = self._gather(futures, kind=kind, deadline=deadline,
+                                       total=len(tasks))
             else:
-                results = [self._run_task(task) for task in tasks]
+                results = []
+                for index, task in enumerate(tasks):
+                    if deadline is not None and time.monotonic() > deadline:
+                        self.metrics.task_timed_out()
+                        raise TaskTimeoutError(
+                            f"stage {kind!r} exceeded its hard timeout of "
+                            f"{hard}s with {index}/{len(tasks)} tasks complete",
+                            stage_kind=kind, completed=index, total=len(tasks),
+                            timeout_seconds=hard)
+                    results.append(self._run_task(task))
         finally:
             # Record the stage even when it fails so metric snapshots taken
             # around a failing solve stay internally consistent.
@@ -184,11 +433,22 @@ class TaskScheduler:
         return results
 
     def shutdown(self) -> None:
-        """Stop worker pools and release scheduler resources."""
+        """Stop worker pools and release scheduler resources.
+
+        Always reaps all three pools (coordination threads, speculation
+        threads, worker processes).  After a hard-timeout abandonment the
+        thread pools are shut down without waiting — a genuinely hung task
+        must not be able to block ``stop()``; queued work is cancelled either
+        way.
+        """
+        waits = not self._abandoned
+        if self._spec_pool is not None:
+            self._spec_pool.shutdown(wait=waits, cancel_futures=True)
+            self._spec_pool = None
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=waits, cancel_futures=True)
             self._pool = None
         with self._proc_pool_lock:
-            if self._proc_pool is not None:
-                self._proc_pool.shutdown(wait=True)
-                self._proc_pool = None
+            pool, self._proc_pool = self._proc_pool, None
+        if pool is not None:
+            pool.shutdown(wait=waits, cancel_futures=True)

@@ -1,0 +1,76 @@
+"""Tests for the shared deterministic-jitter backoff policy."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.retry import DEFAULT_MAX_ATTEMPTS, BackoffPolicy
+
+
+class TestBackoffValidation:
+    def test_defaults_are_valid(self):
+        policy = BackoffPolicy()
+        assert policy.max_attempts == DEFAULT_MAX_ATTEMPTS == 4
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_seconds": -0.1},
+        {"multiplier": 0.5},
+        {"max_seconds": -1.0},
+        {"jitter": -0.1},
+        {"jitter": 1.5},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(**kwargs)
+
+
+class TestBackoffSchedule:
+    def test_first_execution_sleeps_zero(self):
+        assert BackoffPolicy().delay(0) == 0.0
+        assert BackoffPolicy().delay(-3) == 0.0
+
+    def test_exponential_growth_without_jitter(self):
+        policy = BackoffPolicy(base_seconds=0.01, multiplier=2.0,
+                               max_seconds=10.0, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.01)
+        assert policy.delay(2) == pytest.approx(0.02)
+        assert policy.delay(3) == pytest.approx(0.04)
+
+    def test_cap_applies(self):
+        policy = BackoffPolicy(base_seconds=0.1, multiplier=10.0,
+                               max_seconds=0.25, jitter=0.0)
+        assert policy.delay(5) == 0.25
+
+    def test_jitter_only_shrinks_and_is_bounded(self):
+        policy = BackoffPolicy(base_seconds=0.08, multiplier=1.0,
+                               max_seconds=1.0, jitter=0.5, seed=11)
+        for attempt in range(1, 5):
+            d = policy.delay(attempt, key=3)
+            assert 0.04 <= d <= 0.08
+
+    def test_deterministic_across_instances(self):
+        a = BackoffPolicy(seed=42)
+        b = BackoffPolicy(seed=42)
+        schedule_a = [a.delay(k, key=7) for k in range(1, 5)]
+        schedule_b = [b.delay(k, key=7) for k in range(1, 5)]
+        assert schedule_a == schedule_b
+
+    def test_keys_decorrelate_sites(self):
+        policy = BackoffPolicy(seed=42, base_seconds=0.1, multiplier=1.0,
+                               max_seconds=1.0, jitter=1.0)
+        assert policy.delay(1, key=0) != policy.delay(1, key=1)
+
+    def test_seeds_decorrelate_sessions(self):
+        assert (BackoffPolicy(seed=1, jitter=1.0).delay(1)
+                != BackoffPolicy(seed=2, jitter=1.0).delay(1))
+
+    def test_reseed_returns_new_policy(self):
+        policy = BackoffPolicy(seed=0)
+        reseeded = policy.reseed(99)
+        assert reseeded.seed == 99 and policy.seed == 0
+        assert policy.reseed(0) is policy
+
+    def test_sleep_returns_slept_seconds(self):
+        policy = BackoffPolicy(base_seconds=0.001, max_seconds=0.002)
+        assert policy.sleep(1) == policy.delay(1)
+        assert policy.sleep(0) == 0.0

@@ -1,0 +1,53 @@
+"""Tests for ``apspark chaos``: seeded fault schedules, exit codes, report."""
+
+import numpy as np
+
+from repro.experiments import chaos
+from repro.experiments.cli import main
+
+COMMON = ["--n", "40", "--block-size", "8", "--queries", "8",
+          "--update-batches", "1", "--edges-per-batch", "3"]
+
+
+class TestChaosCommand:
+    def test_default_schedule_passes_and_reports(self, capsys):
+        assert main(["chaos", *COMMON, "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "exactness under faults: OK" in out
+        assert "injected:" in out and "recovered:" in out
+
+    def test_quiet_mode_prints_only_the_verdict(self, capsys):
+        assert main(["chaos", *COMMON, "--seed", "3", "--quiet"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 1 and "exactness under faults: OK" in out[0]
+
+    def test_failure_rate_schedule_passes(self, capsys):
+        assert main(["chaos", *COMMON, "--seed", "11",
+                     "--failure-rate", "0.05", "--crashes", "0",
+                     "--failures", "0", "--corrupt-writes", "0",
+                     "--drop-writes", "0"]) == 0
+        assert "exactness under faults: OK" in capsys.readouterr().out
+
+    def test_bad_rate_is_a_usage_error(self, capsys):
+        assert main(["chaos", *COMMON, "--failure-rate", "1.5"]) == 2
+        assert capsys.readouterr().err != ""
+
+    def test_exactness_violation_exits_nonzero(self, capsys, monkeypatch):
+        """A faulted leg that diverges must fail the run, report on stderr."""
+        real = chaos._run_workload
+        state = {"calls": 0}
+
+        def corrupting(*args, **kwargs):
+            result = real(*args, **kwargs)
+            state["calls"] += 1
+            if state["calls"] == 2:  # the faulted leg
+                solve = np.array(result[0], copy=True)
+                solve[0, 1] += 1.0
+                result = (solve, *result[1:])
+            return result
+
+        monkeypatch.setattr(chaos, "_run_workload", corrupting)
+        assert main(["chaos", *COMMON, "--seed", "3"]) == 1
+        err = capsys.readouterr().err
+        assert "exactness under faults: VIOLATED" in err
+        assert "MISMATCH" in err

@@ -1,0 +1,179 @@
+"""Concurrency hammer for the serving layer.
+
+Many threads issue route queries against one :class:`RouteService` (and its
+shared :class:`ParentRowCache`) while updates invalidate rows underneath —
+answers must stay correct, counters must reconcile, and concurrent misses for
+one source must be deduplicated into a single row solve.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import erdos_renyi_adjacency
+from repro.linalg import witness
+from repro.sequential.floyd_warshall import floyd_warshall_reference
+from repro.graph.adjacency import validate_adjacency
+from repro.serve.cache import ParentRowCache
+from repro.serve.service import RouteService
+
+N = 48
+THREADS = 8
+QUERIES_PER_THREAD = 60
+
+
+@pytest.fixture(scope="module")
+def adjacency():
+    return erdos_renyi_adjacency(N, seed=21)
+
+
+@pytest.fixture(scope="module")
+def closure(adjacency):
+    return floyd_warshall_reference(adjacency)
+
+
+def _service(closure, adjacency, **kwargs):
+    return RouteService(closure, validate_adjacency(adjacency),
+                        "shortest-path", **kwargs)
+
+
+class TestCacheThreadSafety:
+    def test_concurrent_store_lookup_invalidate_consistent(self):
+        cache = ParentRowCache(max_rows=8)
+        rows = {s: np.full(N, s, dtype=np.int32) for s in range(16)}
+        stop = threading.Event()
+        errors = []
+
+        def worker(base):
+            try:
+                while not stop.is_set():
+                    for s in range(base, 16, 4):
+                        cache.store(s, rows[s])
+                        got = cache.lookup(s)
+                        if got is not None and got[0] != s:
+                            errors.append(f"torn row for {s}")
+                        cache.invalidate(s if s % 3 == 0 else None)
+            except Exception as exc:  # noqa: BLE001 — surfaced in the assert
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        stop.wait(0.4)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert cache.hits + cache.misses > 0
+        stats = cache.stats()
+        assert stats["cache_rows"] == len(cache.sources())
+        assert stats["cache_bytes"] >= 0
+
+
+class TestRouteHammer:
+    def test_hammer_queries_match_reference(self, adjacency, closure):
+        service = _service(closure, adjacency, max_rows=6)
+        rng = np.random.default_rng(7)
+        pairs = [(int(rng.integers(N)), int(rng.integers(N)))
+                 for _ in range(THREADS * QUERIES_PER_THREAD)]
+        chunks = [pairs[i::THREADS] for i in range(THREADS)]
+        failures = []
+
+        def worker(chunk):
+            for src, dst in chunk:
+                answer = service.route(src, dst)
+                expected = closure[src, dst]
+                if not (answer.distance == expected
+                        or (np.isinf(answer.distance) and np.isinf(expected))):
+                    failures.append((src, dst, answer.distance, expected))
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            list(pool.map(worker, chunks))
+        assert failures == []
+        stats = service.stats()
+        assert stats["queries"] == len(pairs)
+        # Counter reconciliation: every lookup was a hit or a miss, and the
+        # cache never holds more rows than its cap.
+        assert stats["cache_hits"] + stats["cache_misses"] >= stats["cache_rows"]
+        assert stats["cache_rows"] <= 6
+
+    def test_concurrent_misses_for_one_source_solve_once(self, adjacency,
+                                                         closure, monkeypatch):
+        service = _service(closure, adjacency)
+        solves = []
+        real = witness.solve_parent_row
+        gate = threading.Barrier(THREADS, timeout=5.0)
+
+        def counting_solve(source, *args, **kwargs):
+            solves.append(source)
+            return real(source, *args, **kwargs)
+
+        monkeypatch.setattr(witness, "solve_parent_row", counting_solve)
+
+        def worker():
+            gate.wait()
+            return service.parent_row(3)
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            rows = [f.result() for f in
+                    [pool.submit(worker) for _ in range(THREADS)]]
+        assert solves == [3]  # deduplicated: exactly one solve
+        for row in rows:
+            np.testing.assert_array_equal(row, rows[0])
+        stats = service.stats()
+        assert stats["cache_misses"] == 1
+        assert stats["cache_hits"] == THREADS - 1
+
+    def test_hammer_with_concurrent_invalidation(self, adjacency, closure):
+        """Queries racing notify_update: every answer matches the reference."""
+        service = _service(closure, adjacency, max_rows=4)
+        rng = np.random.default_rng(13)
+        stop = threading.Event()
+        failures = []
+
+        def invalidator():
+            while not stop.is_set():
+                service.notify_update([int(rng.integers(N))])
+
+        def querier(seed):
+            q_rng = np.random.default_rng(seed)
+            for _ in range(QUERIES_PER_THREAD):
+                src, dst = int(q_rng.integers(N)), int(q_rng.integers(N))
+                got = service.route(src, dst).distance
+                want = closure[src, dst]
+                if not (got == want or (np.isinf(got) and np.isinf(want))):
+                    failures.append((src, dst, got, want))
+
+        inv = threading.Thread(target=invalidator)
+        inv.start()
+        try:
+            with ThreadPoolExecutor(max_workers=THREADS) as pool:
+                list(pool.map(querier, range(THREADS)))
+        finally:
+            stop.set()
+            inv.join()
+        assert failures == []
+
+    def test_degradation_flips_are_thread_safe(self, adjacency, closure):
+        service = _service(closure, adjacency)
+        stop = threading.Event()
+
+        def flipper():
+            while not stop.is_set():
+                service.mark_degraded(RuntimeError("boom"))
+                service.mark_healthy()
+
+        flip = threading.Thread(target=flipper)
+        flip.start()
+        try:
+            for _ in range(200):
+                stats = service.stats()
+                if stats["degraded"]:
+                    assert stats["last_error"] is not None
+        finally:
+            stop.set()
+            flip.join()
+        service.mark_healthy()
+        assert service.stats()["degraded"] is False
