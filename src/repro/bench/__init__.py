@@ -16,11 +16,13 @@ Public surface:
 CLI: ``apspark bench run|compare|list``.
 """
 
-from repro.bench.compare import (ScenarioComparison, compare_reports,
-                                 has_regressions, improvements, regressions,
-                                 summarize)
+from repro.bench.compare import (ScenarioComparison, compare_calibrations,
+                                 compare_reports, has_regressions,
+                                 improvements, regressions, summarize,
+                                 summarize_calibration_drift)
 from repro.bench.results import (SCHEMA_VERSION, build_report, default_report_path,
-                                 load_report, validate_report, write_report)
+                                 discover_archives, load_report,
+                                 validate_report, write_report)
 from repro.bench.runner import (ScenarioResult, graph_for_algebra,
                                 reference_closure, run_suite, scenario_graph,
                                 scenario_reference, solve_scenario,
@@ -38,8 +40,10 @@ __all__ = [
     "available_suites",
     "bench_scale_n",
     "build_report",
+    "compare_calibrations",
     "compare_reports",
     "default_report_path",
+    "discover_archives",
     "get_suite",
     "graph_for_algebra",
     "has_regressions",
@@ -52,6 +56,7 @@ __all__ = [
     "scenario_reference",
     "solve_scenario",
     "summarize",
+    "summarize_calibration_drift",
     "update_batch_for_algebra",
     "validate_report",
     "verify_tolerances",

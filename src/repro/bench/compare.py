@@ -118,6 +118,75 @@ def improvements(rows: list[ScenarioComparison]) -> list[ScenarioComparison]:
     return [row for row in rows if row.status == STATUS_FASTER]
 
 
+#: A fitted machine constant may drift this far (ratio-wise) from the
+#: committed calibration before the warn-only CI compare flags it.
+DEFAULT_CONSTANT_DRIFT = 2.0
+
+#: Constants below this (seconds per unit x typical feature value is still
+#: sub-noise) are not ratio-compared: a 10x swing on a ~zero constant is
+#: fit jitter, not machine drift.
+_CONSTANT_FLOOR = 1e-15
+
+
+def compare_calibrations(baseline: dict, current: dict, *,
+                         tolerance: float = DEFAULT_CONSTANT_DRIFT) -> list[dict]:
+    """Diff two calibration documents' fitted machine constants.
+
+    Returns one row per constant key (union of both documents) with the
+    drift ratio and a status: ``ok``, ``drifted`` (ratio outside
+    ``[1/tolerance, tolerance]``), ``new`` (only fitted now) or ``gone``
+    (only in the baseline).  This feeds the warn-only CI compare — machine
+    constants legitimately move across hardware, so drift is a signal to
+    re-calibrate, never a gate.
+    """
+    base = (baseline.get("constants") or {}).get("seconds_per_unit") or {}
+    cur = (current.get("constants") or {}).get("seconds_per_unit") or {}
+    rows: list[dict] = []
+    for key in sorted(set(base) | set(cur)):
+        base_value = base.get(key)
+        cur_value = cur.get(key)
+        ratio = None
+        if base_value is None:
+            status = "new"
+        elif cur_value is None:
+            status = "gone"
+        elif base_value < _CONSTANT_FLOOR or cur_value < _CONSTANT_FLOOR:
+            # One side is (near-)zero: ratios are meaningless; only flag
+            # appearing/disappearing costs.
+            both_zero = (base_value < _CONSTANT_FLOOR
+                         and cur_value < _CONSTANT_FLOOR)
+            status = "ok" if both_zero else "drifted"
+        else:
+            ratio = cur_value / base_value
+            status = ("ok" if 1.0 / tolerance <= ratio <= tolerance
+                      else "drifted")
+        rows.append({
+            "constant": key,
+            "baseline": base_value,
+            "current": cur_value,
+            "ratio": ratio,
+            "status": status,
+        })
+    return rows
+
+
+def summarize_calibration_drift(rows: list[dict]) -> str:
+    """One-line verdict for the warn-only constants-drift CI step."""
+    drifted = [row for row in rows if row["status"] == "drifted"]
+    churned = [row for row in rows if row["status"] in ("new", "gone")]
+    if not drifted and not churned:
+        return f"calibration constants stable: {len(rows)} constant(s) compared"
+    bits = []
+    if drifted:
+        names = ", ".join(row["constant"] for row in drifted[:4])
+        more = "..." if len(drifted) > 4 else ""
+        bits.append(f"{len(drifted)} constant(s) drifted ({names}{more})")
+    if churned:
+        bits.append(f"{len(churned)} constant(s) appeared/disappeared")
+    return ("calibration drift (warn-only, consider re-running "
+            "'apspark bench calibrate'): " + "; ".join(bits))
+
+
 def summarize(rows: list[ScenarioComparison]) -> str:
     """One-line verdict suitable for CI logs.
 

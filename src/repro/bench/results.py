@@ -144,3 +144,29 @@ def load_report(path: str) -> dict:
     except json.JSONDecodeError as exc:
         raise ValidationError(f"{path}: invalid JSON ({exc})") from exc
     return validate_report(report, path)
+
+
+def discover_archives(locations: list[str] | None = None) -> list[str]:
+    """Find every ``BENCH_*.json`` archive under the given files/directories.
+
+    ``locations`` may mix report files and directories (directories are
+    scanned non-recursively for the ``BENCH_*.json`` naming convention).
+    The default locations are the committed baselines plus any fresh local
+    runs in the working directory — exactly what ``apspark bench calibrate``
+    should fit against.  Paths are deduplicated and returned sorted, which
+    fixes the observation order of the calibration fit.
+    """
+    if locations is None:
+        locations = [os.path.join("benchmarks", "baselines"), "."]
+    found: set[str] = set()
+    for location in locations:
+        if os.path.isdir(location):
+            for name in os.listdir(location):
+                if name.startswith("BENCH_") and name.endswith(".json"):
+                    found.add(os.path.normpath(os.path.join(location, name)))
+        elif os.path.isfile(location):
+            found.add(os.path.normpath(location))
+        else:
+            raise ValidationError(
+                f"benchmark archive location not found: {location}")
+    return sorted(found)

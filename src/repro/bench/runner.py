@@ -323,19 +323,28 @@ def run_suite(suite: BenchSuite, *, repeats: int | None = None,
                     solve_result.distances, reference,
                     **verify_tolerances(scenario.dtype))
 
+            solve_summary = {
+                "q": solve_result.q,
+                "block_size": solve_result.block_size,
+                "iterations": solve_result.iterations,
+                "num_partitions": solve_result.num_partitions,
+                "gops": solve_result.gops,
+            }
+            tuner = solve_result.metrics.get("tuner")
+            if tuner:
+                # An auto scenario's params say "auto"; the archive must also
+                # record what the tuner actually resolved it to, or the fit
+                # and any later re-run of the scenario are incomparable.
+                solve_summary["tuned_solver"] = tuner.get("solver")
+                solve_summary["predicted_seconds"] = tuner.get(
+                    "predicted_seconds")
             result = ScenarioResult(
                 scenario=scenario,
                 wall_seconds=min(times),
                 all_seconds=times,
                 phase_seconds=dict(solve_result.phase_seconds),
                 metrics=dict(solve_result.metrics),
-                solve={
-                    "q": solve_result.q,
-                    "block_size": solve_result.block_size,
-                    "iterations": solve_result.iterations,
-                    "num_partitions": solve_result.num_partitions,
-                    "gops": solve_result.gops,
-                },
+                solve=solve_summary,
                 verified=verified,
             )
             results.append(result)

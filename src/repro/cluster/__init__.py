@@ -9,6 +9,11 @@ measured on the host or fixed to the paper's reported sequential throughput
 (:mod:`repro.cluster.calibration`), and per-solver analytic cost models that
 combine compute, network, storage and Spark-overhead terms
 (:mod:`repro.cluster.costmodel`).
+
+:mod:`repro.cluster.fitting` closes the loop in the other direction: it
+regresses the *measured* ``BENCH_*.json`` archives into per-unit machine
+constants (``apspark bench calibrate``) that the auto-tuner
+(:mod:`repro.core.tuner`) uses to resolve ``solver="auto"`` requests.
 """
 
 from repro.cluster.model import (
@@ -27,6 +32,21 @@ from repro.cluster.costmodel import (
     ProjectionResult,
     SOLVER_NAMES,
     element_bytes,
+    stored_block_count,
+)
+from repro.cluster.fitting import (
+    CALIBRATION_SCHEMA_VERSION,
+    Observation,
+    accuracy_report,
+    build_calibration,
+    extract_observations,
+    fit_constants,
+    load_calibration,
+    paper_constants,
+    predict_seconds,
+    scenario_features,
+    validate_calibration,
+    write_calibration,
 )
 
 __all__ = [
@@ -44,4 +64,17 @@ __all__ = [
     "IterationEstimate",
     "ProjectionResult",
     "SOLVER_NAMES",
+    "stored_block_count",
+    "CALIBRATION_SCHEMA_VERSION",
+    "Observation",
+    "accuracy_report",
+    "build_calibration",
+    "extract_observations",
+    "fit_constants",
+    "load_calibration",
+    "paper_constants",
+    "predict_seconds",
+    "scenario_features",
+    "validate_calibration",
+    "write_calibration",
 ]

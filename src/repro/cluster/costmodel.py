@@ -27,12 +27,25 @@ import numpy as np
 from repro.cluster.calibration import KernelCalibration
 from repro.cluster.model import ClusterSpec, paper_cluster, GIB
 from repro.common.errors import ConfigurationError
-from repro.linalg.blocks import num_blocks, upper_triangular_block_ids
+from repro.linalg.blocks import all_block_ids, num_blocks, upper_triangular_block_ids
 from repro.linalg.semiring import minplus_closure_iterations
 from repro.spark.partitioner import partitioner_by_name
 
 #: Canonical solver names understood by the cost model.
 SOLVER_NAMES = ("repeated-squaring", "fw-2d", "blocked-im", "blocked-cb")
+
+#: Block grid layouts the cost model prices (mirrors SolvePlan.layout).
+LAYOUT_NAMES = ("triangular", "full")
+
+
+def stored_block_count(q: int, layout: str = "triangular") -> float:
+    """Blocks a ``q x q`` grid stores: ``q(q+1)/2`` triangular, ``q²`` full."""
+    if layout not in LAYOUT_NAMES:
+        raise ConfigurationError(
+            f"unknown block layout {layout!r}; expected one of {LAYOUT_NAMES}")
+    if layout == "full":
+        return float(q) * q
+    return q * (q + 1) / 2.0
 
 #: Effective per-node shuffle bandwidth (bytes/s).  Although the interconnect
 #: is GbE, Spark compresses shuffle blocks (early-iteration distance blocks are
@@ -188,6 +201,7 @@ class ProjectionResult:
     iteration: IterationEstimate
     feasible: bool
     infeasibility_reason: str | None = None
+    layout: str = "triangular"
 
     @property
     def iterations(self) -> int:
@@ -265,7 +279,8 @@ class CostModel:
         raise ConfigurationError(f"unknown solver {solver!r}")
 
     def imbalance_factor(self, partitioner_name: str, n: int, block_size: int,
-                         p: int, partitions_per_core: int) -> float:
+                         p: int, partitions_per_core: int,
+                         layout: str = "triangular") -> float:
         """Load-imbalance multiplier implied by the partitioner's block histogram.
 
         The real distribution of upper-triangular block keys over partitions is
@@ -279,11 +294,13 @@ class CostModel:
         """
         q = num_blocks(n, block_size)
         partitions = max(1, p * partitions_per_core)
-        cache_key = (partitioner_name.upper(), q, partitions, p)
+        cache_key = (partitioner_name.upper(), q, partitions, p, layout)
         if cache_key in self._imbalance_cache:
             return self._imbalance_cache[cache_key]
         partitioner = partitioner_by_name(partitioner_name, partitions, q)
-        counts = partitioner.distribution(upper_triangular_block_ids(q))
+        block_ids = (all_block_ids(q) if layout == "full"
+                     else upper_triangular_block_ids(q))
+        counts = partitioner.distribution(block_ids)
         total = counts.sum()
         if total == 0:
             return 1.0
@@ -303,13 +320,19 @@ class CostModel:
                            partitioner: str = "MD",
                            partitions_per_core: int = 2,
                            algebra=None, dtype: str | None = None,
-                           storage: str | None = None) -> IterationEstimate:
+                           storage: str | None = None,
+                           layout: str = "triangular") -> IterationEstimate:
         """Estimate one outer iteration of a Spark solver at cluster scale.
 
-        ``algebra``/``dtype``/``storage`` size the data-volume terms: the
-        defaults keep the historical float64 (8 bytes/element) projection,
-        ``dtype="float32"`` halves every transfer, and a packed-bitset
-        reachability solve moves 1/64th of the float64 volume.
+        ``algebra``/``dtype``/``storage`` size both the data-volume and the
+        kernel terms: the defaults keep the historical float64
+        (8 bytes/element) projection bit-for-bit, ``dtype="float32"`` halves
+        every transfer *and* the (memory-bandwidth-bound) block kernels, and
+        a packed-bitset reachability solve moves 1/64th of the float64
+        volume while its word-parallel kernels run at the packed element
+        width.  ``layout`` prices the block grid: the full (directed) grid
+        stores — and therefore computes, shuffles and spills — roughly twice
+        the blocks of the mirrored upper triangle at the same ``b``.
         """
         if solver not in SOLVER_NAMES:
             raise ConfigurationError(f"unknown solver {solver!r}")
@@ -319,14 +342,20 @@ class CostModel:
         partitions = max(1, p * partitions_per_core)
         element_size = element_bytes(algebra, dtype, storage)
         block_bytes = self._block_bytes(b, element_size)
-        stored_blocks = q * (q + 1) / 2.0
+        stored_blocks = stored_block_count(q, layout)
         role_factor = 2.0 if self.duplicate_transpose_work else 1.0
-        imbalance = self.imbalance_factor(partitioner, n, block_size, p, partitions_per_core)
+        imbalance = self.imbalance_factor(partitioner, n, block_size, p,
+                                          partitions_per_core, layout)
         imbalance *= 1.0 + self.straggler_coefficient / max(1, partitions_per_core)
         iterations = self.iteration_count(solver, n, block_size)
 
-        mp_rate = self.calibration.minplus_rate
-        fw_rate = self.calibration.floyd_warshall_rate
+        # The per-core kernel rates were anchored on float64 operands; the
+        # block kernels are memory-bandwidth-bound, so narrower elements
+        # speed them up by their byte ratio (packed reachability kernels are
+        # word-parallel: 64 cells per uint64 op).
+        kernel_scale = element_size / 8.0
+        mp_rate = self.calibration.minplus_rate / kernel_scale
+        fw_rate = self.calibration.floyd_warshall_rate / kernel_scale
         def sched(stages, tasks):
             """Driver scheduling overhead for a stage/task mix."""
             return (stages * self.stage_overhead_seconds
@@ -402,14 +431,15 @@ class CostModel:
 
     def spill_per_node_bytes(self, solver: str, n: int, block_size: int, p: int, *,
                              algebra=None, dtype: str | None = None,
-                             storage: str | None = None) -> float:
+                             storage: str | None = None,
+                             layout: str = "triangular") -> float:
         """Cumulative local-storage spill per node over the whole run (Blocked-IM only)."""
         if solver != "blocked-im":
             return 0.0
         q = num_blocks(n, block_size)
         block_bytes = self._block_bytes(block_size,
                                         element_bytes(algebra, dtype, storage))
-        stored_blocks = q * (q + 1) / 2.0
+        stored_blocks = stored_block_count(q, layout)
         phase3_blocks = max(0.0, stored_blocks - 2 * (q - 1) - 1)
         per_iter = ((q - 1) + 2.0 * phase3_blocks + stored_blocks) * block_bytes
         return per_iter * q / self._nodes_for(p)
@@ -417,19 +447,20 @@ class CostModel:
     def project(self, solver: str, n: int, block_size: int, p: int, *,
                 partitioner: str = "MD", partitions_per_core: int = 2,
                 algebra=None, dtype: str | None = None,
-                storage: str | None = None) -> ProjectionResult:
+                storage: str | None = None,
+                layout: str = "triangular") -> ProjectionResult:
         """Project the full runtime of a Spark solver configuration."""
         iteration = self.estimate_iteration(solver, n, block_size, p,
                                             partitioner=partitioner,
                                             partitions_per_core=partitions_per_core,
                                             algebra=algebra, dtype=dtype,
-                                            storage=storage)
+                                            storage=storage, layout=layout)
         feasible = True
         reason = None
         if solver == "blocked-im":
             spill = self.spill_per_node_bytes(solver, n, block_size, p,
                                               algebra=algebra, dtype=dtype,
-                                              storage=storage)
+                                              storage=storage, layout=layout)
             capacity = self.cluster.node.local_storage_bytes
             if spill > capacity:
                 feasible = False
@@ -442,7 +473,7 @@ class CostModel:
         return ProjectionResult(
             solver=solver, n=n, block_size=block_size, p=p, partitioner=partitioner,
             partitions_per_core=partitions_per_core, iteration=iteration,
-            feasible=feasible, infeasibility_reason=reason,
+            feasible=feasible, infeasibility_reason=reason, layout=layout,
         )
 
     def best_block_size(self, solver: str, n: int, p: int, *,
@@ -450,15 +481,25 @@ class CostModel:
                         partitioner: str = "MD",
                         partitions_per_core: int = 2,
                         algebra=None, dtype: str | None = None,
-                        storage: str | None = None) -> ProjectionResult:
-        """Pick the feasible block size with the smallest projected total (Table 3 tuning)."""
+                        storage: str | None = None,
+                        layout: str = "triangular") -> ProjectionResult:
+        """Pick the feasible block size with the smallest projected total (Table 3 tuning).
+
+        Every per-candidate estimate is priced under the *requested*
+        ``storage``/``layout`` policy — a packed-bitset or full-grid sweep
+        compares candidates on its own spill walls and kernel rates instead
+        of the dense-triangular ones (which used to hide, e.g., that a
+        packed Blocked-IM stays feasible at block sizes whose dense twin
+        has already hit the local-storage wall).
+        """
         best: ProjectionResult | None = None
         for b in candidates:
             if b > n:
                 continue
             result = self.project(solver, n, b, p, partitioner=partitioner,
                                   partitions_per_core=partitions_per_core,
-                                  algebra=algebra, dtype=dtype, storage=storage)
+                                  algebra=algebra, dtype=dtype, storage=storage,
+                                  layout=layout)
             if not result.feasible:
                 continue
             if best is None or result.projected_total_seconds < best.projected_total_seconds:
@@ -468,7 +509,8 @@ class CostModel:
             return self.project(solver, n, min(max(candidates), n), p,
                                 partitioner=partitioner,
                                 partitions_per_core=partitions_per_core,
-                                algebra=algebra, dtype=dtype, storage=storage)
+                                algebra=algebra, dtype=dtype, storage=storage,
+                                layout=layout)
         return best
 
     # ------------------------------------------------------------------ dynamic updates

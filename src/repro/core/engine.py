@@ -37,6 +37,7 @@ from repro.core.base import APSPResult, SolvePlan, SparkAPSPSolver
 from repro.core.dynamic import ClosureState
 from repro.core.registry import get_solver_class
 from repro.core.request import SolveRequest, UpdateReport
+from repro.core.tuner import TunerDecision, resolve_auto
 from repro.serve.service import RouteAnswer, RouteService
 from repro.spark.context import SparkContext
 
@@ -68,6 +69,9 @@ class APSPJob:
     _engine: "APSPEngine | None" = field(default=None, repr=False)
     capture_plan: bool = field(default=False, repr=False)
     _plan: SolvePlan | None = field(default=None, repr=False)
+    #: Set when the request arrived as ``solver="auto"``: the calibrated
+    #: tuner's choice, echoed into the result's metrics after execution.
+    tuner_decision: TunerDecision | None = field(default=None, repr=False)
 
     @property
     def done(self) -> bool:
@@ -137,6 +141,7 @@ class APSPEngine:
         self._updates_resolved = 0
         self._updates_failed = 0
         self._update_seconds = 0.0
+        self._tuner_decisions: list[TunerDecision] = []
 
     # ------------------------------------------------------------------ lifecycle
     def __enter__(self) -> "APSPEngine":
@@ -200,8 +205,15 @@ class APSPEngine:
         (``solver=..., block_size=...``), or both (keywords override).
         """
         req = self._coerce_request(request, kwargs)
+        decision = None
+        if req.solver == "auto":
+            # Resolve the auto-tuned configuration now, while the adjacency
+            # is in hand (its size and symmetry shape the candidate space).
+            req, decision = resolve_auto(req, adjacency, config=self.config)
+            self._tuner_decisions.append(decision)
         job = APSPJob(job_id=f"job-{next(self._job_counter):04d}", request=req,
-                      adjacency=adjacency, _engine=self)
+                      adjacency=adjacency, _engine=self,
+                      tuner_decision=decision)
         self.jobs.append(job)
         self._jobs_submitted += 1
         return job
@@ -486,6 +498,9 @@ class APSPEngine:
              **kwargs: Any) -> SolvePlan:
         """Resolve geometry for a would-be solve without running it."""
         req = self._coerce_request(request, kwargs)
+        if req.solver == "auto":
+            req, decision = resolve_auto(req, adjacency, config=self.config)
+            self._tuner_decisions.append(decision)
         return self._solver_for(req).prepare(adjacency)
 
     def _solver_for(self, request: SolveRequest) -> SparkAPSPSolver:
@@ -520,6 +535,10 @@ class APSPEngine:
                 self._context.clear_shared_fs()
         job.elapsed_seconds = time.perf_counter() - start
         job.status = JOB_DONE
+        if job.tuner_decision is not None:
+            # Make the auto-tuner's choice (and its predicted wall)
+            # observable next to the measured one on the result itself.
+            result.metrics["tuner"] = job.tuner_decision.as_dict()
         job._result = result
         self._solves_completed += 1
         self._total_solve_seconds += job.elapsed_seconds
@@ -546,6 +565,11 @@ class APSPEngine:
         stats.update(self.metrics)
         if self._service is not None:
             stats["serve"] = self._service.stats()
+        if self._tuner_decisions:
+            stats["tuner"] = {
+                "decisions": len(self._tuner_decisions),
+                "last": self._tuner_decisions[-1].as_dict(),
+            }
         if self._update_batches or self._updates_failed:
             stats["updates"] = {
                 "batches": self._update_batches,

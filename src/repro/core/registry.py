@@ -180,6 +180,26 @@ def available_solvers() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def solvers_for(algebra: str | None = None,
+                layout: str | None = None) -> list[str]:
+    """Canonical names of solvers supporting an algebra and/or layout, sorted.
+
+    This is the auto-tuner's candidate pool: ``solvers_for("reachability",
+    "full")`` returns every registered solver that declares both.  ``None``
+    leaves that axis unconstrained; unknown algebra names raise, exactly as
+    they would on a :class:`~repro.core.request.SolveRequest`.
+    """
+    names = []
+    for name in available_solvers():
+        info = _REGISTRY[name]
+        if algebra is not None and not info.supports_algebra(algebra):
+            continue
+        if layout is not None and not info.supports_layout(layout):
+            continue
+        names.append(name)
+    return names
+
+
 def solver_catalog() -> list[SolverInfo]:
     """Return :class:`SolverInfo` entries for every registered solver, sorted by name."""
     return [_REGISTRY[name] for name in available_solvers()]

@@ -14,7 +14,7 @@ from typing import Any, Mapping
 
 from repro.common.errors import ConfigurationError
 from repro.core.base import SolverOptions
-from repro.core.registry import resolve_solver_name, solver_info
+from repro.core.registry import resolve_solver_name, solver_info, solvers_for
 from repro.linalg.algebra import get_algebra, resolve_algebra_name
 from repro.spark.partitioner import canonical_partitioner_name
 
@@ -27,7 +27,11 @@ class SolveRequest:
     ----------
     solver:
         Canonical solver name or any registered alias; resolved (and
-        validated) against the solver registry at construction.
+        validated) against the solver registry at construction.  The special
+        value ``"auto"`` defers the choice to the calibrated auto-tuner
+        (:mod:`repro.core.tuner`): the engine resolves solver and block size
+        at submit time from the cost model's fitted machine constants and
+        records its decision in :meth:`~repro.core.engine.APSPEngine.stats`.
     block_size:
         The decomposition parameter ``b``; ``None`` selects it automatically.
     partitioner:
@@ -94,11 +98,18 @@ class SolveRequest:
     extra: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        # Canonicalise through the registries: unknown solvers/algebras raise here.
-        object.__setattr__(self, "solver", resolve_solver_name(self.solver))
+        # Canonicalise through the registries: unknown solvers/algebras raise
+        # here.  "auto" is the one name that stays symbolic — the engine
+        # resolves it through the calibrated tuner at submit time, once the
+        # adjacency matrix (and hence symmetry/density) is known.
+        is_auto = str(self.solver).strip().lower().replace("_", "-") == "auto"
+        if is_auto:
+            object.__setattr__(self, "solver", "auto")
+        else:
+            object.__setattr__(self, "solver", resolve_solver_name(self.solver))
         object.__setattr__(self, "algebra", resolve_algebra_name(self.algebra))
-        info = solver_info(self.solver)
-        if not info.supports_algebra(self.algebra):
+        info = None if is_auto else solver_info(self.solver)
+        if info is not None and not info.supports_algebra(self.algebra):
             raise ConfigurationError(
                 f"solver {self.solver!r} does not support algebra "
                 f"{self.algebra!r} (supported: {', '.join(info.algebras)})")
@@ -119,10 +130,15 @@ class SolveRequest:
         object.__setattr__(
             self, "layout",
             resolved_algebra.resolve_layout(self.layout, directed=self.directed))
-        if not info.supports_layout(self.layout):
+        if info is not None and not info.supports_layout(self.layout):
             raise ConfigurationError(
                 f"solver {self.solver!r} does not support block layout "
                 f"{self.layout!r} (supported: {', '.join(info.layouts)})")
+        if is_auto and not solvers_for(self.algebra, self.layout
+                                       if self.layout != "auto" else None):
+            raise ConfigurationError(
+                f"no registered solver supports algebra {self.algebra!r} with "
+                f"layout {self.layout!r}; solver='auto' has nothing to pick")
         object.__setattr__(self, "partitioner",
                            canonical_partitioner_name(str(self.partitioner)))
         if self.block_size is not None and int(self.block_size) < 1:

@@ -1,0 +1,340 @@
+"""Calibrated auto-tuning: resolve ``solver="auto"`` from fitted constants.
+
+The paper's pitch is raw speed *without the user knowing the configuration
+space exists*: a cost model, anchored to measured machine constants, picks
+the solver, the decomposition parameter ``b``, and the execution shape.
+This module is that loop's last mile.  ``apspark bench calibrate``
+(:mod:`repro.cluster.fitting`) regresses per-unit machine constants out of
+archived bench results; :func:`resolve_auto` prices every registry-supported
+candidate configuration for the request at hand with those constants — via
+the very same :func:`~repro.cluster.fitting.predict_seconds` the accuracy
+report grades — and rewrites the request to the cheapest one.
+
+Tuning is deliberately conservative about what it overrides:
+
+* **solver** and (when unset) **block size** are always chosen;
+* **storage** is enumerated only when the request carries the algebra's
+  default — an explicit non-default choice is a user constraint;
+* **layout** follows the input's symmetry (a correctness matter, not a
+  preference) and **dtype** is never changed (it alters numerics);
+* **backend** is fixed by the engine's :class:`~repro.common.config.EngineConfig`
+  — a session-level resource decision — but the decision records the
+  cheapest backend as ``recommended_backend`` so callers can see when a
+  different pool would pay off.
+
+Decisions are deterministic for a fixed calibration document: candidates are
+enumerated in sorted order and ties break on the (predicted, solver, block,
+storage) tuple.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.cluster.fitting import (load_calibration, paper_constants,
+                                   predict_seconds)
+from repro.common.config import EngineConfig, default_config
+from repro.common.errors import ConfigurationError
+from repro.core.base import auto_block_size
+from repro.core.registry import solver_info, solvers_for
+from repro.core.request import SolveRequest
+from repro.linalg.algebra import get_algebra
+
+#: Environment variable naming a calibration file to use instead of the
+#: repository default.
+CALIBRATION_ENV = "APSPARK_CALIBRATION"
+
+#: Default on-disk location (relative to the working directory) that
+#: ``apspark bench calibrate`` writes and the tuner reads.
+DEFAULT_CALIBRATION_PATH = os.path.join("benchmarks", "calibration.json")
+
+#: The documented default configuration the tuner must never beat itself
+#: with: the paper's Blocked-CB solver at the heuristic block size.
+DEFAULT_SOLVER = "blocked-cb"
+
+
+@dataclass(frozen=True)
+class TunerDecision:
+    """One resolved ``solver="auto"`` choice, fully observable.
+
+    ``predicted_seconds`` and ``default_predicted_seconds`` come from the
+    same calibrated predictor, so ``predicted_seconds <=
+    default_predicted_seconds`` always holds — the default configuration is
+    itself one of the scored candidates.
+    """
+
+    solver: str
+    block_size: int
+    storage: str
+    layout: str
+    backend: str
+    predicted_seconds: float
+    default_predicted_seconds: float
+    recommended_backend: str
+    calibration_source: str
+    candidates: int
+    n: int
+    density: float | None = None
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for ``engine.stats()`` / result metrics."""
+        return {
+            "solver": self.solver,
+            "block_size": self.block_size,
+            "storage": self.storage,
+            "layout": self.layout,
+            "backend": self.backend,
+            "predicted_seconds": self.predicted_seconds,
+            "default_predicted_seconds": self.default_predicted_seconds,
+            "recommended_backend": self.recommended_backend,
+            "calibration_source": self.calibration_source,
+            "candidates": self.candidates,
+            "n": self.n,
+            "density": self.density,
+        }
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (f"auto -> {self.solver} b={self.block_size} "
+                f"storage={self.storage} layout={self.layout} "
+                f"predicted={self.predicted_seconds:.4f}s "
+                f"(default {self.default_predicted_seconds:.4f}s, "
+                f"{self.candidates} candidates, {self.calibration_source})")
+
+
+def active_calibration(path: str | None = None) -> tuple[dict, str]:
+    """Locate the calibration constants the tuner should price with.
+
+    Priority: an explicit ``path`` argument, then the ``APSPARK_CALIBRATION``
+    environment variable, then ``benchmarks/calibration.json`` in the working
+    directory, then the built-in paper-flavoured fallback constants.  Returns
+    ``(constants, source)`` where ``source`` is the file path or
+    ``"paper-default"``.
+    """
+    candidates = []
+    if path is not None:
+        candidates.append(path)
+    env_path = os.environ.get(CALIBRATION_ENV)
+    if env_path:
+        candidates.append(env_path)
+    candidates.append(DEFAULT_CALIBRATION_PATH)
+    for candidate in candidates:
+        if os.path.isfile(candidate):
+            calibration = load_calibration(candidate)
+            return calibration["constants"], candidate
+    return paper_constants(), "paper-default"
+
+
+def candidate_block_sizes(n: int, total_cores: int,
+                          partitions_per_core: int, *,
+                          layout: str) -> list[int]:
+    """Deterministic block-size candidate set for an ``n x n`` problem.
+
+    The heuristic :func:`auto_block_size` pick is always included (it is the
+    documented default), surrounded by the power-of-two ladder the bench
+    suites sweep.  Everything is clamped to ``[1, n]`` and deduplicated.
+    """
+    heuristic = auto_block_size(n, total_cores, partitions_per_core,
+                                layout=layout)
+    ladder = {16, 32, 64, 128, 256}
+    ladder.update({heuristic, max(1, heuristic // 2), heuristic * 2})
+    if n <= 64:
+        ladder.add(n)  # single-block degenerate case is real for tiny graphs
+    return sorted({max(1, min(int(b), n)) for b in ladder})
+
+
+def _candidate_storages(request: SolveRequest) -> list[str]:
+    """Storage policies the tuner may choose between for this request.
+
+    Only the algebra-default storage is treated as tunable; an explicit
+    non-default request is honoured as a constraint.  ``paths=True`` pins
+    dense storage (there are no packed witness kernels).
+    """
+    algebra = get_algebra(request.algebra)
+    default = algebra.resolve_storage(None, paths=request.paths)
+    if request.storage != default or request.paths:
+        return [request.storage]
+    return sorted(algebra.storages)
+
+
+def _measured_density(adjacency, algebra_name: str) -> float | None:
+    """Fraction of connected off-diagonal entries, for observability.
+
+    The fitted model is density-independent (dense block kernels do the same
+    work either way), but the decision records what it saw so future
+    calibrations can add density terms without changing the interface.
+    """
+    try:
+        matrix = np.asarray(
+            adjacency.toarray() if hasattr(adjacency, "toarray") else adjacency)
+    except Exception:  # noqa: BLE001 — density is advisory only
+        return None
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1] or matrix.size == 0:
+        return None
+    n = matrix.shape[0]
+    if n < 2:
+        return 0.0
+    off_diag = ~np.eye(n, dtype=bool)
+    if matrix.dtype == np.bool_:
+        connected = matrix & off_diag
+    else:
+        zero = get_algebra(algebra_name).zero
+        with np.errstate(invalid="ignore"):
+            connected = np.isfinite(matrix) & (matrix != zero) & off_diag
+    return float(np.count_nonzero(connected)) / float(n * (n - 1))
+
+
+def _request_params(request: SolveRequest, config: EngineConfig, *, n: int,
+                    solver: str, block_size: int, storage: str,
+                    layout: str, backend: str) -> dict:
+    """A scenario-params dict for one candidate, as the fitter expects."""
+    return {
+        "n": n,
+        "solver": solver,
+        "backend": backend,
+        "block_size": block_size,
+        "algebra": request.algebra,
+        "dtype": request.dtype,
+        "storage": storage,
+        "layout": layout,
+        "directed": request.directed,
+        "paths": request.paths,
+        "num_executors": config.num_executors,
+        "cores_per_executor": config.cores_per_executor,
+        "partitions_per_core": request.partitions_per_core,
+        "num_partitions": request.num_partitions,
+    }
+
+
+def choose_config(request: SolveRequest, *, n: int,
+                  config: EngineConfig | None = None,
+                  symmetric: bool = True,
+                  constants: dict | None = None,
+                  calibration_source: str = "explicit",
+                  density: float | None = None) -> TunerDecision:
+    """Pick the cheapest registry-supported configuration for a request.
+
+    ``n`` is the problem size and ``symmetric`` whether the adjacency is
+    symmetric (resolves a ``layout="auto"`` request — a correctness
+    constraint the tuner never trades away).  ``constants`` is the
+    calibration ``constants`` subtree; omitted, the active calibration is
+    located via :func:`active_calibration`.
+    """
+    if n < 1:
+        raise ConfigurationError(f"cannot tune a solve of size n={n}")
+    config = config or default_config()
+    if constants is None:
+        constants, calibration_source = active_calibration()
+
+    layout = request.layout
+    if layout == "auto":
+        layout = "triangular" if (symmetric and not request.directed) else "full"
+    solvers = solvers_for(request.algebra, layout)
+    if not solvers:
+        raise ConfigurationError(
+            f"no registered solver supports algebra {request.algebra!r} "
+            f"with layout {layout!r}")
+    storages = _candidate_storages(request)
+    total_cores = config.num_executors * config.cores_per_executor
+    backend = config.backend
+
+    def blocks_for(candidate_solver: str) -> list[int]:
+        if request.block_size is not None:
+            return [int(request.block_size)]
+        return candidate_block_sizes(n, total_cores,
+                                     request.partitions_per_core,
+                                     layout=layout)
+
+    # The documented default: Blocked-CB (or the first supported solver) at
+    # the heuristic block size with the request's own storage.  It is scored
+    # with the same predictor and always part of the candidate pool, which
+    # is what makes "never predicted-slower than the default" a theorem
+    # rather than a hope.
+    default_solver = (DEFAULT_SOLVER if DEFAULT_SOLVER in solvers
+                      else solvers[0])
+    default_block = (int(request.block_size) if request.block_size is not None
+                     else auto_block_size(n, total_cores,
+                                          request.partitions_per_core,
+                                          layout=layout))
+    default_block = max(1, min(default_block, n))
+    default_params = _request_params(
+        request, config, n=n, solver=default_solver,
+        block_size=default_block, storage=request.storage, layout=layout,
+        backend=backend)
+    default_predicted = predict_seconds(default_params, constants)
+
+    best: tuple[float, str, int, str] | None = None
+    candidates = 0
+    for solver in solvers:
+        if not solver_info(solver).supports_layout(layout):
+            continue
+        for storage in storages:
+            for block in blocks_for(solver):
+                params = _request_params(
+                    request, config, n=n, solver=solver, block_size=block,
+                    storage=storage, layout=layout, backend=backend)
+                predicted = predict_seconds(params, constants)
+                candidates += 1
+                key = (predicted, solver, block, storage)
+                if best is None or key < best:
+                    best = key
+    assert best is not None  # solvers is non-empty and blocks_for never is
+    predicted, solver, block, storage = best
+    if predicted > default_predicted:
+        # Numerically impossible when the default is in the pool (it is,
+        # unless an explicit non-default storage constrains the sweep away
+        # from it) — clamp to the default either way.
+        predicted = default_predicted
+        solver, block, storage = default_solver, default_block, request.storage
+
+    chosen_params = _request_params(
+        request, config, n=n, solver=solver, block_size=block,
+        storage=storage, layout=layout, backend=backend)
+    recommended_backend = min(
+        ("processes", "serial", "threads"),
+        key=lambda b: (predict_seconds({**chosen_params, "backend": b},
+                                       constants), b))
+    return TunerDecision(
+        solver=solver, block_size=block, storage=storage, layout=layout,
+        backend=backend, predicted_seconds=predicted,
+        default_predicted_seconds=default_predicted,
+        recommended_backend=recommended_backend,
+        calibration_source=calibration_source, candidates=candidates,
+        n=n, density=density)
+
+
+def resolve_auto(request: SolveRequest, adjacency, *,
+                 config: EngineConfig | None = None,
+                 constants: dict | None = None,
+                 calibration_source: str = "explicit"
+                 ) -> tuple[SolveRequest, TunerDecision]:
+    """Rewrite a ``solver="auto"`` request to the tuner's concrete choice.
+
+    Returns the rewritten request (re-validated through the normal
+    :class:`SolveRequest` checks) and the :class:`TunerDecision` describing
+    what was picked and why.  Non-auto requests pass through unchanged with
+    a decision priced at their own configuration.
+    """
+    matrix = np.asarray(
+        adjacency.toarray() if hasattr(adjacency, "toarray") else adjacency)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ConfigurationError(
+            f"adjacency must be a square matrix, got shape {matrix.shape}")
+    n = int(matrix.shape[0])
+    symmetric = bool(request.directed is False
+                     and np.array_equal(matrix, matrix.T))
+    if constants is None:
+        constants, calibration_source = active_calibration()
+    decision = choose_config(
+        request, n=n, config=config, symmetric=symmetric,
+        constants=constants, calibration_source=calibration_source,
+        density=_measured_density(matrix, request.algebra))
+    if request.solver != "auto":
+        return request, decision
+    resolved = replace(request, solver=decision.solver,
+                       block_size=decision.block_size,
+                       storage=decision.storage, layout=decision.layout)
+    return resolved, decision

@@ -137,7 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="solve this graph instead of generating one: "
                               "a .npz CSR adjacency (scipy.sparse, ingested "
                               "without densifying) or a .npy dense matrix")
-    p_solve.add_argument("--solver", choices=available_solvers(), default="blocked-cb")
+    p_solve.add_argument("--solver",
+                         choices=[*available_solvers(), "auto"],
+                         default="blocked-cb",
+                         help="solver name, or 'auto' to let the calibrated "
+                              "cost model pick solver and block size")
     p_solve.add_argument("--block-size", type=int, default=None)
     p_solve.add_argument("--partitioner", default="MD")
     p_solve.add_argument("--algebra", default="shortest-path",
@@ -376,6 +380,33 @@ def build_parser() -> argparse.ArgumentParser:
     b_list = bench_sub.add_parser("list", help="list suites (or one suite's scenarios)")
     b_list.add_argument("--suite", default=None, help="show this suite's scenario grid")
     b_list.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+
+    b_calibrate = bench_sub.add_parser(
+        "calibrate", help="fit the cost model's machine constants from "
+                          "BENCH_*.json archives and write "
+                          "benchmarks/calibration.json")
+    b_calibrate.add_argument(
+        "--archive", action="append", default=None, metavar="PATH",
+        help="a BENCH_*.json file or a directory of them; repeatable "
+             "(default: benchmarks/baselines plus the working directory)")
+    b_calibrate.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="calibration file to write "
+             "(default: benchmarks/calibration.json)")
+    b_calibrate.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the per-scenario accuracy report as JSON")
+    b_calibrate.add_argument(
+        "--drift-baseline", default=None, metavar="PATH",
+        help="warn-only compare of the fitted constants against this "
+             "committed calibration (never affects the exit code)")
+    b_calibrate.add_argument(
+        "--drift-tolerance", type=float, default=None,
+        help="constant drift ratio beyond which the warn-only compare "
+             "flags a constant (default: 2.0)")
+    b_calibrate.add_argument(
+        "--dry-run", action="store_true",
+        help="fit and report, but do not write the calibration file")
     return parser
 
 
@@ -440,7 +471,74 @@ def _bench_main(args) -> int:
         print(bench.summarize(rows), file=sys.stderr if args.csv else sys.stdout)
         return 1 if bench.has_regressions(rows) else 0
 
+    if args.bench_command == "calibrate":
+        return _calibrate_main(args)
+
     return 2
+
+
+def _calibrate_main(args) -> int:
+    """``apspark bench calibrate``: archives in, fitted constants out.
+
+    Exits 2 on a malformed/missing archive (fitting from corrupt walls would
+    silently poison every ``solver="auto"`` decision), 0 otherwise.  The
+    constants-drift compare against ``--drift-baseline`` is warn-only by
+    design: constants legitimately differ across hardware.
+    """
+    from repro.common.errors import ValidationError
+    from repro.cluster import fitting
+    try:
+        paths = bench.discover_archives(args.archive)
+        if not paths:
+            raise ValidationError(
+                "no BENCH_*.json archives found; run 'apspark bench run' "
+                "first or pass --archive")
+        reports = [bench.load_report(path) for path in paths]
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    calibration = fitting.build_calibration(reports, source_paths=paths)
+    accuracy = calibration["accuracy"]
+    constants = calibration["constants"]
+    scenarios = accuracy["scenarios"]
+    print(f"fitted {len(constants['seconds_per_unit'])} machine constant(s) "
+          f"from {scenarios} scenario(s) in {len(paths)} archive(s)")
+    print(f"prediction accuracy: median rel error "
+          f"{accuracy['median_rel_error']:.1%}, "
+          f"mean {accuracy['mean_rel_error']:.1%}")
+    for suite, row in sorted(accuracy["per_suite"].items()):
+        print(f"  {suite:>14s}: {row['scenarios']:3d} scenario(s), "
+              f"median {row['median_rel_error']:.1%}, "
+              f"max {row['max_rel_error']:.1%}")
+    if accuracy["worst"]:
+        print("worst offenders:")
+        for row in accuracy["worst"]:
+            print(f"  {row['suite']}/{row['id']}: "
+                  f"predicted {row['predicted_seconds']:.4f}s "
+                  f"vs actual {row['actual_seconds']:.4f}s "
+                  f"({row['rel_error']:.0%} off)")
+    if not args.dry_run:
+        output = args.output or os.path.join("benchmarks", "calibration.json")
+        fitting.write_calibration(calibration, output)
+        print(f"wrote {output}")
+    if args.report:
+        import json as _json
+        with open(args.report, "w", encoding="utf-8") as fh:
+            _json.dump(accuracy, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote accuracy report {args.report}")
+    if args.drift_baseline:
+        try:
+            baseline = fitting.load_calibration(args.drift_baseline)
+        except ValidationError as exc:
+            print(f"drift compare skipped: {exc}", file=sys.stderr)
+        else:
+            kwargs = ({}
+                      if args.drift_tolerance is None
+                      else {"tolerance": args.drift_tolerance})
+            rows = bench.compare_calibrations(baseline, calibration, **kwargs)
+            print(bench.summarize_calibration_drift(rows))
+    return 0
 
 
 def _serve_main(args) -> int:
@@ -744,6 +842,15 @@ def main(argv=None) -> int:
                     correct = correct and algebra.allclose(result.distances, reference,
                                                            **tolerances)
                 print(f"{job.job_id}: {result.summary()}")
+                tuner = result.metrics.get("tuner")
+                if tuner:
+                    print(f"  auto-tuned: {tuner['solver']} "
+                          f"b={tuner['block_size']} "
+                          f"storage={tuner['storage']} "
+                          f"layout={tuner['layout']} "
+                          f"predicted={tuner['predicted_seconds']:.4f}s "
+                          f"(default {tuner['default_predicted_seconds']:.4f}s, "
+                          f"calibration: {tuner['calibration_source']})")
                 print(f"  elapsed: {format_seconds(result.elapsed_seconds)}; "
                       f"shuffled {result.metrics['shuffle_bytes'] / 1e6:.1f} MB; "
                       f"collected {result.metrics['collect_bytes'] / 1e6:.1f} MB; "

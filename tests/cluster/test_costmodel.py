@@ -196,3 +196,55 @@ class TestBestBlockSize:
 
     def test_solver_names_constant(self):
         assert set(SOLVER_NAMES) == {"repeated-squaring", "fw-2d", "blocked-im", "blocked-cb"}
+
+
+class TestStorageAwareBlockSize:
+    """best_block_size prices candidates under the requested storage policy.
+
+    Pins the packed-vs-dense crossover at the paper's largest scale: a dense
+    boolean Blocked-IM sweep hits the local-storage spill wall at small
+    blocks and has to retreat to a mid-sized block, while the packed-bitset
+    sweep (8x smaller elements) stays feasible everywhere and is free to take
+    the largest candidate.  Before storage/layout were threaded through the
+    per-candidate estimates, both sweeps priced identically and this
+    difference was invisible.
+    """
+
+    N = 262144
+    P = 1024
+
+    def _best(self, model, storage):
+        return model.best_block_size("blocked-im", self.N, self.P,
+                                     algebra="reachability", dtype="bool",
+                                     storage=storage)
+
+    def test_dense_small_blocks_hit_spill_wall(self, model):
+        dense = model.project("blocked-im", self.N, 512, self.P,
+                              algebra="reachability", dtype="bool",
+                              storage="dense")
+        packed = model.project("blocked-im", self.N, 512, self.P,
+                               algebra="reachability", dtype="bool",
+                               storage="packed")
+        assert not dense.feasible
+        assert packed.feasible
+
+    def test_crossover_picks_different_blocks(self, model):
+        dense = self._best(model, "dense")
+        packed = self._best(model, "packed")
+        assert dense.feasible and packed.feasible
+        assert packed.block_size > dense.block_size
+        assert (packed.projected_total_seconds
+                < dense.projected_total_seconds)
+
+    def test_packed_layout_threads_through_projection(self, model):
+        packed = self._best(model, "packed")
+        assert packed.layout == "triangular"
+        full = model.best_block_size("blocked-im", self.N, self.P,
+                                     algebra="reachability", dtype="bool",
+                                     storage="packed", layout="full")
+        # A full grid stores ~2x the blocks of the triangular one (partly
+        # offset by its better load balance); the projection must get
+        # slower, not silently price the same work.
+        assert full.layout == "full"
+        assert (full.projected_total_seconds
+                > packed.projected_total_seconds)

@@ -41,8 +41,12 @@ def test_narrower_elements_shrink_data_terms(solver):
     data = lambda e: (e.shuffle_seconds + e.driver_seconds + e.sharedfs_seconds)  # noqa: E731
     assert data(f32) == pytest.approx(data(f64) / 2.0)
     assert data(packed) == pytest.approx(data(f64) / 64.0)
-    # Compute terms are element-size independent in the model.
-    assert f32.compute_seconds == f64.compute_seconds
+    # The block kernels are memory-bandwidth-bound, so the distributed
+    # compute term scales with element width too (phase-2 granularity
+    # ceilings keep it from being exactly proportional for the blocked
+    # methods, hence the inequality bounds).
+    assert f64.compute_seconds / 2.5 <= f32.compute_seconds <= f64.compute_seconds / 1.5
+    assert packed.compute_seconds < f64.compute_seconds / 16.0
 
 
 def test_fw2d_broadcast_column_scales_with_dtype():

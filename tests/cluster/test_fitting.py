@@ -1,0 +1,150 @@
+"""Calibration fitting: golden-file reproducibility, schema, CLI error paths.
+
+The golden test is the contract that makes ``benchmarks/calibration.json``
+reviewable: re-fitting from the committed baseline archives must reproduce
+the committed constants bit-for-bit (NNLS via Lawson-Hanson is
+deterministic, observation order is fixed by ``discover_archives`` sorting,
+and constants are rounded to 12 significant digits before serialisation).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench import discover_archives, load_report
+from repro.cluster import fitting
+from repro.common.errors import ValidationError
+from repro.experiments.cli import main
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+BASELINE_DIR = os.path.join(REPO_ROOT, "benchmarks", "baselines")
+CALIBRATION_PATH = os.path.join(REPO_ROOT, "benchmarks", "calibration.json")
+
+
+@pytest.fixture(scope="module")
+def baseline_reports():
+    paths = discover_archives([BASELINE_DIR])
+    assert paths, "no committed baseline archives found"
+    return paths, [load_report(path) for path in paths]
+
+
+@pytest.fixture(scope="module")
+def committed_calibration():
+    return fitting.load_calibration(CALIBRATION_PATH)
+
+
+class TestGoldenCalibration:
+    def test_refit_reproduces_committed_constants(self, baseline_reports,
+                                                  committed_calibration):
+        """Calibrating over the committed baselines is bit-stable."""
+        paths, reports = baseline_reports
+        rebuilt = fitting.build_calibration(reports, source_paths=paths)
+        # Volatile metadata (created_unix, git, host, sources) legitimately
+        # differs; the deterministic subtrees must match exactly.
+        assert rebuilt["constants"] == committed_calibration["constants"]
+        assert rebuilt["accuracy"] == committed_calibration["accuracy"]
+        assert (rebuilt["schema_version"]
+                == committed_calibration["schema_version"])
+
+    def test_double_fit_is_deterministic(self, baseline_reports):
+        _, reports = baseline_reports
+        first = fitting.build_calibration(reports)
+        second = fitting.build_calibration(reports)
+        assert first["constants"] == second["constants"]
+        assert first["accuracy"] == second["accuracy"]
+
+    def test_committed_constants_are_rounded(self, committed_calibration):
+        """Serialised constants survive a JSON round-trip unchanged."""
+        rates = committed_calibration["constants"]["seconds_per_unit"]
+        assert rates, "committed calibration has no fitted constants"
+        for key, value in rates.items():
+            assert value == json.loads(json.dumps(value)), key
+            assert value >= 0.0, key  # NNLS: rates are non-negative
+
+    def test_committed_accuracy_meets_acceptance(self, committed_calibration):
+        accuracy = committed_calibration["accuracy"]
+        assert accuracy["median_rel_error"] <= 0.35
+        assert accuracy["scenarios"] >= 50
+
+
+class TestSchema:
+    def test_validate_rejects_missing_keys(self):
+        with pytest.raises(ValidationError, match="missing"):
+            fitting.validate_calibration({"schema_version": 1})
+
+    def test_validate_rejects_wrong_version(self, committed_calibration):
+        doc = dict(committed_calibration)
+        doc["schema_version"] = 99
+        with pytest.raises(ValidationError, match="version"):
+            fitting.validate_calibration(doc)
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(ValidationError, match="not found"):
+            fitting.load_calibration(str(tmp_path / "nope.json"))
+
+    def test_load_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "calibration.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError, match="JSON"):
+            fitting.load_calibration(str(path))
+
+    def test_write_load_round_trip(self, baseline_reports, tmp_path):
+        _, reports = baseline_reports
+        doc = fitting.build_calibration(reports)
+        path = str(tmp_path / "calibration.json")
+        fitting.write_calibration(doc, path)
+        assert fitting.load_calibration(path) == json.loads(
+            json.dumps(doc))
+
+
+class TestCalibrateCli:
+    def test_malformed_archive_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text('{"schema_version": 1}')
+        assert main(["bench", "calibrate", "--archive", str(bad),
+                     "--dry-run"]) == 2
+        assert "missing keys" in capsys.readouterr().err
+
+    def test_invalid_json_archive_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{truncated")
+        assert main(["bench", "calibrate", "--archive", str(bad),
+                     "--dry-run"]) == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_missing_location_exits_nonzero(self, tmp_path, capsys):
+        assert main(["bench", "calibrate",
+                     "--archive", str(tmp_path / "absent"),
+                     "--dry-run"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_no_archives_exits_nonzero(self, tmp_path, capsys):
+        assert main(["bench", "calibrate", "--archive", str(tmp_path),
+                     "--dry-run"]) == 2
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_calibrate_writes_output_and_report(self, tmp_path, capsys):
+        out = tmp_path / "calibration.json"
+        report = tmp_path / "accuracy.json"
+        assert main(["bench", "calibrate", "--archive", BASELINE_DIR,
+                     "--output", str(out), "--report", str(report)]) == 0
+        doc = fitting.load_calibration(str(out))
+        assert doc["constants"]["seconds_per_unit"]
+        accuracy = json.loads(report.read_text())
+        assert accuracy["median_rel_error"] <= 0.35
+        assert "prediction accuracy" in capsys.readouterr().out
+
+    def test_drift_compare_is_warn_only(self, tmp_path, capsys):
+        """A heavily drifted baseline must not change the exit code."""
+        drifted = fitting.load_calibration(CALIBRATION_PATH)
+        drifted = json.loads(json.dumps(drifted))
+        for key in drifted["constants"]["seconds_per_unit"]:
+            drifted["constants"]["seconds_per_unit"][key] *= 100.0
+        baseline = tmp_path / "old.json"
+        baseline.write_text(json.dumps(drifted))
+        assert main(["bench", "calibrate", "--archive", BASELINE_DIR,
+                     "--dry-run", "--drift-baseline", str(baseline)]) == 0
+        assert "drift" in capsys.readouterr().out

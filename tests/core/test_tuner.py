@@ -1,0 +1,202 @@
+"""Auto-tuner: property tests over the request space plus end-to-end solves.
+
+The hypothesis block drives :func:`repro.core.tuner.choose_config` with
+random ``(n, algebra, dtype, directed, paths)`` draws and checks the three
+contracts the docs promise: the choice is always registry-supported, never
+predicted slower than the documented Blocked-CB default, and deterministic
+for a fixed calibration document.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench import graph_for_algebra
+from repro.cluster import fitting
+from repro.common.config import EngineConfig
+from repro.common.errors import ConfigurationError
+from repro.core import tuner
+from repro.core.engine import APSPEngine
+from repro.core.registry import solver_info, solvers_for
+from repro.core.request import SolveRequest
+from repro.linalg.algebra import available_algebras, get_algebra
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+CALIBRATION_PATH = os.path.join(REPO_ROOT, "benchmarks", "calibration.json")
+
+CONSTANTS = fitting.load_calibration(CALIBRATION_PATH)["constants"]
+
+#: Every registered algebra with the orientations its input domain admits
+#: (longest path needs a DAG, hence directed-only).
+ALGEBRA_ORIENTATIONS = [
+    (name, directed)
+    for name in available_algebras()
+    for directed in ((True,) if name == "longest-path" else (False, True))
+]
+
+
+@st.composite
+def auto_requests(draw):
+    algebra_name, directed = draw(st.sampled_from(ALGEBRA_ORIENTATIONS))
+    algebra = get_algebra(algebra_name)
+    dtype = draw(st.sampled_from(algebra.dtypes))
+    paths = draw(st.booleans()) if algebra.witness_select else False
+    return SolveRequest(solver="auto", algebra=algebra_name, dtype=dtype,
+                        directed=directed, paths=paths)
+
+
+@st.composite
+def tuning_cases(draw):
+    request = draw(auto_requests())
+    n = draw(st.integers(min_value=2, max_value=512))
+    symmetric = not request.directed and draw(st.booleans())
+    return request, n, symmetric
+
+
+CONFIG = EngineConfig(backend="serial", num_executors=2, cores_per_executor=2)
+
+hypothesis_settings = settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestTunerProperties:
+    @hypothesis_settings
+    @given(tuning_cases())
+    def test_choice_is_registry_supported(self, case):
+        request, n, symmetric = case
+        decision = tuner.choose_config(
+            request, n=n, config=CONFIG, symmetric=symmetric,
+            constants=CONSTANTS)
+        supported = solvers_for(request.algebra, decision.layout)
+        assert decision.solver in supported
+        assert solver_info(decision.solver).supports_layout(decision.layout)
+        assert decision.storage in get_algebra(request.algebra).storages
+        assert 1 <= decision.block_size <= n
+        assert decision.backend == CONFIG.backend
+        assert decision.recommended_backend in ("serial", "threads",
+                                                "processes")
+        assert decision.predicted_seconds >= 0.0
+        assert decision.candidates >= 1
+
+    @hypothesis_settings
+    @given(tuning_cases())
+    def test_never_predicted_slower_than_default(self, case):
+        request, n, symmetric = case
+        decision = tuner.choose_config(
+            request, n=n, config=CONFIG, symmetric=symmetric,
+            constants=CONSTANTS)
+        assert (decision.predicted_seconds
+                <= decision.default_predicted_seconds)
+
+    @hypothesis_settings
+    @given(tuning_cases())
+    def test_deterministic_for_fixed_calibration(self, case):
+        request, n, symmetric = case
+        first = tuner.choose_config(request, n=n, config=CONFIG,
+                                    symmetric=symmetric, constants=CONSTANTS)
+        second = tuner.choose_config(request, n=n, config=CONFIG,
+                                     symmetric=symmetric, constants=CONSTANTS)
+        assert first == second
+
+    @hypothesis_settings
+    @given(tuning_cases())
+    def test_resolved_request_revalidates(self, case):
+        """The rewritten request passes SolveRequest's own checks."""
+        request, n, symmetric = case
+        decision = tuner.choose_config(
+            request, n=n, config=CONFIG, symmetric=symmetric,
+            constants=CONSTANTS)
+        resolved = SolveRequest(
+            solver=decision.solver, algebra=request.algebra,
+            dtype=request.dtype, storage=decision.storage,
+            layout=decision.layout, directed=request.directed,
+            paths=request.paths, block_size=decision.block_size)
+        assert resolved.solver == decision.solver
+
+
+class TestTunerEdges:
+    def test_rejects_empty_problem(self):
+        with pytest.raises(ConfigurationError, match="n=0"):
+            tuner.choose_config(SolveRequest(solver="auto"), n=0,
+                                constants=CONSTANTS)
+
+    def test_explicit_block_size_is_honoured(self):
+        request = SolveRequest(solver="auto", block_size=16)
+        decision = tuner.choose_config(request, n=64, config=CONFIG,
+                                       constants=CONSTANTS)
+        assert decision.block_size == 16
+
+    def test_explicit_storage_is_honoured(self):
+        request = SolveRequest(solver="auto", algebra="reachability",
+                               storage="dense")
+        decision = tuner.choose_config(request, n=64, config=CONFIG,
+                                       constants=CONSTANTS)
+        # "dense" is non-default for reachability -> treated as a constraint.
+        assert decision.storage == "dense"
+
+    def test_asymmetric_input_forces_full_layout(self):
+        request = SolveRequest(solver="auto", directed=True)
+        decision = tuner.choose_config(request, n=32, config=CONFIG,
+                                       symmetric=False, constants=CONSTANTS)
+        assert decision.layout == "full"
+
+    def test_paper_fallback_without_calibration(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.delenv(tuner.CALIBRATION_ENV, raising=False)
+        constants, source = tuner.active_calibration()
+        assert source == "paper-default"
+        decision = tuner.choose_config(
+            SolveRequest(solver="auto"), n=48, config=CONFIG,
+            constants=constants, calibration_source=source)
+        assert decision.predicted_seconds >= 0.0
+
+    def test_calibration_env_override(self, tmp_path, monkeypatch):
+        target = tmp_path / "cal.json"
+        doc = fitting.load_calibration(CALIBRATION_PATH)
+        fitting.write_calibration(doc, str(target))
+        monkeypatch.setenv(tuner.CALIBRATION_ENV, str(target))
+        constants, source = tuner.active_calibration()
+        assert source == str(target)
+        assert constants == doc["constants"]
+
+
+class TestAutoEndToEnd:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        config = EngineConfig(backend="serial", num_executors=2,
+                              cores_per_executor=2)
+        with APSPEngine(config) as engine:
+            yield engine
+
+    @pytest.mark.parametrize("algebra,directed", ALGEBRA_ORIENTATIONS)
+    def test_auto_solves_every_algebra(self, engine, algebra, directed):
+        adjacency = graph_for_algebra(40, seed=7, algebra=algebra,
+                                      directed=directed)
+        request = SolveRequest(solver="auto", algebra=algebra,
+                               directed=directed)
+        result = engine.solve(adjacency, request=request)
+        tuned = result.metrics.get("tuner")
+        assert tuned, "auto solve must record its tuner decision"
+        assert tuned["solver"] in solvers_for(algebra, tuned["layout"])
+        assert tuned["predicted_seconds"] >= 0.0
+        assert result.distances.shape == (40, 40)
+
+    def test_stats_expose_last_decision(self, engine):
+        stats = engine.stats()
+        assert stats["tuner"]["decisions"] >= 1
+        assert "solver" in stats["tuner"]["last"]
+
+    def test_auto_matches_explicit_solver_output(self, engine):
+        """Tuning changes configuration, never the answer."""
+        adjacency = graph_for_algebra(40, seed=11)
+        auto = engine.solve(adjacency,
+                            request=SolveRequest(solver="auto"))
+        explicit = engine.solve(adjacency,
+                                request=SolveRequest(solver="blocked-cb"))
+        np.testing.assert_allclose(auto.distances, explicit.distances)
